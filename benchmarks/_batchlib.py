@@ -1,0 +1,173 @@
+"""Shared machinery for the end-to-end batch-sync benchmarks (Figs 11-12).
+
+Builds a two-site testbed (uploader location + downloader location)
+over one shared multi-cloud, and measures end-to-end sync time per
+approach: upload the batch at the source, then fetch it at the
+destination.  Every approach sees identical cloud services and
+per-location link statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    IntuitiveMultiCloud,
+    MultiCloudBenchmark,
+    NativeClient,
+    ThroughputEstimator,
+    UniDriveConfig,
+    UniDriveTransfer,
+)
+from repro.core.baselines import NATIVE_CONNECTIONS
+from repro.simkernel import AllOf, Simulator
+from repro.workloads import (
+    CLOUD_IDS,
+    connect_location,
+    make_batch,
+    make_clouds,
+    make_stress,
+)
+
+CCS = ["dropbox", "onedrive", "gdrive"]
+APPROACHES = CCS + ["intuitive", "benchmark", "unidrive"]
+
+
+class TwoSiteBed:
+    """Uploader at ``src``, downloader at ``dst``, shared clouds."""
+
+    def __init__(self, src: str, dst: str, seed: int = 0,
+                 config: UniDriveConfig = None):
+        self.sim = Simulator()
+        self.config = config or UniDriveConfig(theta=1024 * 1024)
+        self.clouds = make_clouds(self.sim, retain_content=False)
+        stress = make_stress(seed + 1)
+        self._src = {}
+        self._dst = {}
+        for name in APPROACHES:
+            parallel = (
+                NATIVE_CONNECTIONS
+                if name in CLOUD_IDS or name == "intuitive"
+                else 5
+            )
+            self._src[name] = connect_location(
+                self.sim, self.clouds, src, seed=seed * 7,
+                stress=stress, max_parallel=parallel,
+            )
+            self._dst[name] = connect_location(
+                self.sim, self.clouds, dst, seed=seed * 7 + 1,
+                stress=stress, max_parallel=parallel,
+            )
+        self._rng = np.random.default_rng(seed + 2)
+
+    # -- per-approach end-to-end batch sync -------------------------------
+
+    def sync_batch(self, approach: str, files: dict):
+        """Upload ``files`` at src, download at dst.
+
+        Returns (end_to_end_seconds or None, per-file completion times
+        relative to start, in download order).
+        """
+        start = self.sim.now
+        if approach in CCS:
+            ok_up = self._native_batch(approach, files, upload=True)
+            if not ok_up:
+                return None, []
+            ok_down, timeline = self._native_batch(
+                approach, files, upload=False, collect=True, t0=start
+            )
+            return (self.sim.now - start if ok_down else None), timeline
+        if approach == "intuitive":
+            intuitive_src = IntuitiveMultiCloud(
+                self.sim,
+                [NativeClient(self.sim, c) for c in self._src["intuitive"]],
+            )
+            intuitive_dst = IntuitiveMultiCloud(
+                self.sim,
+                [NativeClient(self.sim, c) for c in self._dst["intuitive"]],
+            )
+            timeline = []
+            for path, content in files.items():
+                out = self.sim.run_process(
+                    intuitive_src.upload(path, content)
+                )
+                if not out.succeeded:
+                    return None, []
+            for path, content in files.items():
+                out = self.sim.run_process(
+                    intuitive_dst.download(path, len(content))
+                )
+                if not out.succeeded:
+                    return None, []
+                timeline.append(self.sim.now - start)
+            return self.sim.now - start, timeline
+        # Erasure-coded approaches.  End-to-end time is availability
+        # gated: receivers can fetch once k blocks per segment are up;
+        # the uploader's reliability top-up runs in the background and
+        # does not delay synchronization (paper §6.2).
+        klass = UniDriveTransfer if approach == "unidrive" else MultiCloudBenchmark
+        estimator = ThroughputEstimator()
+        up_client = klass(self.sim, self._src[approach], self.config,
+                          estimator=estimator)
+        batch = self.sim.run_process(
+            up_client.upload_batch(list(files.items()))
+        )
+        if not batch.all_available:
+            return None, []
+        upload_done = batch.last_available_at - start
+        down_client = klass(self.sim, self._dst[approach], self.config,
+                            estimator=ThroughputEstimator())
+        down_client._records = up_client._records
+        down_start = self.sim.now
+        down_batch = self.sim.run_process(
+            down_client.download_batch(list(files))
+        )
+        if not down_batch.all_completed:
+            return None, []
+        timeline = sorted(
+            upload_done + (report.completed_at - down_start)
+            for report in down_batch.files
+        )
+        return timeline[-1], timeline
+
+    def _native_batch(self, cloud_id: str, files: dict, upload: bool,
+                      collect: bool = False, t0: float = 0.0):
+        """Move a batch through one native app with its app-level
+        file concurrency; returns ok (and a completion timeline)."""
+        index = CLOUD_IDS.index(cloud_id)
+        conns = self._src[cloud_id] if upload else self._dst[cloud_id]
+        native = NativeClient(self.sim, conns[index])
+        timeline = []
+        items = list(files.items())
+        parallel = native.parallel
+        ok = True
+
+        def one(path, content):
+            if upload:
+                out = yield from native.upload(path, content)
+            else:
+                out = yield from native.download(path, len(content))
+            return out.succeeded
+
+        position = 0
+        while position < len(items):
+            window = items[position:position + parallel]
+            procs = [self.sim.process(one(p, c)) for p, c in window]
+
+            def waiter(procs=procs):
+                outcomes = yield AllOf(self.sim, procs)
+                return outcomes
+
+            outcomes = self.sim.run_process(waiter())
+            if not all(outcomes):
+                ok = False
+            if collect:
+                timeline.extend(
+                    [self.sim.now - t0] * len(window)
+                )
+            position += parallel
+        return (ok, timeline) if collect else ok
+
+
+def batch_files(count: int, size: int, seed: int) -> dict:
+    return make_batch(np.random.default_rng(seed), count, size)

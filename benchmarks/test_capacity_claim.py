@@ -1,0 +1,104 @@
+"""The §1 storage-efficiency claim, verified end to end.
+
+Paper: "assuming a user has 100 GB on three vendors ... under the
+requirement of tolerating unavailability of one vendor, UniDrive
+provides 200 GB of storage space while a conventional replication-based
+scheme would provide at most 150 GB."
+
+Beyond the arithmetic, this bench *stores data* against quota-limited
+simulated clouds and shows UniDrive fitting ~33% more user bytes than
+2x replication before any quota trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiCloudBenchmark, UniDriveConfig
+from repro.core.capacity import replication_capacity, unidrive_capacity
+from repro.cloud import QuotaExceededError, SimulatedCloud, make_instant_connection
+from repro.simkernel import Simulator
+from repro.workloads import random_bytes
+
+_MB = 1024 * 1024
+QUOTA = 30 * _MB  # per cloud
+
+
+def fill_unidrive():
+    """Store files until a quota trips; count user bytes stored.
+
+    Steady-state storage cost is the fair shares only (over-provisioned
+    extras are transient and reclaimed once a file is synced
+    everywhere), so the filler runs without over-provisioning.
+    """
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}", quota_bytes=QUOTA)
+              for i in range(3)]
+    conns = [make_instant_connection(sim, c, seed=i)
+             for i, c in enumerate(clouds)]
+    config = UniDriveConfig(k_blocks=2, k_reliability=2, k_security=1,
+                            theta=2 * _MB)
+    client = MultiCloudBenchmark(sim, conns, config)
+    rng = np.random.default_rng(0)
+    stored = 0
+    for index in range(200):
+        content = random_bytes(rng, 2 * _MB)
+        outcome = sim.run_process(client.upload(f"/f{index}", content))
+        if not outcome.succeeded or outcome.reliable_at is None:
+            break
+        stored += len(content)
+    return stored
+
+
+def fill_replication():
+    """Same clouds, whole-file 2x replication."""
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}", quota_bytes=QUOTA)
+              for i in range(3)]
+    conns = [make_instant_connection(sim, c, seed=i)
+             for i, c in enumerate(clouds)]
+    rng = np.random.default_rng(0)
+    stored = 0
+
+    def put(index, content):
+        # Two replicas on the two emptiest clouds.
+        targets = sorted(range(3), key=lambda i: clouds[i].store.used_bytes)
+        for target in targets[:2]:
+            yield from conns[target].upload(f"/f{index}", content)
+
+    for index in range(200):
+        content = random_bytes(rng, 2 * _MB)
+        try:
+            sim.run_process(put(index, content))
+        except QuotaExceededError:
+            break
+        stored += len(content)
+    return stored
+
+
+def run_experiment():
+    return fill_unidrive(), fill_replication()
+
+
+def test_capacity_claim(run_once, report):
+    uni_stored, rep_stored = run_once(run_experiment)
+
+    quotas = [QUOTA] * 3
+    predicted_uni = unidrive_capacity(quotas, k_blocks=2, k_reliability=2)
+    predicted_rep = replication_capacity(quotas, tolerate_failures=1)
+    lines = [
+        f"per-cloud quota: {QUOTA >> 20} MB x 3 clouds",
+        f"UniDrive   stored {uni_stored >> 20} MB "
+        f"(analytic bound {int(predicted_uni) >> 20} MB)",
+        f"replication stored {rep_stored >> 20} MB "
+        f"(analytic bound {int(predicted_rep) >> 20} MB)",
+        f"measured advantage: {uni_stored / rep_stored:.2f}x "
+        "(paper: 200 GB vs 150 GB = 1.33x)",
+    ]
+    report("Capacity — §1 storage-efficiency claim", lines)
+
+    # Analytic: exactly the paper's numbers, scaled.
+    assert predicted_uni == pytest.approx(2 * QUOTA)
+    assert predicted_rep == pytest.approx(1.5 * QUOTA)
+    # Measured: UniDrive stores ~1.33x more before quotas trip.
+    assert uni_stored > 1.2 * rep_stored
+    assert uni_stored <= predicted_uni

@@ -1,0 +1,88 @@
+"""Figure 1: spatial diversity of single-CCS up/down times (8 MB probes).
+
+Reproduces the month-long PlanetLab campaign at reduced sampling (the
+bandwidth processes are stationary, so fewer rounds estimate the same
+statistics): for every node and cloud, report avg/min/max transfer time
+of an 8 MB file, and verify the paper's three spatial findings.
+"""
+
+import numpy as np
+
+from repro.workloads import PLANETLAB_NODES, MeasurementCampaign, summarize
+
+SIZE = 8 * 1024 * 1024
+CLOUDS = ["dropbox", "onedrive", "gdrive", "baidupcs", "dbank"]
+
+
+def run_experiment():
+    stats = {}
+    for node in PLANETLAB_NODES:
+        campaign = MeasurementCampaign(
+            node, sizes=[SIZE], interval=7200.0, duration_days=2.0,
+            seed=hash(node) % 1000,
+        )
+        samples = campaign.run()
+        for cloud in CLOUDS:
+            for direction in ("up", "down"):
+                stats[(node, cloud, direction)] = summarize(
+                    samples, cloud, direction, SIZE
+                )
+    return stats
+
+
+def test_fig01_spatial_diversity(run_once, report, fmt_cell):
+    stats = run_once(run_experiment)
+
+    lines = []
+    for direction in ("up", "down"):
+        lines.append(f"-- {direction}load time of 8 MB file (seconds) --")
+        header = f"{'node':<14}" + "".join(f"{c:>22}" for c in CLOUDS)
+        lines.append(header)
+        lines.append(f"{'':<14}" + "".join(
+            f"{'avg/min/max':>22}" for _ in CLOUDS
+        ))
+        for node in PLANETLAB_NODES:
+            cells = []
+            for cloud in CLOUDS:
+                s = stats[(node, cloud, direction)]
+                if np.isnan(s["avg"]):
+                    cells.append(f"{'unreachable':>22}")
+                else:
+                    cells.append(
+                        f"{s['avg']:>8.1f}/{s['min']:>5.1f}/{s['max']:>6.1f}"
+                    )
+            lines.append(f"{node:<14}" + "".join(cells))
+    report("Figure 1 — spatial diversity across 13 PlanetLab nodes", lines)
+
+    up = lambda node, cloud: stats[(node, cloud, "up")]["avg"]  # noqa: E731
+
+    # (1) Large cross-location variation for one cloud: Dropbox upload
+    # takes ~2.76x longer in Los Angeles than in Princeton.
+    ratio = up("losangeles", "dropbox") / up("princeton", "dropbox")
+    assert ratio > 1.8, f"LA/Princeton Dropbox ratio {ratio:.2f}"
+
+    # (2) No always-winner: Dropbox beats OneDrive at Princeton, roles
+    # reverse at Beijing.
+    assert up("princeton", "dropbox") < up("princeton", "onedrive")
+    assert up("beijing", "onedrive") < up("beijing", "dropbox")
+
+    # (3) Up/down performance weakly-but-positively correlated.
+    pairs = [
+        (stats[(n, c, "up")]["avg"], stats[(n, c, "down")]["avg"])
+        for n in PLANETLAB_NODES
+        for c in CLOUDS
+        if not np.isnan(stats[(n, c, "up")]["avg"])
+        and not np.isnan(stats[(n, c, "down")]["avg"])
+    ]
+    ups, downs = zip(*pairs)
+    correlation = float(np.corrcoef(ups, downs)[0, 1])
+    assert correlation > 0.2, f"up/down correlation {correlation:.2f}"
+
+    # Disparity among clouds at a single location is extreme (up to 60x
+    # in the paper's data).
+    disparity = max(
+        max(up(n, c) for c in CLOUDS if not np.isnan(up(n, c)))
+        / min(up(n, c) for c in CLOUDS if not np.isnan(up(n, c)))
+        for n in PLANETLAB_NODES
+    )
+    assert disparity > 10, f"max within-node disparity {disparity:.1f}"

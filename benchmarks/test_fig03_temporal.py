@@ -1,0 +1,69 @@
+"""Figure 3: temporal variation of 8 MB upload time over many days.
+
+The paper observes double-digit max/min swings within single days, no
+predictable pattern, and near-independent fluctuation across clouds.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.workloads import MeasurementCampaign
+
+SIZE = 8 * 1024 * 1024
+CLOUDS = ["dropbox", "onedrive", "gdrive"]
+DAYS = 10
+
+
+def run_experiment():
+    campaign = MeasurementCampaign(
+        "princeton", sizes=[SIZE], interval=1800.0, duration_days=DAYS,
+        seed=3,
+    )
+    samples = campaign.run()
+    series = defaultdict(list)  # cloud -> [(t, duration)]
+    for sample in samples:
+        if sample.direction == "up" and sample.succeeded:
+            series[sample.cloud_id].append((sample.t, sample.duration))
+    return dict(series)
+
+
+def test_fig03_temporal_variation(run_once, report):
+    series = run_once(run_experiment)
+
+    lines = ["daily avg upload time of 8 MB (seconds), Princeton", ""]
+    header = f"{'day':>4}" + "".join(f"{c:>12}" for c in CLOUDS)
+    lines.append(header)
+    daily = {}
+    for cloud in CLOUDS:
+        for t, duration in series[cloud]:
+            daily.setdefault((cloud, int(t // 86400)), []).append(duration)
+    for day in range(DAYS):
+        row = f"{day:>4}"
+        for cloud in CLOUDS:
+            values = daily.get((cloud, day), [])
+            row += f"{np.mean(values):>12.1f}" if values else f"{'-':>12}"
+        lines.append(row)
+    report("Figure 3 — daily upload times over 10 days", lines)
+
+    # (1) Big swings inside single days (paper: up to 17x for Dropbox).
+    worst_swing = 0.0
+    for cloud in CLOUDS:
+        for day in range(DAYS):
+            values = daily.get((cloud, day), [])
+            if len(values) > 5:
+                worst_swing = max(worst_swing, max(values) / min(values))
+    assert worst_swing > 4.0, f"max within-day swing only {worst_swing:.1f}x"
+
+    # (2) Fluctuations of different clouds are largely independent.
+    # Probes run back to back each round, so align series by round
+    # index (sample order), truncated to the shortest series.
+    length = min(len(series[c]) for c in CLOUDS)
+    assert length > 100
+    aligned = {c: [d for _t, d in series[c][:length]] for c in CLOUDS}
+    for i in range(len(CLOUDS)):
+        for j in range(i + 1, len(CLOUDS)):
+            corr = abs(float(
+                np.corrcoef(aligned[CLOUDS[i]], aligned[CLOUDS[j]])[0, 1]
+            ))
+            assert corr < 0.35, (CLOUDS[i], CLOUDS[j], corr)

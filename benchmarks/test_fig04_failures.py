@@ -1,0 +1,53 @@
+"""Figure 4: share of failed requests by file size (Princeton).
+
+The paper finds no obvious size effect below ~2 MB and a rising failure
+share for larger transfers.
+"""
+
+from collections import Counter
+
+from repro.workloads import MeasurementCampaign
+
+_KB, _MB = 1024, 1024 * 1024
+SIZES = [256 * _KB, 512 * _KB, 1 * _MB, 2 * _MB, 4 * _MB, 8 * _MB]
+
+
+def run_experiment():
+    campaign = MeasurementCampaign(
+        "princeton", sizes=SIZES, interval=3600.0, duration_days=4.0,
+        seed=4,
+    )
+    samples = campaign.run()
+    attempts = Counter()
+    failures = Counter()
+    for sample in samples:
+        attempts[sample.size] += 1
+        if not sample.succeeded:
+            failures[sample.size] += 1
+    return attempts, failures
+
+
+def test_fig04_failure_share_by_size(run_once, report):
+    attempts, failures = run_once(run_experiment)
+
+    total_failures = sum(failures.values())
+    assert total_failures > 20, "campaign produced too few failures"
+    lines = [f"{'size':>10}{'attempts':>10}{'failures':>10}"
+             f"{'fail rate':>12}{'share of fails':>16}"]
+    rates = {}
+    for size in SIZES:
+        rate = failures[size] / attempts[size]
+        share = failures[size] / total_failures
+        rates[size] = rate
+        lines.append(
+            f"{size // _KB:>8}KB{attempts[size]:>10}{failures[size]:>10}"
+            f"{rate:>11.3%}{share:>15.1%}"
+        )
+    report("Figure 4 — failed requests by file size (Princeton)", lines)
+
+    # Below the 2 MB knee, failure rates stay flat (within noise).
+    small_rates = [rates[s] for s in SIZES if s <= 2 * _MB]
+    assert max(small_rates) < 3.5 * max(min(small_rates), 0.004)
+    # Above the knee they rise: 8 MB fails clearly more than <=1 MB.
+    small_avg = sum(small_rates[:3]) / 3
+    assert rates[8 * _MB] > 1.3 * small_avg, (rates, small_avg)

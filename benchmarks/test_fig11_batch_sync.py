@@ -1,0 +1,72 @@
+"""Figure 11: end-to-end sync time for a batch of small files.
+
+The paper syncs 100 x 1 MB files from each EC2 node to the other six
+and finds: UniDrive fastest and most consistent (1.33x over the best
+CCS on average), the multi-cloud benchmark a medium performer, and the
+intuitive solution dominated by the slowest CCS (worst).  We run a
+scaled batch (40 x 1 MB) over three uploader/downloader pairs.
+"""
+
+import numpy as np
+
+from _batchlib import APPROACHES, CCS, TwoSiteBed, batch_files
+
+_MB = 1024 * 1024
+PAIRS = [
+    ("virginia", "ireland"),
+    ("tokyo", "virginia"),
+    ("saopaulo_ec2", "oregon"),
+]
+COUNT = 40
+
+
+def run_experiment():
+    times = {}
+    for pair_index, (src, dst) in enumerate(PAIRS):
+        bed = TwoSiteBed(src, dst, seed=20 + pair_index)
+        files = batch_files(COUNT, 1 * _MB, seed=pair_index)
+        for approach in APPROACHES:
+            duration, _timeline = bed.sync_batch(approach, files)
+            times[(src, approach)] = duration
+    return times
+
+
+def test_fig11_end_to_end_batch_sync(run_once, report, fmt_cell):
+    times = run_once(run_experiment)
+
+    lines = [f"{'route':<22}" + "".join(f"{a:>12}" for a in APPROACHES)]
+    for src, dst in PAIRS:
+        row = f"{src + '->' + dst:<22}"
+        for approach in APPROACHES:
+            row += fmt_cell(times[(src, approach)], 12, 1)
+        lines.append(row)
+
+    speedups = []
+    for src, _dst in PAIRS:
+        uni = times[(src, "unidrive")]
+        assert uni is not None, f"unidrive failed from {src}"
+        best_ccs = min(
+            t for t in (times[(src, c)] for c in CCS) if t is not None
+        )
+        speedups.append(best_ccs / uni)
+    lines += [
+        "",
+        f"avg speedup over best CCS: {float(np.mean(speedups)):.2f}x "
+        "(paper: 1.33x)",
+    ]
+    report("Figure 11 — end-to-end batch sync, 40 x 1 MB", lines)
+
+    # UniDrive beats the best CCS on average (paper: 1.33x).
+    assert float(np.mean(speedups)) > 1.1
+
+    for src, _dst in PAIRS:
+        uni = times[(src, "unidrive")]
+        benchmark = times[(src, "benchmark")]
+        intuitive = times[(src, "intuitive")]
+        # The benchmark lands between UniDrive and the intuitive straw-man.
+        assert benchmark is None or uni <= benchmark * 1.15, (src, uni, benchmark)
+        # The intuitive solution is dominated by the slowest CCS: worst
+        # of all approaches by a wide margin.
+        assert intuitive is None or intuitive > 2 * uni, (src, intuitive, uni)
+        if intuitive is not None and benchmark is not None:
+            assert intuitive > benchmark

@@ -1,0 +1,71 @@
+"""Figure 12: cumulative number of synced files over time (Oregon to
+Virginia).
+
+The paper's takeaway: UniDrive readies files at a fast, steady rate
+(near-constant slope) while other approaches' curves have varying
+slopes and may cross.
+"""
+
+import numpy as np
+
+from _batchlib import TwoSiteBed, batch_files
+
+_MB = 1024 * 1024
+COUNT = 30
+APPROACHES = ["gdrive", "intuitive", "benchmark", "unidrive"]
+
+
+def run_experiment():
+    bed = TwoSiteBed("oregon", "virginia", seed=30)
+    files = batch_files(COUNT, 1 * _MB, seed=7)
+    timelines = {}
+    for approach in APPROACHES:
+        _duration, timeline = bed.sync_batch(approach, files)
+        timelines[approach] = timeline
+    return timelines
+
+
+def test_fig12_cumulative_synced_files(run_once, report):
+    timelines = run_once(run_experiment)
+
+    lines = ["cumulative synced files at time t (seconds)"]
+    checkpoints = [5, 10, 20, 40, 80, 160, 320]
+    lines.append(f"{'t':>6}" + "".join(f"{a:>12}" for a in APPROACHES))
+    for t in checkpoints:
+        row = f"{t:>6}"
+        for approach in APPROACHES:
+            done = sum(1 for c in timelines[approach] if c <= t)
+            row += f"{done:>12}"
+        lines.append(row)
+    finish = {
+        a: (timelines[a][-1] if timelines[a] else None) for a in APPROACHES
+    }
+    lines += ["", "completion time per approach: " + ", ".join(
+        f"{a}={finish[a]:.0f}s" if finish[a] else f"{a}=failed"
+        for a in APPROACHES
+    )]
+    report("Figure 12 — cumulative synced files (Oregon -> Virginia)", lines)
+
+    uni = timelines["unidrive"]
+    assert len(uni) == COUNT
+    # (1) UniDrive finishes the whole batch first.
+    for approach in APPROACHES:
+        if approach == "unidrive" or not timelines[approach]:
+            continue
+        assert uni[-1] < timelines[approach][-1], approach
+
+    # (2) Steady slope: once files start arriving, inter-completion
+    # gaps stay small — no long stalls.  (The initial flat region is
+    # the upload phase, present for every approach.)
+    gaps = np.diff(uni)
+    span = max(uni[-1] - uni[0], 1e-9)
+    assert gaps.max() < 0.5 * span, (
+        f"UniDrive stalled for {gaps.max():.1f}s of {span:.1f}s arrivals"
+    )
+
+    # (3) The benchmark sits between UniDrive and the intuitive curve
+    # at the halfway checkpoint.
+    halfway = uni[-1]
+    done_at = lambda a: sum(1 for c in timelines[a] if c <= halfway)  # noqa: E731
+    if timelines["benchmark"] and timelines["intuitive"]:
+        assert done_at("unidrive") >= done_at("benchmark") >= done_at("intuitive")

@@ -1,0 +1,79 @@
+"""Figure 14: availability and download time with n clouds disabled.
+
+Pre-upload a 32 MB file with K_r = 3, K_s = 2, then repeatedly download
+from Tokyo while n in [0, 4] of the five clouds are down.  The paper's
+findings:
+
+* downloads always succeed for n <= 2 (the reliability guarantee);
+* at n = 3 over-provisioning often saves the day (only K_r - 1 = 2
+  clouds remain, yet fast clouds hold extra blocks beyond fair share);
+* at n = 4 reconstruction MUST fail — the security requirement K_s = 2
+  means a single cloud never holds k blocks;
+* download time degrades as fewer (and slower) clouds remain.
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.core import ThroughputEstimator, UniDriveConfig, UniDriveTransfer
+from repro.simkernel import Simulator
+from repro.workloads import connect_location, make_clouds, random_bytes
+
+_MB = 1024 * 1024
+SIZE = 32 * _MB
+ATTEMPTS = 4  # download repetitions per outage pattern
+
+
+def run_experiment():
+    sim = Simulator()
+    config = UniDriveConfig()
+    clouds = make_clouds(sim, retain_content=True)
+    conns = connect_location(sim, clouds, "tokyo", seed=70)
+    client = UniDriveTransfer(sim, conns, config,
+                              estimator=ThroughputEstimator())
+    content = random_bytes(np.random.default_rng(70), SIZE)
+    up = sim.run_process(client.upload("/big.bin", content))
+    assert up.succeeded
+    rng = np.random.default_rng(71)
+    outcomes = {}  # n -> list of (succeeded, duration)
+    for n in range(5):
+        trials = []
+        patterns = list(itertools.combinations(range(5), n))
+        rng.shuffle(patterns)
+        for pattern in patterns[:ATTEMPTS]:
+            for index, cloud in enumerate(clouds):
+                cloud.set_available(index not in pattern)
+            outcome = sim.run_process(client.download("/big.bin", SIZE))
+            correct = outcome.succeeded
+            trials.append((correct, outcome.duration))
+            sim.run(until=sim.now + 300.0)
+        outcomes[n] = trials
+    for cloud in clouds:
+        cloud.set_available(True)
+    return outcomes
+
+
+def test_fig14_reliability_under_outages(run_once, report):
+    outcomes = run_once(run_experiment)
+
+    lines = [f"{'#down':>6}{'success':>10}{'avg time':>12}"]
+    rates, avg_times = {}, {}
+    for n in range(5):
+        trials = outcomes[n]
+        rates[n] = sum(1 for ok, _ in trials if ok) / len(trials)
+        durations = [d for ok, d in trials if ok and d is not None]
+        avg_times[n] = float(np.mean(durations)) if durations else None
+        time_text = f"{avg_times[n]:>11.1f}s" if avg_times[n] else f"{'-':>12}"
+        lines.append(f"{n:>6}{rates[n]:>9.0%}{time_text}")
+    report("Figure 14 — availability vs number of unavailable clouds", lines)
+
+    # Reliability guarantee: any K_r = 3 clouds suffice.
+    assert rates[0] == rates[1] == rates[2] == 1.0
+    # n = 3: only 2 clouds remain, below K_r, yet over-provisioned
+    # blocks on fast clouds can still reach k = 3 in some patterns.
+    assert rates[3] > 0.0
+    # Security guarantee: one cloud can never reconstruct (K_s = 2).
+    assert rates[4] == 0.0
+    # Fewer clouds -> slower downloads (the slow survivors dominate).
+    assert avg_times[2] > avg_times[0]

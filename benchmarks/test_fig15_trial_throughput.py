@@ -1,0 +1,62 @@
+"""Figure 15: trial average upload throughput by location and size bucket.
+
+The paper's 272-user trial found throughput consistent across
+geo-locations within each file-size range, with larger files achieving
+higher (and more stable) throughput than small ones, and >10 Mbps for
+files above 1 MB at almost all locations.
+"""
+
+import numpy as np
+
+from repro.workloads import EC2_NODES, SIZE_BUCKETS, run_trial
+
+
+def run_experiment():
+    # Restrict to the EC2 vantage points (plenty of users per site) so
+    # every (location, bucket) cell has enough samples to average.
+    return run_trial(n_users=70, days=7.0, uploads_per_user=6, seed=15,
+                     locations=EC2_NODES)
+
+
+def test_fig15_trial_throughput(run_once, report, fmt_cell):
+    result = run_once(run_experiment)
+
+    locations = sorted({r.location for r in result.records})
+    buckets = [label for label, _lo, _hi in SIZE_BUCKETS]
+    lines = [f"{'location':<16}" + "".join(f"{b:>12}" for b in buckets)]
+    table = {}
+    for location in locations:
+        row = f"{location:<16}"
+        for bucket in buckets:
+            values = result.throughput_by(location=location, bucket=bucket)
+            table[(location, bucket)] = (
+                float(np.median(values)) if len(values) >= 3 else None
+            )
+            row += fmt_cell(table[(location, bucket)], 12, 2)
+        lines.append(row)
+    report(
+        "Figure 15 — trial avg upload throughput (Mbps) by location x size",
+        lines,
+    )
+
+    # (1) Larger files achieve higher throughput (setup latency
+    # amortizes): global bucket means must increase.
+    bucket_means = [
+        float(np.mean(result.throughput_by(bucket=b)))
+        for b in buckets
+        if result.throughput_by(bucket=b)
+    ]
+    assert bucket_means == sorted(bucket_means), bucket_means
+
+    # (2) Throughput is consistent across locations within a bucket:
+    # the spread of per-location means stays within a modest factor
+    # (the paper's curves bunch together per size range).
+    for bucket in buckets[1:3]:
+        means = [
+            table[(loc, bucket)]
+            for loc in locations
+            if table.get((loc, bucket)) is not None
+        ]
+        if len(means) >= 4:
+            ratio = max(means) / min(means)
+            assert ratio < 15, (bucket, ratio)

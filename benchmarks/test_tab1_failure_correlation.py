@@ -1,0 +1,62 @@
+"""Table 1: correlation of failed Web API requests across the US CCSs.
+
+The paper reports *negative* pairwise correlations — clouds rarely fail
+at the same time.  We reproduce it by bucketing the campaign's failures
+into time windows per cloud and correlating the per-window failure
+counts.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.workloads import MeasurementCampaign
+
+SIZE = 4 * 1024 * 1024
+CLOUDS = ["dropbox", "onedrive", "gdrive"]
+WINDOW = 4 * 3600.0
+DAYS = 12
+
+
+def run_experiment():
+    campaign = MeasurementCampaign(
+        "princeton", sizes=[SIZE], interval=1200.0, duration_days=DAYS,
+        seed=5,
+    )
+    samples = campaign.run()
+    windows = int(DAYS * 86400 / WINDOW)
+    counts = {c: np.zeros(windows) for c in CLOUDS}
+    for sample in samples:
+        if sample.cloud_id in counts and not sample.succeeded:
+            index = min(int(sample.t // WINDOW), windows - 1)
+            counts[sample.cloud_id][index] += 1
+    return counts
+
+
+def test_tab1_negative_failure_correlation(run_once, report):
+    counts = run_once(run_experiment)
+
+    matrix = np.corrcoef([counts[c] for c in CLOUDS])
+    lines = [f"{'':<14}" + "".join(f"{c:>12}" for c in CLOUDS)]
+    for i, cloud in enumerate(CLOUDS):
+        row = f"{cloud:<14}"
+        for j in range(len(CLOUDS)):
+            row += "           -" if i == j else f"{matrix[i, j]:>12.4f}"
+        lines.append(row)
+    report("Table 1 — correlation of failed requests (upload probes)", lines)
+
+    total_failures = sum(counts[c].sum() for c in CLOUDS)
+    assert total_failures > 50, "too few failures to correlate"
+    for i in range(len(CLOUDS)):
+        for j in range(i + 1, len(CLOUDS)):
+            assert matrix[i, j] < 0.05, (
+                f"{CLOUDS[i]}/{CLOUDS[j]} correlation {matrix[i, j]:.3f} "
+                "should be negative (stress periods are mutually exclusive)"
+            )
+    # At least one pair must be clearly negative, as in the paper.
+    off_diagonal = [
+        matrix[i, j]
+        for i in range(len(CLOUDS))
+        for j in range(i + 1, len(CLOUDS))
+    ]
+    assert min(off_diagonal) < -0.05

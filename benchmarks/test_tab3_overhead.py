@@ -1,0 +1,96 @@
+"""Table 3: overall sync overhead (extra traffic / synced data).
+
+The paper measures ~1% overhead for UniDrive — comparable to most
+native apps — versus ~15% for the intuitive solution, which pushes
+every file through all five native apps.  Overhead here counts
+everything that is not file payload: HTTP headers, metadata (base,
+delta, version, locks), and aborted partial transfers.
+"""
+
+import numpy as np
+
+from repro.core import UniDriveClient, UniDriveConfig
+from repro.core.baselines import NATIVE_OVERHEAD, NativeClient
+from repro.fsmodel import VirtualFileSystem
+from repro.simkernel import Simulator
+from repro.workloads import (
+    CLOUD_IDS,
+    connect_location,
+    make_batch,
+    make_clouds,
+)
+
+_KB = 1024
+COUNT = 40
+SIZE = 1024 * _KB  # 1 MB files, as in the paper's batch experiment
+
+
+def run_experiment():
+    sim = Simulator()
+    config = UniDriveConfig(theta=1024 * _KB)
+    clouds = make_clouds(sim)
+    conns = connect_location(sim, clouds, "virginia", seed=50)
+    fs = VirtualFileSystem()
+    client = UniDriveClient(
+        sim, "uploader", fs, conns, config=config,
+        rng=np.random.default_rng(50),
+    )
+    files = make_batch(np.random.default_rng(51), COUNT, SIZE)
+    # The paper's batch experiment: one burst of files, synced in a
+    # handful of commits.
+    items = list(files.items())
+    for start in range(0, COUNT, 10):
+        for path, content in items[start:start + 10]:
+            fs.write_file(path, content, mtime=sim.now)
+        sim.run_process(client.sync())
+    totals = client.traffic_totals()
+
+    # The intuitive solution's overhead: every file crosses all five
+    # native apps, so the per-app protocol overheads add up.
+    sim2 = Simulator()
+    clouds2 = make_clouds(sim2)
+    conns2 = connect_location(sim2, clouds2, "virginia", seed=52)
+    total_payload = 0
+    total_traffic = 0
+    for i, conn in enumerate(conns2):
+        native = NativeClient(sim2, conn)
+        piece = SIZE // len(conns2)
+        for path, content in items:
+            sim2.run_process(
+                native.upload(f"{path}.p{i}", content[:piece])
+            )
+        total_payload += piece * COUNT
+        total_traffic += conn.traffic.total
+    intuitive_overhead = (total_traffic - total_payload) / total_payload
+    return totals, intuitive_overhead
+
+
+def test_tab3_sync_overhead(run_once, report):
+    totals, intuitive_overhead = run_once(run_experiment)
+
+    synced_bytes = COUNT * SIZE
+    # UniDrive's data-plane payload includes parity expansion by design
+    # (that is redundancy, not protocol overhead); overhead counts
+    # headers + metadata + wasted partial transfers.
+    overhead_bytes = totals["overhead"] + totals["metadata_bytes"]
+    unidrive_overhead = overhead_bytes / max(totals["payload_up"], 1)
+
+    lines = [f"{'system':<12}{'overhead':>10}"]
+    for cloud_id in CLOUD_IDS:
+        lines.append(f"{cloud_id:<12}{NATIVE_OVERHEAD[cloud_id]:>9.2%}")
+    lines.append(f"{'intuitive':<12}{intuitive_overhead:>9.2%}")
+    lines.append(f"{'unidrive':<12}{unidrive_overhead:>9.2%}")
+    lines += [
+        "",
+        f"UniDrive traffic: payload_up={totals['payload_up']}B "
+        f"metadata={totals['metadata_bytes']}B "
+        f"http+waste={totals['overhead']}B over {synced_bytes}B synced",
+    ]
+    report("Table 3 — overall sync overhead", lines)
+
+    # UniDrive's overhead stays small, comparable to native apps
+    # (paper: 1.04%)...
+    assert unidrive_overhead < 0.05, f"{unidrive_overhead:.2%}"
+    # ...and clearly below the intuitive solution (paper: 14.93%),
+    # which pays five native apps' overheads per file.
+    assert intuitive_overhead > 1.5 * unidrive_overhead

@@ -1,0 +1,13 @@
+"""Pytest root conftest: make the src/ layout importable without install.
+
+In fully-provisioned environments ``pip install -e .`` makes this a no-op;
+offline environments (no `wheel` package available) still get a working
+test run.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

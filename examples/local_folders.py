@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""UniDrive over *real* directories — no simulated network at all.
+
+Run with:  python examples/local_folders.py [workdir]
+
+Five local directories stand in for five cloud accounts, and two more
+directories are the sync folders of two devices.  Everything UniDrive
+does — chunking, erasure coding, DES-encrypted metadata, the lock
+files, block layout — is inspectable on disk afterwards.
+"""
+
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import Simulator, UniDriveConfig, UniDriveClient
+from repro.cloud import LocalDirCloud
+from repro.fsmodel import LocalDirFileSystem
+
+
+def make_device(sim, name, workdir, seed):
+    fs = LocalDirFileSystem(os.path.join(workdir, f"device-{name}"))
+    connections = [
+        LocalDirCloud(sim, f"cloud{i}", os.path.join(workdir, f"cloud{i}"))
+        for i in range(5)
+    ]
+    client = UniDriveClient(
+        sim, name, fs, connections,
+        config=UniDriveConfig(theta=128 * 1024),
+        rng=np.random.default_rng(seed),
+    )
+    return client
+
+
+def tree(root, limit=10):
+    lines = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            real = os.path.join(dirpath, filename)
+            rel = os.path.relpath(real, root)
+            lines.append(f"    {rel} ({os.path.getsize(real)} B)")
+    shown = lines[:limit]
+    if len(lines) > limit:
+        shown.append(f"    ... and {len(lines) - limit} more")
+    return "\n".join(shown)
+
+
+def main():
+    workdir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="unidrive-demo-"
+    )
+    print(f"working under {workdir}\n")
+    sim = Simulator()
+    alice = make_device(sim, "alice", workdir, seed=1)
+    bob = make_device(sim, "bob", workdir, seed=2)
+
+    payload = np.random.default_rng(0).integers(
+        0, 256, size=400_000, dtype=np.uint8
+    ).tobytes()
+    alice.fs.write_file("/report.pdf", payload)
+    alice.fs.write_file("/readme.md", b"# hello from alice\n")
+    sim.run_process(alice.sync())
+    sim.run_process(bob.sync())
+
+    print("bob's folder now contains:")
+    print(tree(os.path.join(workdir, "device-bob")))
+    assert bob.fs.read_file("/report.pdf") == payload
+
+    print("\ncloud0 holds only opaque shares and encrypted metadata:")
+    print(tree(os.path.join(workdir, "cloud0")))
+
+    meta_path = os.path.join(workdir, "cloud0", "unidrive", "meta", "base")
+    with open(meta_path, "rb") as handle:
+        blob = handle.read()
+    print(f"\nfirst bytes of the metadata file (DES-CBC): {blob[:24].hex()}")
+    print("neither file names nor contents appear anywhere in the clouds.")
+    print(f"\nexplore the layout yourself under: {workdir}")
+
+
+if __name__ == "__main__":
+    main()

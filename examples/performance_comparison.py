@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Head-to-head: UniDrive vs native apps vs multi-cloud baselines.
+
+Run with:  python examples/performance_comparison.py [location]
+
+A pocket edition of the paper's Figure 8: upload and download a 16 MB
+file through every approach at one vantage point (default: virginia),
+all starting at the same instant over identical simulated network
+conditions, and print the ranking.
+"""
+
+import sys
+
+from repro.workloads import APPROACHES, EC2_NODES, Testbed
+
+_MB = 1024 * 1024
+SIZE = 16 * _MB
+
+
+def show(title, measurements):
+    print(f"\n{title}")
+    ranked = sorted(
+        measurements.items(),
+        key=lambda kv: kv[1].duration if kv[1].duration else 1e18,
+    )
+    best = ranked[0][1].duration
+    for approach, m in ranked:
+        if m.duration is None:
+            print(f"  {approach:<12} failed")
+        else:
+            marker = "  <-- UniDrive" if approach == "unidrive" else ""
+            print(f"  {approach:<12}{m.duration:>8.1f}s   "
+                  f"({m.duration / best:4.1f}x){marker}")
+
+
+def main():
+    location = sys.argv[1] if len(sys.argv) > 1 else "virginia"
+    if location not in EC2_NODES:
+        raise SystemExit(f"pick one of: {EC2_NODES}")
+    print(f"measuring a {SIZE >> 20} MB transfer at {location} "
+          "(all approaches start simultaneously)")
+    bed = Testbed(location, seed=42, retain_content=False)
+
+    ups = bed.measure_upload_all(APPROACHES, SIZE)
+    show("upload time:", ups)
+
+    stored = {a: bed.seed_file(a, SIZE) for a in APPROACHES}
+    bed.measure_download_all(APPROACHES, SIZE, stored)  # probe warm-up
+    bed.advance(900.0)
+    downs = bed.measure_download_all(APPROACHES, SIZE, stored)
+    show("download time (after one probing round):", downs)
+
+    uni = ups["unidrive"].duration
+    best_ccs = min(
+        ups[c].duration for c in
+        ("dropbox", "onedrive", "gdrive", "baidupcs", "dbank")
+        if ups[c].duration is not None
+    )
+    print(f"\nUniDrive upload speedup over the best single cloud here: "
+          f"{best_ccs / uni:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

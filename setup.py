@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""UniDrive reproduction: synergize multiple consumer cloud storage services.
+
+A from-scratch Python implementation of the system described in
+"UniDrive: Synergize Multiple Consumer Cloud Storage Services"
+(ACM Middleware 2015), including every substrate it depends on:
+
+* :mod:`repro.simkernel` -- deterministic discrete-event simulation;
+* :mod:`repro.netsim` -- bandwidth / latency / failure processes and a
+  fluid-flow transfer engine;
+* :mod:`repro.cloud` -- simulated CCS services behind the five RESTful
+  calls (upload, download, create, list, delete);
+* :mod:`repro.codec` -- GF(2^8) Reed-Solomon erasure coding
+  (non-systematic, as the paper's security design requires);
+* :mod:`repro.chunking` -- content-defined segmentation;
+* :mod:`repro.crypto` -- DES metadata encryption;
+* :mod:`repro.fsmodel` -- the local sync-folder interface;
+* :mod:`repro.core` -- UniDrive itself: metadata model, Delta-sync,
+  quorum lock, three-way merge, block scheduling with
+  over-provisioning and in-channel probing, the client, and the
+  baseline systems;
+* :mod:`repro.workloads` -- vantage-point profiles, workload
+  generators, and the experiment harness behind every figure/table.
+
+Quick start::
+
+    from repro import Simulator, SimulatedCloud, UniDriveClient
+    from repro.cloud import make_instant_connection
+    from repro.fsmodel import VirtualFileSystem
+
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"cloud{i}") for i in range(5)]
+    fs = VirtualFileSystem()
+    conns = [make_instant_connection(sim, c, seed=i)
+             for i, c in enumerate(clouds)]
+    client = UniDriveClient(sim, "laptop", fs, conns)
+    fs.write_file("/hello.txt", b"hi", mtime=0.0)
+    report = sim.run_process(client.sync())
+"""
+
+from .cloud import CloudAPI, SimulatedCloud
+from .core import (
+    SyncReport,
+    UniDriveClient,
+    UniDriveConfig,
+    UniDriveTransfer,
+)
+from .simkernel import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudAPI",
+    "SimulatedCloud",
+    "Simulator",
+    "SyncReport",
+    "UniDriveClient",
+    "UniDriveConfig",
+    "UniDriveTransfer",
+    "__version__",
+]

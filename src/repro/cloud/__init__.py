@@ -1,0 +1,38 @@
+"""Simulated consumer cloud storage services and client connections."""
+
+from .api import CloudAPI, Entry
+from .errors import (
+    CloudError,
+    CloudUnavailableError,
+    ConflictError,
+    NotFoundError,
+    QuotaExceededError,
+    RequestFailedError,
+)
+from .localdir import LocalDirCloud
+from .simulated import (
+    REQUEST_OVERHEAD_BYTES,
+    CloudConnection,
+    SimulatedCloud,
+    TrafficMeter,
+    make_instant_connection,
+)
+from .storage import ObjectStore
+
+__all__ = [
+    "CloudAPI",
+    "CloudConnection",
+    "CloudError",
+    "CloudUnavailableError",
+    "ConflictError",
+    "Entry",
+    "LocalDirCloud",
+    "NotFoundError",
+    "ObjectStore",
+    "QuotaExceededError",
+    "REQUEST_OVERHEAD_BYTES",
+    "RequestFailedError",
+    "SimulatedCloud",
+    "TrafficMeter",
+    "make_instant_connection",
+]

@@ -1,0 +1,62 @@
+"""The minimal RESTful cloud interface UniDrive assumes (paper §4).
+
+Exactly five data-access operations: file **upload**, file **download**,
+directory **create**, directory **list**, and **delete**.  Everything in
+UniDrive — data blocks, metadata, version files, even the distributed
+lock — is built from these five calls.
+
+All operations are *generators* driven by a
+:class:`repro.simkernel.Simulator`; they consume virtual time (latency
+and payload transfer) and may raise the errors in
+:mod:`repro.cloud.errors`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generator
+
+__all__ = ["Entry", "CloudAPI"]
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One row of a directory listing."""
+
+    name: str  # base name within the listed directory
+    path: str  # full path
+    size: int  # bytes; 0 for folders
+    mtime: float  # server-assigned modification time (virtual seconds)
+    is_folder: bool = False
+
+
+class CloudAPI(abc.ABC):
+    """Abstract storage-cloud object with the five basic interfaces.
+
+    Adding a new cloud provider to UniDrive means implementing exactly
+    this class (paper §4, "Interfaces").
+    """
+
+    #: Identifier used in metadata Cloud-ID fields and lock file names.
+    cloud_id: str
+
+    @abc.abstractmethod
+    def upload(self, path: str, content: bytes) -> Generator:
+        """Store ``content`` at ``path``, overwriting any existing file."""
+
+    @abc.abstractmethod
+    def download(self, path: str) -> Generator:
+        """Fetch the content at ``path``; generator returns bytes."""
+
+    @abc.abstractmethod
+    def create_folder(self, path: str) -> Generator:
+        """Create a directory (idempotent)."""
+
+    @abc.abstractmethod
+    def list_folder(self, path: str) -> Generator:
+        """List direct children of ``path``; generator returns List[Entry]."""
+
+    @abc.abstractmethod
+    def delete(self, path: str) -> Generator:
+        """Delete the file or directory subtree at ``path`` (idempotent)."""

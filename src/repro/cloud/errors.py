@@ -1,0 +1,45 @@
+"""Error taxonomy for cloud API operations.
+
+Mirrors what a third-party app sees from real CCS Web APIs: transient
+request failures, hard unavailability (outages / regional blocking),
+missing objects, and exhausted quota.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CloudError",
+    "RequestFailedError",
+    "CloudUnavailableError",
+    "NotFoundError",
+    "QuotaExceededError",
+    "ConflictError",
+]
+
+
+class CloudError(Exception):
+    """Base class for every cloud-side error."""
+
+    def __init__(self, cloud_id: str, message: str = ""):
+        self.cloud_id = cloud_id
+        super().__init__(f"[{cloud_id}] {message}" if message else cloud_id)
+
+
+class RequestFailedError(CloudError):
+    """A transient Web API failure; retrying may succeed."""
+
+
+class CloudUnavailableError(CloudError):
+    """The service is unreachable (outage or regional block)."""
+
+
+class NotFoundError(CloudError):
+    """The requested path does not exist."""
+
+
+class QuotaExceededError(CloudError):
+    """The account's storage quota cannot hold the upload."""
+
+
+class ConflictError(CloudError):
+    """The operation conflicts with existing state (e.g. path is a folder)."""

@@ -1,0 +1,83 @@
+"""A cloud backed by a real local directory.
+
+Used by the runnable examples: five sibling directories stand in for
+five cloud accounts, so the full UniDrive stack (segmentation, erasure
+coding, locking, metadata sync) can be exercised against a real
+filesystem with zero simulated network time.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Generator, List
+
+from ..simkernel import Simulator
+from .api import CloudAPI, Entry
+from .errors import NotFoundError
+from .storage import normalize
+
+__all__ = ["LocalDirCloud"]
+
+
+class LocalDirCloud(CloudAPI):
+    """Implements the five RESTful calls over a directory tree."""
+
+    def __init__(self, sim: Simulator, cloud_id: str, root: str):
+        self.sim = sim
+        self.cloud_id = cloud_id
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._mtime_counter = 0
+
+    def _real(self, path: str) -> str:
+        return os.path.join(self.root, normalize(path).lstrip("/"))
+
+    def upload(self, path: str, content: bytes) -> Generator:
+        yield self.sim.timeout(0)
+        real = self._real(path)
+        os.makedirs(os.path.dirname(real), exist_ok=True)
+        with open(real, "wb") as handle:
+            handle.write(content)
+
+    def download(self, path: str) -> Generator:
+        yield self.sim.timeout(0)
+        real = self._real(path)
+        if not os.path.isfile(real):
+            raise NotFoundError(self.cloud_id, f"no such file: {path}")
+        with open(real, "rb") as handle:
+            return handle.read()
+
+    def create_folder(self, path: str) -> Generator:
+        yield self.sim.timeout(0)
+        os.makedirs(self._real(path), exist_ok=True)
+
+    def list_folder(self, path: str) -> Generator:
+        yield self.sim.timeout(0)
+        real = self._real(path)
+        if not os.path.isdir(real):
+            raise NotFoundError(self.cloud_id, f"no such folder: {path}")
+        entries: List[Entry] = []
+        cloud_path = normalize(path)
+        prefix = cloud_path if cloud_path.endswith("/") else cloud_path + "/"
+        for name in sorted(os.listdir(real)):
+            full = os.path.join(real, name)
+            is_folder = os.path.isdir(full)
+            entries.append(
+                Entry(
+                    name=name,
+                    path=prefix + name,
+                    size=0 if is_folder else os.path.getsize(full),
+                    mtime=os.path.getmtime(full),
+                    is_folder=is_folder,
+                )
+            )
+        return entries
+
+    def delete(self, path: str) -> Generator:
+        yield self.sim.timeout(0)
+        real = self._real(path)
+        if os.path.isdir(real):
+            shutil.rmtree(real, ignore_errors=True)
+        elif os.path.isfile(real):
+            os.remove(real)

@@ -1,0 +1,151 @@
+"""Server-side object store backing a simulated cloud.
+
+Provides the consistency model the UniDrive locking protocol assumes
+(paper §5.2): **read-after-write** — once an upload completes, every
+subsequent list/download observes it.  A single authoritative in-memory
+map gives this trivially; mtimes are assigned from the server's (i.e.
+the simulator's) clock, which is what the lock-breaking mechanism keys
+off instead of client clocks.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Dict, List, Optional
+
+from .api import Entry
+from .errors import ConflictError, NotFoundError, QuotaExceededError
+
+__all__ = ["ObjectStore"]
+
+
+def normalize(path: str) -> str:
+    """Canonicalize a cloud path: absolute, no trailing slash, '/' root."""
+    path = posixpath.normpath("/" + path.strip("/"))
+    return path
+
+
+class _Object:
+    __slots__ = ("content", "size", "mtime")
+
+    def __init__(self, content: Optional[bytes], size: int, mtime: float):
+        self.content = content
+        self.size = size
+        self.mtime = mtime
+
+
+class ObjectStore:
+    """Hierarchical object store with quota accounting.
+
+    ``retain_content=False`` keeps only object sizes (returning zero
+    bytes on read): large simulated campaigns (the 272-user trial, the
+    month-long measurement study) stay memory-bounded while all timing,
+    quota and consistency behaviour is unchanged.  Integrity-sensitive
+    tests and experiments keep the default.
+    """
+
+    def __init__(self, cloud_id: str, quota_bytes: Optional[int] = None,
+                 retain_content: bool = True):
+        self.cloud_id = cloud_id
+        self.quota_bytes = quota_bytes
+        self.retain_content = retain_content
+        self._files: Dict[str, _Object] = {}
+        self._folders = {"/"}
+        self.used_bytes = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        path = normalize(path)
+        return path in self._files or path in self._folders
+
+    def is_folder(self, path: str) -> bool:
+        return normalize(path) in self._folders
+
+    def get(self, path: str) -> bytes:
+        path = normalize(path)
+        record = self._files.get(path)
+        if record is None:
+            raise NotFoundError(self.cloud_id, f"no such file: {path}")
+        if record.content is None:
+            return b"\x00" * record.size
+        return record.content
+
+    def stat(self, path: str) -> Entry:
+        path = normalize(path)
+        record = self._files.get(path)
+        if record is not None:
+            return Entry(posixpath.basename(path), path,
+                         record.size, record.mtime)
+        if path in self._folders:
+            return Entry(posixpath.basename(path) or "/", path, 0, 0.0, True)
+        raise NotFoundError(self.cloud_id, f"no such path: {path}")
+
+    def list_folder(self, path: str) -> List[Entry]:
+        path = normalize(path)
+        if path not in self._folders:
+            raise NotFoundError(self.cloud_id, f"no such folder: {path}")
+        prefix = path if path.endswith("/") else path + "/"
+        entries: List[Entry] = []
+        for folder in sorted(self._folders):
+            if folder != path and posixpath.dirname(folder) == path:
+                entries.append(
+                    Entry(posixpath.basename(folder), folder, 0, 0.0, True)
+                )
+        for file_path in sorted(self._files):
+            if file_path.startswith(prefix) and "/" not in file_path[len(prefix):]:
+                record = self._files[file_path]
+                entries.append(
+                    Entry(posixpath.basename(file_path), file_path,
+                          record.size, record.mtime)
+                )
+        return entries
+
+    # -- mutations ----------------------------------------------------------
+
+    def put(self, path: str, content: bytes, mtime: float) -> None:
+        """Store a file, auto-creating parent folders (as real CCSs do)."""
+        path = normalize(path)
+        if path in self._folders:
+            raise ConflictError(self.cloud_id, f"path is a folder: {path}")
+        old = self._files.get(path)
+        delta = len(content) - (old.size if old else 0)
+        if self.quota_bytes is not None and self.used_bytes + delta > self.quota_bytes:
+            raise QuotaExceededError(
+                self.cloud_id,
+                f"quota {self.quota_bytes} B exceeded by {path}",
+            )
+        self._ensure_parents(path)
+        stored = bytes(content) if self.retain_content else None
+        self._files[path] = _Object(stored, len(content), mtime)
+        self.used_bytes += delta
+
+    def make_folder(self, path: str) -> None:
+        path = normalize(path)
+        if path in self._files:
+            raise ConflictError(self.cloud_id, f"path is a file: {path}")
+        self._ensure_parents(path)
+        self._folders.add(path)
+
+    def delete(self, path: str) -> None:
+        """Delete a file, or a folder subtree.  Idempotent."""
+        path = normalize(path)
+        record = self._files.pop(path, None)
+        if record is not None:
+            self.used_bytes -= record.size
+            return
+        if path in self._folders and path != "/":
+            prefix = path + "/"
+            for file_path in [p for p in self._files if p.startswith(prefix)]:
+                self.used_bytes -= self._files.pop(file_path).size
+            self._folders = {
+                f for f in self._folders if f != path and not f.startswith(prefix)
+            }
+
+    # -- internals ------------------------------------------------------
+
+    def _ensure_parents(self, path: str) -> None:
+        parent = posixpath.dirname(path)
+        while parent not in self._folders:
+            self._folders.add(parent)
+            parent = posixpath.dirname(parent)

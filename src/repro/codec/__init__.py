@@ -1,0 +1,16 @@
+"""Erasure-coding substrate: GF(2^8) algebra and Reed-Solomon codes."""
+
+from . import gf256
+from .matrix import SingularMatrixError, identity, invert, matmul, vandermonde
+from .reed_solomon import DecodeError, ReedSolomonCode
+
+__all__ = [
+    "DecodeError",
+    "ReedSolomonCode",
+    "SingularMatrixError",
+    "gf256",
+    "identity",
+    "invert",
+    "matmul",
+    "vandermonde",
+]

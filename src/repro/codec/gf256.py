@@ -1,0 +1,117 @@
+"""Arithmetic over GF(2^8).
+
+The field is constructed from the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the conventional choice for
+Reed-Solomon storage codes.  Scalar helpers operate on Python ints;
+vector helpers operate on ``numpy.uint8`` arrays via exp/log tables,
+which is what makes encoding multi-megabyte segments fast enough for the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PRIMITIVE_POLY",
+    "GENERATOR",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "inv",
+    "pow",
+    "mul_vec",
+    "addmul_vec",
+    "EXP_TABLE",
+    "LOG_TABLE",
+]
+
+PRIMITIVE_POLY = 0x11D
+GENERATOR = 0x02
+
+
+def _build_tables():
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    # Duplicate so that exp[a + b] never needs an explicit mod 255.
+    exp[255:510] = exp[0:255]
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+_EXP = EXP_TABLE
+_LOG = LOG_TABLE
+
+
+def add(a: int, b: int) -> int:
+    """Field addition (= subtraction = XOR)."""
+    return a ^ b
+
+
+def sub(a: int, b: int) -> int:
+    """Field subtraction; identical to addition in characteristic 2."""
+    return a ^ b
+
+
+def mul(a: int, b: int) -> int:
+    """Field multiplication via log/antilog tables."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[_LOG[a] + _LOG[b]])
+
+
+def div(a: int, b: int) -> int:
+    """Field division ``a / b``; raises ZeroDivisionError for b == 0."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(_EXP[(_LOG[a] - _LOG[b]) % 255])
+
+
+def inv(a: int) -> int:
+    """Multiplicative inverse; raises ZeroDivisionError for 0."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return int(_EXP[(255 - _LOG[a]) % 255])
+
+
+def pow(a: int, n: int) -> int:  # noqa: A001 - deliberate field-local name
+    """Field exponentiation ``a ** n`` (n may be negative if a != 0)."""
+    if a == 0:
+        if n < 0:
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        return 1 if n == 0 else 0
+    return int(_EXP[(_LOG[a] * n) % 255])
+
+
+def mul_vec(scalar: int, vec: np.ndarray) -> np.ndarray:
+    """Multiply every element of a uint8 vector by a field scalar."""
+    if scalar == 0:
+        return np.zeros_like(vec)
+    if scalar == 1:
+        return vec.copy()
+    log_s = _LOG[scalar]
+    out = _EXP[log_s + _LOG[vec]].astype(np.uint8, copy=False)
+    out[vec == 0] = 0
+    return out
+
+
+def addmul_vec(acc: np.ndarray, scalar: int, vec: np.ndarray) -> None:
+    """In-place ``acc ^= scalar * vec`` over GF(256)."""
+    if scalar == 0:
+        return
+    if scalar == 1:
+        np.bitwise_xor(acc, vec, out=acc)
+        return
+    product = _EXP[_LOG[scalar] + _LOG[vec]].astype(np.uint8, copy=False)
+    product[vec == 0] = 0
+    np.bitwise_xor(acc, product, out=acc)

@@ -1,0 +1,93 @@
+"""Dense matrix algebra over GF(2^8).
+
+Matrices are ``numpy.uint8`` 2-D arrays.  Only the operations a
+Reed-Solomon codec needs are provided: multiplication, Gauss-Jordan
+inversion, and Vandermonde construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import gf256
+
+__all__ = [
+    "SingularMatrixError",
+    "identity",
+    "matmul",
+    "invert",
+    "vandermonde",
+]
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a matrix that must be invertible is singular."""
+
+
+def identity(n: int) -> np.ndarray:
+    """The n-by-n identity matrix over GF(256)."""
+    return np.eye(n, dtype=np.uint8)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256).
+
+    ``b`` may be a matrix of row vectors of arbitrary width (e.g. data
+    shards), which is the encoding hot path.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    rows, inner = a.shape
+    out = np.zeros((rows, b.shape[1]), dtype=np.uint8)
+    for i in range(rows):
+        acc = out[i]
+        for j in range(inner):
+            gf256.addmul_vec(acc, int(a[i, j]), b[j])
+    return out
+
+
+def invert(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(256) by Gauss-Jordan elimination."""
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    n, m = matrix.shape
+    if n != m:
+        raise ValueError(f"cannot invert non-square matrix {matrix.shape}")
+    # Work in an augmented [A | I] array of Python ints for exactness.
+    work = np.concatenate([matrix.copy(), identity(n)], axis=1)
+    for col in range(n):
+        pivot_row = None
+        for row in range(col, n):
+            if work[row, col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise SingularMatrixError(f"matrix is singular at column {col}")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+        pivot_inv = gf256.inv(int(work[col, col]))
+        work[col] = gf256.mul_vec(pivot_inv, work[col])
+        for row in range(n):
+            if row != col and work[row, col] != 0:
+                gf256.addmul_vec(work[row], int(work[row, col]), work[col])
+    return work[:, n:].copy()
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """A rows-by-cols Vandermonde matrix with distinct nonzero points.
+
+    Row ``i`` is ``[x_i^0, x_i^1, ..., x_i^(cols-1)]`` with
+    ``x_i = GENERATOR^i``; since the generator has order 255, any
+    ``rows <= 255`` yields distinct points and therefore every ``cols``
+    rows form an invertible square submatrix — the property Reed-Solomon
+    decoding relies on.
+    """
+    if rows > 255:
+        raise ValueError(f"at most 255 distinct points available, got {rows}")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        x = gf256.pow(gf256.GENERATOR, i)
+        for j in range(cols):
+            out[i, j] = gf256.pow(x, j)
+    return out

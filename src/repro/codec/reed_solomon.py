@@ -1,0 +1,152 @@
+"""Reed-Solomon erasure codes over GF(2^8).
+
+UniDrive applies a *non-systematic* (n, k) Reed-Solomon code to each file
+segment (paper §6.1): no output block carries plaintext, so no coalition
+of fewer than ``K_s`` clouds can reconstruct any part of a file, and any
+``k`` of the ``n`` blocks recover the segment exactly.
+
+A systematic variant is also provided; the RACS/DepSky-style
+``MultiCloudBenchmark`` baseline uses it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+import numpy as np
+
+from . import matrix as gfm
+
+__all__ = ["ReedSolomonCode", "DecodeError"]
+
+
+class DecodeError(ValueError):
+    """Raised when the supplied shards cannot reconstruct the data."""
+
+
+class ReedSolomonCode:
+    """An (n, k) maximum-distance-separable erasure code.
+
+    Parameters
+    ----------
+    n:
+        Total number of blocks produced per segment (1 <= k <= n <= 255).
+    k:
+        Number of blocks sufficient (and necessary) for reconstruction.
+    systematic:
+        When True the first ``k`` blocks are the plain data shards.  The
+        default (False) matches UniDrive's security design: every block is
+        a nontrivial codeword and leaks no plaintext on its own.
+    """
+
+    def __init__(self, n: int, k: int, systematic: bool = False):
+        if not 1 <= k <= n <= 255:
+            raise ValueError(f"require 1 <= k <= n <= 255, got n={n} k={k}")
+        self.n = n
+        self.k = k
+        self.systematic = systematic
+        generator = gfm.vandermonde(n, k)
+        if systematic:
+            top_inv = gfm.invert(generator[:k])
+            generator = gfm.matmul(generator, top_inv)
+        self._generator = generator
+
+    def __repr__(self) -> str:
+        kind = "systematic" if self.systematic else "non-systematic"
+        return f"ReedSolomonCode(n={self.n}, k={self.k}, {kind})"
+
+    @property
+    def generator_matrix(self) -> np.ndarray:
+        """A read-only view of the n-by-k generator matrix."""
+        view = self._generator.view()
+        view.setflags(write=False)
+        return view
+
+    def shard_size(self, data_length: int) -> int:
+        """Size in bytes of each block for a segment of ``data_length``."""
+        if data_length < 0:
+            raise ValueError("data_length must be non-negative")
+        return max(1, -(-data_length // self.k))
+
+    def encode(self, data: bytes) -> List[bytes]:
+        """Encode ``data`` into ``n`` equally-sized blocks.
+
+        The original length is *not* embedded; callers persist it in
+        metadata (UniDrive stores it in the segment entry) and pass it
+        back to :meth:`decode`.
+        """
+        size = self.shard_size(len(data))
+        padded = np.zeros(size * self.k, dtype=np.uint8)
+        if data:
+            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        shards = padded.reshape(self.k, size)
+        encoded = gfm.matmul(self._generator, shards)
+        return [encoded[i].tobytes() for i in range(self.n)]
+
+    def encode_block(self, data: bytes, index: int) -> bytes:
+        """Produce only block ``index`` (on-demand over-provisioning).
+
+        The paper notes over-provisioned parity blocks may be generated
+        in advance (memory cost) or on demand (latency cost); the
+        schedulers use this on-demand path so a large batch never holds
+        all ``n`` blocks of every segment in memory.
+        """
+        if not 0 <= index < self.n:
+            raise ValueError(f"block index {index} outside [0, {self.n})")
+        size = self.shard_size(len(data))
+        padded = np.zeros(size * self.k, dtype=np.uint8)
+        if data:
+            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        shards = padded.reshape(self.k, size)
+        row = self._generator[index:index + 1]
+        return gfm.matmul(row, shards)[0].tobytes()
+
+    def decode(self, blocks: Mapping[int, bytes], data_length: int) -> bytes:
+        """Reconstruct the original data from any ``k`` blocks.
+
+        Parameters
+        ----------
+        blocks:
+            Mapping from block index (0-based position in the encoded
+            output) to block content.  Extra blocks beyond ``k`` are
+            ignored (the k smallest indices are used).
+        data_length:
+            Length of the original segment, to strip padding.
+        """
+        if data_length < 0:
+            raise ValueError("data_length must be non-negative")
+        if len(blocks) < self.k:
+            raise DecodeError(
+                f"need at least k={self.k} blocks, got {len(blocks)}"
+            )
+        indices = sorted(blocks)[: self.k]
+        for index in indices:
+            if not 0 <= index < self.n:
+                raise DecodeError(f"block index {index} outside [0, {self.n})")
+        size = self.shard_size(data_length)
+        stacked = np.zeros((self.k, size), dtype=np.uint8)
+        for row, index in enumerate(indices):
+            content = blocks[index]
+            if len(content) != size:
+                raise DecodeError(
+                    f"block {index} has size {len(content)}, expected {size}"
+                )
+            stacked[row] = np.frombuffer(content, dtype=np.uint8)
+        submatrix = self._generator[indices]
+        try:
+            decode_matrix = gfm.invert(submatrix)
+        except gfm.SingularMatrixError as exc:  # pragma: no cover
+            raise DecodeError(f"singular decode submatrix: {exc}") from exc
+        data_shards = gfm.matmul(decode_matrix, stacked)
+        flat = data_shards.reshape(-1)[:data_length]
+        return flat.tobytes()
+
+    def reencode_block(self, blocks: Mapping[int, bytes], index: int,
+                       data_length: int) -> bytes:
+        """Regenerate block ``index`` from any k available blocks.
+
+        Used when rebalancing after a cloud is added or removed
+        (paper §6.2 "Adding or Removing CCSs").
+        """
+        data = self.decode(blocks, data_length)
+        return self.encode(data)[index]

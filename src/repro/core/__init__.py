@@ -1,0 +1,83 @@
+"""UniDrive core: control plane, data plane, client, and baselines."""
+
+from .baselines import (
+    NATIVE_OVERHEAD,
+    IntuitiveMultiCloud,
+    MultiCloudBenchmark,
+    NativeClient,
+    TransferOutcome,
+    UniDriveTransfer,
+)
+from .client import SyncError, SyncReport, UniDriveClient
+from .config import UniDriveConfig
+from .deltasync import DeltaLog, should_merge
+from .lock import LockTimeout, QuorumLock
+from .merge import MergeResult, diff_images, merge_images
+from .metadata import (
+    FileEntry,
+    FileSnapshot,
+    SegmentRecord,
+    SyncFolderImage,
+    VersionStamp,
+)
+from .pipeline import BlockPipeline
+from .placement import (
+    fair_share,
+    fair_share_assignment,
+    max_block_count,
+    max_blocks_per_cloud,
+    normal_block_count,
+)
+from .probing import DOWNLOAD, UPLOAD, ThroughputEstimator
+from .scheduler import (
+    DownloadBatchReport,
+    DownloadScheduler,
+    FileDownload,
+    FileDownloadReport,
+    FileUpload,
+    FileUploadReport,
+    UploadBatchReport,
+    UploadScheduler,
+)
+
+__all__ = [
+    "BlockPipeline",
+    "DOWNLOAD",
+    "DeltaLog",
+    "DownloadBatchReport",
+    "DownloadScheduler",
+    "FileDownload",
+    "FileDownloadReport",
+    "FileEntry",
+    "FileSnapshot",
+    "FileUpload",
+    "FileUploadReport",
+    "IntuitiveMultiCloud",
+    "LockTimeout",
+    "MergeResult",
+    "MultiCloudBenchmark",
+    "NATIVE_OVERHEAD",
+    "NativeClient",
+    "QuorumLock",
+    "SegmentRecord",
+    "SyncError",
+    "SyncFolderImage",
+    "SyncReport",
+    "ThroughputEstimator",
+    "TransferOutcome",
+    "UPLOAD",
+    "UniDriveClient",
+    "UniDriveConfig",
+    "UniDriveTransfer",
+    "UploadBatchReport",
+    "UploadScheduler",
+    "VersionStamp",
+    "diff_images",
+    "fair_share",
+    "fair_share_assignment",
+    "max_block_count",
+    "max_blocks_per_cloud",
+    "merge_images",
+    "normal_block_count",
+    "should_merge",
+]

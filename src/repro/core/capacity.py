@@ -1,0 +1,96 @@
+"""Storage-capacity accounting (paper §1).
+
+The paper's introduction argues UniDrive uses existing quotas more
+effectively than replication: with 100 GB on each of three vendors and
+a requirement to tolerate one vendor outage, UniDrive offers 200 GB of
+user-visible space where a replication scheme offers at most 150 GB.
+
+These functions generalize that arithmetic.  UniDrive's steady-state
+footprint (after over-provisioned blocks are reclaimed) stores
+``fair_share = ceil(k / K_r)`` blocks of size ``segment/k`` on *every*
+cloud, so each byte of user data costs ``fair_share / k`` bytes per
+cloud; the binding constraint is the smallest quota.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .placement import fair_share, max_blocks_per_cloud
+
+__all__ = [
+    "unidrive_capacity",
+    "replication_capacity",
+    "storage_expansion",
+    "over_provisioned_expansion",
+]
+
+
+def _validate(quotas: Sequence[int]) -> None:
+    if not quotas:
+        raise ValueError("need at least one quota")
+    if any(q < 0 for q in quotas):
+        raise ValueError(f"quotas must be non-negative: {list(quotas)}")
+
+
+def storage_expansion(k_blocks: int, k_reliability: int,
+                      n_clouds: int) -> float:
+    """Steady-state stored-bytes per user-byte (fair shares only)."""
+    share = fair_share(k_blocks, k_reliability)
+    return share * n_clouds / k_blocks
+
+
+def over_provisioned_expansion(k_blocks: int, k_security: int,
+                               n_clouds: int) -> float:
+    """Worst-case transient expansion while over-provisioned blocks
+    still exist (before the post-sync cleanup reclaims them)."""
+    cap = max_blocks_per_cloud(k_blocks, k_security)
+    return cap * n_clouds / k_blocks
+
+
+def unidrive_capacity(quotas: Sequence[int], k_blocks: int,
+                      k_reliability: int) -> float:
+    """User-visible capacity of a UniDrive deployment.
+
+    Every cloud stores ``fair_share/k`` of each byte, so the smallest
+    quota binds: ``capacity = min(quota) * k / fair_share``.
+
+    >>> unidrive_capacity([100, 100, 100], k_blocks=2, k_reliability=2)
+    200.0
+    """
+    _validate(quotas)
+    share = fair_share(k_blocks, k_reliability)
+    return min(quotas) * k_blocks / share
+
+
+def replication_capacity(quotas: Sequence[int],
+                         tolerate_failures: int) -> float:
+    """Best-case capacity of whole-file replication with the same goal.
+
+    Tolerating ``f`` vendor outages requires ``f + 1`` replicas of every
+    file; with free placement the best achievable capacity is bounded by
+    ``total_quota / (f + 1)`` (and by what fits: replicas of one file
+    must land on distinct clouds).
+
+    >>> replication_capacity([100, 100, 100], tolerate_failures=1)
+    150.0
+    """
+    _validate(quotas)
+    copies = tolerate_failures + 1
+    if copies < 1 or copies > len(quotas):
+        raise ValueError(
+            f"cannot place {copies} replicas on {len(quotas)} clouds"
+        )
+    # C user-bytes are feasible iff C * copies replica-bytes fit with
+    # each byte's replicas on distinct clouds — i.e. iff
+    # ``copies * C <= sum(min(quota_i, C))`` (no cloud holds more than
+    # one replica of a byte).  The feasibility margin is monotone in C,
+    # so bisect.
+    low, high = 0.0, sum(quotas) / copies
+    for _ in range(60):
+        mid = (low + high) / 2
+        if copies * mid <= sum(min(q, mid) for q in quotas):
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,935 @@
+"""The UniDrive client: multi-cloud multi-device file synchronization.
+
+One :class:`UniDriveClient` instance is one device.  It owns
+
+* a local sync folder (any :mod:`repro.fsmodel` filesystem),
+* one :class:`~repro.cloud.CloudAPI` connection per enrolled cloud,
+* the last-synchronized metadata image ``v_o`` (the merge base),
+* a :class:`~repro.core.lock.QuorumLock` for serialized commits.
+
+:meth:`sync` is Algorithm 1 from the paper wrapped around the data
+plane: data blocks always travel *before* metadata commits, commits are
+serialized by the quorum lock, cloud updates are detected through the
+tiny version file, and concurrent edits merge three-way with conflict
+copies retained.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cloud import CloudAPI, CloudError, NotFoundError
+from ..fsmodel import ChangeKind, FolderWatcher
+from ..simkernel import Simulator
+from .config import UniDriveConfig
+from .deltasync import (
+    DeltaLog,
+    op_add_segment,
+    op_delete_file,
+    op_resolve_conflict,
+    op_set_version,
+    op_upsert_file,
+    should_merge,
+)
+from .lock import QuorumLock
+from .merge import diff_images, merge_images, recompute_refcounts
+from .metadata import (
+    FileSnapshot,
+    SegmentRecord,
+    SyncFolderImage,
+    VersionStamp,
+)
+from .pipeline import BlockPipeline
+from .placement import fair_share, rebalance_on_add, rebalance_on_remove
+from .probing import ThroughputEstimator
+from .scheduler import (
+    DownloadScheduler,
+    FileDownload,
+    FileUpload,
+    UploadScheduler,
+)
+from .serialization import (
+    deserialize_image,
+    deserialize_version,
+    serialize_image,
+    serialize_version,
+)
+from .util import gather_safe
+
+__all__ = ["UniDriveClient", "SyncReport", "SyncError"]
+
+
+class SyncError(Exception):
+    """A sync round could not complete (e.g. metadata quorum failed)."""
+
+
+@dataclass
+class SyncReport:
+    """What one :meth:`UniDriveClient.sync` round did."""
+
+    device: str
+    started_at: float
+    finished_at: float = 0.0
+    uploaded_files: List[str] = field(default_factory=list)
+    downloaded_files: List[str] = field(default_factory=list)
+    deleted_files: List[str] = field(default_factory=list)
+    conflicts: List[str] = field(default_factory=list)
+    upload_report: Optional[object] = None
+    download_report: Optional[object] = None
+    committed_version: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def changed_anything(self) -> bool:
+        return bool(
+            self.uploaded_files
+            or self.downloaded_files
+            or self.deleted_files
+            or self.conflicts
+        )
+
+
+class UniDriveClient:
+    """One device running UniDrive against N cloud connections."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: str,
+        filesystem,
+        connections: Sequence[CloudAPI],
+        config: Optional[UniDriveConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        estimator: Optional[ThroughputEstimator] = None,
+    ):
+        self.sim = sim
+        self.device = device
+        self.fs = filesystem
+        self.connections = list(connections)
+        self.config = config or UniDriveConfig()
+        self.config.validate(len(self.connections))
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.estimator = estimator or ThroughputEstimator()
+        self.pipeline = BlockPipeline(self.config, len(self.connections))
+        self.lock = QuorumLock(
+            sim, self.connections, device, self.config, self.rng
+        )
+        # Deliberately not primed: files already in the folder when the
+        # client starts are *pending changes* until the first sync's
+        # bootstrap reconciles them against the cloud image.
+        self.watcher = FolderWatcher(filesystem)
+        #: v_o — the image both this device and the cloud agreed on last.
+        self.image = SyncFolderImage(device)
+        self._known_remote = VersionStamp(0, "")
+        self._pending_changes: Dict[str, ChangeKind] = {}
+        self._pending_fetch: set = set()
+        # Metadata traffic accounting (Table 3 experiments).
+        self.metadata_bytes = 0
+        self.block_bytes = 0
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def _base_path(self) -> str:
+        return posixpath.join(self.config.meta_dir, "base")
+
+    @property
+    def _delta_path(self) -> str:
+        return posixpath.join(self.config.meta_dir, "delta")
+
+    @property
+    def _version_path(self) -> str:
+        return posixpath.join(self.config.meta_dir, "version")
+
+    @property
+    def _heartbeat_path(self) -> str:
+        return posixpath.join(self.config.meta_dir, f"device_{self.device}")
+
+    @property
+    def quorum(self) -> int:
+        return len(self.connections) // 2 + 1
+
+    # -- public API -------------------------------------------------------
+
+    def sync(self):
+        """One synchronization round (Algorithm 1); returns a SyncReport."""
+        report = SyncReport(device=self.device, started_at=self.sim.now)
+        self._collect_local_changes()
+        if self.image.version.counter == 0:
+            yield from self._bootstrap(report)
+        if self._pending_changes:
+            yield from self._commit_local_update(report)
+        else:
+            remote = yield from self._check_cloud_update()
+            if remote is not None:
+                yield from self._apply_cloud_only_update(report)
+        if self._pending_fetch:
+            yield from self._materialize(
+                self.image, sorted(self._pending_fetch), report
+            )
+        if report.changed_anything or report.committed_version is not None:
+            yield from self._publish_heartbeat()
+        report.finished_at = self.sim.now
+        return report
+
+    def run_forever(self):
+        """Periodic sync loop (interval τ plus small jitter).
+
+        Transient sync failures (no write quorum, lock timeout) are
+        retried on the next round — pending changes are preserved.
+        """
+        from .lock import LockTimeout
+
+        while True:
+            try:
+                yield from self.sync()
+            except (SyncError, LockTimeout):
+                if self.lock.held:
+                    yield from self.lock.release()
+            jitter = self.rng.uniform(0, self.config.check_interval / 10)
+            yield self.sim.timeout(self.config.check_interval + jitter)
+
+    # -- first-sync bootstrap ------------------------------------------------
+
+    def _bootstrap(self, report: SyncReport):
+        """Reconcile a never-synced device with existing cloud state.
+
+        Handles fresh installs and reinstalls over a populated folder:
+        the cloud image is adopted as the merge base, local files whose
+        content already matches it stop being "pending changes"
+        (re-chunking proves identity — no upload), files missing locally
+        are fetched, and a divergent local copy is preserved as a
+        conflict file rather than silently overwritten.
+        """
+        remote = yield from self._check_cloud_update()
+        if remote is None:
+            return  # empty cloud: pending local files commit normally
+        cloud_image = yield from self._fetch_metadata()
+        self.image = cloud_image
+        self._known_remote = VersionStamp(
+            cloud_image.version.counter, cloud_image.version.device
+        )
+        to_fetch: List[str] = []
+        for path, entry in sorted(cloud_image.files.items()):
+            if not self.fs.exists(path):
+                to_fetch.append(path)
+                continue
+            local_segments = [
+                segment.segment_id
+                for segment in self.pipeline.segment_file(
+                    self.fs.read_file(path)
+                )
+            ]
+            if local_segments == entry.current.segment_ids:
+                self._pending_changes.pop(path, None)  # already in sync
+            else:
+                copy_path = f"{path}.conflict-{self.device}"
+                self.fs.write_file(
+                    copy_path, self.fs.read_file(path), mtime=self.sim.now
+                )
+                self._pending_changes.pop(path, None)
+                self._pending_changes[copy_path] = ChangeKind.ADD
+                to_fetch.append(path)
+        yield from self._materialize(cloud_image, to_fetch, report)
+
+    # -- local-update path (lines 2-14 of Algorithm 1) -----------------------
+
+    def _collect_local_changes(self) -> None:
+        for change in self.watcher.poll():
+            self._pending_changes[change.path] = change.kind
+
+    def _commit_local_update(self, report: SyncReport):
+        local = self.image.copy()
+        committed_paths = set(self._pending_changes)
+        plan = self._build_local_image(local, report)
+        uploads = plan["uploads"]
+        # Data blocks travel before any metadata becomes visible.
+        if uploads:
+            scheduler = UploadScheduler(
+                self.sim, self.connections, self.pipeline, self.config,
+                estimator=self.estimator,
+            )
+            upload_report = yield from scheduler.run_batch(uploads)
+            report.upload_report = upload_report
+            self.block_bytes += sum(
+                int(f.size) for f in upload_report.files
+            )
+            unavailable = [
+                f.path for f in upload_report.files if f.available_at is None
+            ]
+            if unavailable:
+                raise SyncError(
+                    f"{self.device}: blocks unavailable for {unavailable}"
+                )
+        yield from self.lock.acquire()
+        try:
+            remote = yield from self._check_cloud_update()
+            if remote is not None:
+                cloud_image = yield from self._fetch_metadata()
+                result = merge_images(self.image, local, cloud_image)
+                merged = result.image
+                report.conflicts.extend(result.conflicts)
+                next_counter = max(
+                    local.version.counter, cloud_image.version.counter
+                ) + 1
+                merged.version = VersionStamp(next_counter, self.device)
+                yield from self._publish_base(merged)
+                previous = self.image
+                self.image = merged
+                self._handle_conflict_copies(result.conflicts, merged)
+                yield from self._materialize_diff(previous, merged, report)
+            else:
+                local.version = VersionStamp(
+                    local.version.counter + 1, self.device
+                )
+                # Ops are serialized only now, after uploads filled in
+                # every record's block locations (Cloud-ID callbacks).
+                ops = [op_add_segment(r) for r in plan["new_records"]]
+                ops += [op_upsert_file(snap) for snap in plan["upserts"]]
+                ops += [op_delete_file(p) for p in plan["deletes"]]
+                ops.append(
+                    op_set_version(local.version.counter, self.device)
+                )
+                yield from self._publish_delta(local, ops)
+                self.image = local
+            self._known_remote = VersionStamp(
+                self.image.version.counter, self.image.version.device
+            )
+            report.committed_version = self.image.version.counter
+        finally:
+            yield from self.lock.release()
+        for path in committed_paths:
+            self._pending_changes.pop(path, None)
+        self._collect_garbage()
+
+    def _build_local_image(
+        self, local: SyncFolderImage, report: SyncReport
+    ) -> Dict[str, list]:
+        """Apply ChangedFileList to ``local``; plan block uploads."""
+        uploads: List[FileUpload] = []
+        new_records: List[SegmentRecord] = []
+        upserts: List[FileSnapshot] = []
+        deletes: List[str] = []
+        for path, kind in sorted(self._pending_changes.items()):
+            if kind is ChangeKind.DELETE:
+                if path in local.files:
+                    local.delete_file(path)
+                    deletes.append(path)
+                    report.deleted_files.append(path)
+                continue
+            try:
+                content = self.fs.read_file(path)
+            except FileNotFoundError:
+                continue  # edited then deleted before we synced
+            segments = self.pipeline.segment_file(content)
+            pending_upload = []
+            for segment in segments:
+                existing = local.segments.get(segment.segment_id)
+                if existing is not None and existing.locations:
+                    # Deduplicated: content already lives in the clouds.
+                    continue
+                if existing is None:
+                    record = self.pipeline.make_record(segment)
+                    local.add_segment(record)
+                else:
+                    record = existing
+                pending_upload.append((record, segment.data))
+            snapshot = FileSnapshot(
+                path=path,
+                timestamp=self.sim.now,
+                size=len(content),
+                segment_ids=[s.segment_id for s in segments],
+                device=self.device,
+            )
+            local.upsert_file(snapshot)
+            if pending_upload:
+                uploads.append(FileUpload(path=path, segments=pending_upload))
+                new_records.extend(record for record, _ in pending_upload)
+            upserts.append(snapshot)
+            report.uploaded_files.append(path)
+        return {
+            "uploads": uploads,
+            "new_records": new_records,
+            "upserts": upserts,
+            "deletes": deletes,
+        }
+
+    # -- cloud-update path (lines 15-19 of Algorithm 1) ---------------------
+
+    def _check_cloud_update(self):
+        """Poll version files; returns the newest stamp if it is news."""
+        outcomes = yield from gather_safe(
+            self.sim,
+            [conn.download(self._version_path) for conn in self.connections],
+        )
+        best: Optional[VersionStamp] = None
+        for ok, blob in outcomes:
+            if not ok:
+                continue
+            try:
+                stamp = deserialize_version(blob)
+            except Exception:
+                continue
+            self.metadata_bytes += len(blob)
+            if best is None or stamp.counter > best.counter:
+                best = stamp
+        if best is None:
+            return None
+        # Commit counters strictly increase under the quorum lock, so a
+        # higher counter than our last-synced image is exactly "news".
+        if best.counter > self.image.version.counter:
+            return best
+        return None
+
+    def _apply_cloud_only_update(self, report: SyncReport):
+        cloud_image = yield from self._fetch_metadata()
+        previous = self.image
+        self.image = cloud_image
+        self._known_remote = VersionStamp(
+            cloud_image.version.counter, cloud_image.version.device
+        )
+        yield from self._materialize_diff(previous, cloud_image, report)
+
+    # -- metadata transport -------------------------------------------------
+
+    def _fetch_metadata(self):
+        """Download base + delta from the freshest reachable cloud."""
+        last_error: Optional[Exception] = None
+        for conn in self.connections:
+            try:
+                base_blob = yield from conn.download(self._base_path)
+            except CloudError as exc:
+                last_error = exc
+                continue
+            image = deserialize_image(base_blob, self.config.metadata_key)
+            self.metadata_bytes += len(base_blob)
+            try:
+                delta_blob = yield from conn.download(self._delta_path)
+            except NotFoundError:
+                delta_blob = None
+            except CloudError as exc:
+                last_error = exc
+                continue
+            if delta_blob:
+                self.metadata_bytes += len(delta_blob)
+                delta = DeltaLog.from_bytes(
+                    delta_blob, self.config.metadata_key
+                )
+                delta.apply_to(image)
+            recompute_refcounts(image)
+            return image
+        raise SyncError(f"{self.device}: no cloud served metadata ({last_error})")
+
+    def _publish_base(self, image: SyncFolderImage):
+        """Replicate a fresh base everywhere; clear the delta."""
+        base_blob = serialize_image(image, self.config.metadata_key)
+        empty_delta = DeltaLog().to_bytes(self.config.metadata_key)
+        version_blob = serialize_version(image.version)
+        yield from self._replicate(
+            [
+                (self._base_path, base_blob),
+                (self._delta_path, empty_delta),
+                (self._version_path, version_blob),
+            ]
+        )
+
+    def _publish_delta(self, image: SyncFolderImage, ops: List[dict]):
+        """Append ops to the cloud delta, or fold into a new base at λ."""
+        existing = DeltaLog()
+        base_size = 0
+        for conn in self.connections:
+            try:
+                blob = yield from conn.download(self._delta_path)
+                existing = DeltaLog.from_bytes(blob, self.config.metadata_key)
+                self.metadata_bytes += len(blob)
+                break
+            except CloudError:
+                continue
+        for conn in self.connections:
+            try:
+                entries = yield from conn.list_folder(self.config.meta_dir)
+                for entry in entries:
+                    if entry.path == self._base_path:
+                        base_size = entry.size
+                break
+            except CloudError:
+                continue
+        existing.extend(ops)
+        delta_blob = existing.to_bytes(self.config.metadata_key)
+        version_blob = serialize_version(image.version)
+        if base_size == 0 or should_merge(
+            base_size, len(delta_blob), self.config
+        ):
+            yield from self._publish_base(image)
+            return
+        yield from self._replicate(
+            [
+                (self._delta_path, delta_blob),
+                (self._version_path, version_blob),
+            ]
+        )
+
+    def _replicate(self, payloads: List[Tuple[str, bytes]]):
+        """Upload each (path, blob) to every cloud; need a write quorum.
+
+        Individual requests retry through transient failures — metadata
+        files are small, so retries are cheap and the write quorum is
+        the real safety net.
+        """
+
+        def upload_all(conn):
+            for path, blob in payloads:
+                failure: Optional[Exception] = None
+                for _attempt in range(self.config.max_retries):
+                    try:
+                        yield from conn.upload(path, blob)
+                        failure = None
+                        break
+                    except CloudError as exc:
+                        failure = exc
+                if failure is not None:
+                    raise failure
+            return True
+
+        outcomes = yield from gather_safe(
+            self.sim, [upload_all(conn) for conn in self.connections]
+        )
+        successes = sum(1 for ok, _ in outcomes if ok)
+        if successes < self.quorum:
+            raise SyncError(
+                f"{self.device}: metadata write reached only "
+                f"{successes}/{len(self.connections)} clouds"
+            )
+        self.metadata_bytes += successes * sum(len(b) for _p, b in payloads)
+
+    # -- materializing remote state locally ---------------------------------
+
+    def _materialize_diff(self, previous: SyncFolderImage,
+                          current: SyncFolderImage, report: SyncReport):
+        changes = diff_images(previous, current)
+        to_fetch: List[str] = []
+        for path, (kind, snapshot) in sorted(changes.items()):
+            if kind == "delete":
+                if self.fs.exists(path):
+                    self.fs.delete_file(path)
+                    report.deleted_files.append(path)
+                continue
+            if snapshot.device == self.device:
+                continue  # our own commit; content already local
+            to_fetch.append(path)
+        yield from self._materialize(current, to_fetch, report)
+
+    def _materialize(self, image: SyncFolderImage, paths: List[str],
+                     report: SyncReport):
+        wants = []
+        for path in paths:
+            entry = image.files.get(path)
+            if entry is None:
+                self._pending_fetch.discard(path)
+                continue
+            records = [
+                image.segments[sid]
+                for sid in entry.current.segment_ids
+                if sid in image.segments
+            ]
+            if len(records) != len(entry.current.segment_ids):
+                continue
+            wants.append(FileDownload(path=path, segments=records))
+        if not wants:
+            return
+        scheduler = DownloadScheduler(
+            self.sim, self.connections, self.pipeline, self.config,
+            estimator=self.estimator,
+        )
+        batch = yield from scheduler.run_batch(wants)
+        report.download_report = batch
+        for file_report in batch.files:
+            if file_report.content is None:
+                # Not enough clouds right now; retry on a later sync.
+                self._pending_fetch.add(file_report.path)
+                continue
+            self._pending_fetch.discard(file_report.path)
+            self.fs.write_file(
+                file_report.path, file_report.content, mtime=self.sim.now
+            )
+            self.block_bytes += len(file_report.content)
+            report.downloaded_files.append(file_report.path)
+        # Swallow the watcher events our own writes just generated.
+        self._absorb_own_writes()
+
+    def _handle_conflict_copies(self, conflicts: List[str],
+                                image: SyncFolderImage) -> None:
+        """Keep the user's losing edit next to the winning cloud copy.
+
+        The copy paths become pending changes whether the copy file is
+        new (first conflict on this path) or overwrites an earlier copy
+        (repeat conflict) — both must sync to other devices.
+        """
+        copies = set()
+        for path in conflicts:
+            if not self.fs.exists(path):
+                continue
+            local_content = self.fs.read_file(path)
+            copy_path = f"{path}.conflict-{self.device}"
+            self.fs.write_file(copy_path, local_content, mtime=self.sim.now)
+            copies.add(copy_path)
+        for change in self.watcher.poll():
+            if change.path in copies:
+                self._pending_changes[change.path] = change.kind
+
+    def _absorb_own_writes(self, keep_new_files: bool = False) -> None:
+        for change in self.watcher.poll():
+            if keep_new_files and change.kind is ChangeKind.ADD:
+                self._pending_changes[change.path] = change.kind
+
+    # -- device heartbeats & fully-synced GC ---------------------------------
+
+    def _publish_heartbeat(self):
+        """Advertise the metadata version this device has applied.
+
+        Heartbeat files let any device tell when a version has reached
+        *every* device — the paper's trigger for reclaiming
+        over-provisioned blocks (§6.2).  Best effort: a stale heartbeat
+        only delays garbage collection, never correctness.
+        """
+        import json as _json
+
+        blob = _json.dumps(
+            {"device": self.device, "applied": self.image.version.counter}
+        ).encode()
+        yield from gather_safe(
+            self.sim,
+            [conn.upload(self._heartbeat_path, blob) for conn in self.connections],
+        )
+
+    def fleet_applied_versions(self):
+        """Read every device's heartbeat; returns {device: version}."""
+        import json as _json
+
+        listings = yield from gather_safe(
+            self.sim,
+            [conn.list_folder(self.config.meta_dir) for conn in self.connections],
+        )
+        names = set()
+        for ok, entries in listings:
+            if not ok:
+                continue
+            for entry in entries:
+                if entry.name.startswith("device_"):
+                    names.add(entry.name)
+        versions = {}
+        for name in sorted(names):
+            for conn in self.connections:
+                try:
+                    blob = yield from conn.download(
+                        posixpath.join(self.config.meta_dir, name)
+                    )
+                except CloudError:
+                    continue
+                try:
+                    payload = _json.loads(blob.decode())
+                    versions[payload["device"]] = payload["applied"]
+                except Exception:
+                    pass
+                break
+        return versions
+
+    def gc_if_fully_synced(self):
+        """Reclaim over-provisioned blocks once every known device has
+        applied the current metadata version (paper §6.2).
+
+        Returns True when the cleanup ran, False when some device still
+        lags (or no heartbeats are visible yet).
+        """
+        versions = yield from self.fleet_applied_versions()
+        if not versions:
+            return False
+        current = self.image.version.counter
+        if any(applied < current for applied in versions.values()):
+            return False
+        yield from self.gc_over_provisioned()
+        return True
+
+    # -- conflict resolution ----------------------------------------------
+
+    def conflicted_paths(self) -> List[str]:
+        """Paths whose entries retain unresolved conflict snapshots."""
+        return sorted(
+            path for path, entry in self.image.files.items()
+            if entry.conflicts
+        )
+
+    def resolve_conflict(self, path: str, keep: str = "cloud"):
+        """Resolve a retained conflict and commit the decision.
+
+        ``keep="cloud"`` drops the retained local snapshot (the winning
+        cloud version stays); ``keep="local"`` promotes the retained
+        snapshot back to current — its content is fetched and written to
+        the local path before the losing version's data is released.
+        """
+        if keep not in ("cloud", "local"):
+            raise ValueError(f"keep must be 'cloud' or 'local', not {keep!r}")
+        entry = self.image.files.get(path)
+        if entry is None or not entry.conflicts:
+            raise KeyError(f"no unresolved conflict at {path}")
+        yield from self.lock.acquire()
+        try:
+            remote = yield from self._check_cloud_update()
+            image = (
+                (yield from self._fetch_metadata())
+                if remote is not None else self.image.copy()
+            )
+            entry = image.files.get(path)
+            if entry is None or not entry.conflicts:
+                # Someone else resolved it meanwhile; nothing to do.
+                self.image = image
+                return
+            keep_index = len(entry.conflicts) - 1 if keep == "local" else None
+            if keep == "local":
+                # Materialize the promoted content before committing.
+                snapshot = entry.conflicts[keep_index]
+                records = [
+                    image.segments[sid] for sid in snapshot.segment_ids
+                    if sid in image.segments
+                ]
+                scheduler = DownloadScheduler(
+                    self.sim, self.connections, self.pipeline, self.config,
+                    estimator=self.estimator,
+                )
+                batch = yield from scheduler.run_batch(
+                    [FileDownload(path=path, segments=records)]
+                )
+                content = batch.report_for(path).content
+                if content is None:
+                    raise SyncError(
+                        f"{self.device}: cannot fetch conflict copy of {path}"
+                    )
+                self.fs.write_file(path, content, mtime=self.sim.now)
+                self._absorb_own_writes()
+            image.resolve_conflict(path, keep_index)
+            image.version = VersionStamp(
+                image.version.counter + 1, self.device
+            )
+            ops = [
+                op_resolve_conflict(path, keep_index),
+                op_set_version(image.version.counter, self.device),
+            ]
+            yield from self._publish_delta(image, ops)
+            self.image = image
+        finally:
+            yield from self.lock.release()
+        self._collect_garbage()
+
+    # -- garbage collection --------------------------------------------------
+
+    def _collect_garbage(self) -> None:
+        """Delete cloud blocks of unreferenced segments (best effort)."""
+        garbage = self.image.garbage_segments()
+        if not garbage:
+            return
+        deletions = []
+        for record in garbage:
+            for index, cloud_id in record.locations.items():
+                conn = self._connection(cloud_id)
+                if conn is not None:
+                    deletions.append(
+                        conn.delete(self.pipeline.block_path(record, index))
+                    )
+            self.image.drop_segment(record.segment_id)
+        if deletions:
+            self.sim.process(gather_safe(self.sim, deletions))
+
+    def gc_over_provisioned(self):
+        """Reclaim over-provisioned blocks (paper §6.2).
+
+        For every referenced segment, keep each cloud's fair share and
+        delete the rest, updating the metadata image locally.  Run this
+        once a file is known to be synced to all devices.
+        """
+        share = fair_share(self.config.k_blocks, self.config.k_reliability)
+        deletions = []
+        for record in self.image.segments.values():
+            if record.refcount <= 0:
+                continue
+            for cloud_id in record.clouds_holding():
+                extra = record.blocks_on(cloud_id)[share:]
+                for index in extra:
+                    conn = self._connection(cloud_id)
+                    if conn is not None:
+                        deletions.append(
+                            conn.delete(self.pipeline.block_path(record, index))
+                        )
+                    del record.locations[index]
+        if deletions:
+            yield from gather_safe(self.sim, deletions)
+
+    # -- cloud membership -----------------------------------------------------
+
+    def remove_cloud(self, cloud_id: str):
+        """Drop a CCS: redistribute its fair share, then forget it."""
+        remaining = [
+            c for c in self.connections if c.cloud_id != cloud_id
+        ]
+        if not remaining:
+            raise ValueError("cannot remove the last cloud")
+        self.config.validate(len(remaining))
+        # Only the fair share needs redistributing (paper §6.2); trim
+        # over-provisioned extras first so the survivors have cap room.
+        yield from self.gc_over_provisioned()
+        moves = []  # (record, index, target_cloud)
+        for record in self.image.segments.values():
+            new_locations = rebalance_on_remove(
+                record.locations,
+                cloud_id,
+                [c.cloud_id for c in remaining],
+                record.k,
+                self.config.k_reliability,
+                self.config.k_security,
+            )
+            for index, target in new_locations.items():
+                if record.locations.get(index) != target:
+                    moves.append((record, index, target))
+            record.locations = new_locations
+        for record, index, target in moves:
+            blocks = yield from self._fetch_blocks(record, record.k, remaining)
+            content = self.pipeline.decode_segment(record, blocks)
+            block = self.pipeline.code.encode_block(content, index)
+            conn = self._connection(target)
+            yield from conn.upload(self.pipeline.block_path(record, index), block)
+        # Leave nothing behind on the departed provider (best effort):
+        # its blocks, metadata replica and lock directory all go.
+        departed = self._connection(cloud_id)
+        if departed is not None:
+            yield from gather_safe(
+                self.sim,
+                [
+                    departed.delete(self.config.blocks_dir),
+                    departed.delete(self.config.meta_dir),
+                    departed.delete(self.config.lock_dir),
+                ],
+            )
+        self.connections = remaining
+        self.lock = QuorumLock(
+            self.sim, self.connections, self.device, self.config, self.rng
+        )
+        yield from self._commit_rebalanced_image()
+
+    def add_cloud(self, connection: CloudAPI):
+        """Enroll a new CCS: it adopts its fair share from loaded clouds."""
+        all_connections = self.connections + [connection]
+        self.config.validate(len(all_connections))
+        for record in self.image.segments.values():
+            old_locations = dict(record.locations)
+            new_locations = rebalance_on_add(
+                record.locations,
+                connection.cloud_id,
+                [c.cloud_id for c in all_connections],
+                record.k,
+                self.config.k_reliability,
+            )
+            adopted = [
+                idx for idx, cloud in new_locations.items()
+                if cloud == connection.cloud_id
+                and old_locations.get(idx) != connection.cloud_id
+            ]
+            if adopted:
+                blocks = yield from self._fetch_blocks(
+                    record, record.k, self.connections
+                )
+                content = self.pipeline.decode_segment(record, blocks)
+                for index in adopted:
+                    block = self.pipeline.code.encode_block(content, index)
+                    yield from connection.upload(
+                        self.pipeline.block_path(record, index), block
+                    )
+                    donor = old_locations.get(index)
+                    donor_conn = self._connection(donor)
+                    if donor_conn is not None:
+                        yield from donor_conn.delete(
+                            self.pipeline.block_path(record, index)
+                        )
+            record.locations = new_locations
+        self.connections = all_connections
+        self.lock = QuorumLock(
+            self.sim, self.connections, self.device, self.config, self.rng
+        )
+        yield from self._commit_rebalanced_image()
+
+    def _commit_rebalanced_image(self):
+        """Publish the rebalanced block map so other devices see it.
+
+        Run add/remove on a quiescent folder: the rebalance commits the
+        *current* image wholesale rather than merging concurrent edits.
+        """
+        yield from self.lock.acquire()
+        try:
+            self.image.version = VersionStamp(
+                self.image.version.counter + 1, self.device
+            )
+            yield from self._publish_base(self.image)
+            self._known_remote = VersionStamp(
+                self.image.version.counter, self.device
+            )
+        finally:
+            yield from self.lock.release()
+
+    def _fetch_blocks(self, record: SegmentRecord, count: int,
+                      connections: Sequence[CloudAPI]):
+        """Fetch any ``count`` blocks of a segment from given clouds."""
+        by_id = {c.cloud_id: c for c in connections}
+        blocks: Dict[int, bytes] = {}
+        for index, cloud_id in sorted(record.locations.items()):
+            if len(blocks) >= count:
+                break
+            conn = by_id.get(cloud_id)
+            if conn is None:
+                continue
+            try:
+                blocks[index] = yield from conn.download(
+                    self.pipeline.block_path(record, index)
+                )
+            except CloudError:
+                continue
+        if len(blocks) < count:
+            raise SyncError(
+                f"{self.device}: only {len(blocks)}/{count} blocks of "
+                f"{record.segment_id} reachable"
+            )
+        return blocks
+
+    def _connection(self, cloud_id: str) -> Optional[CloudAPI]:
+        for conn in self.connections:
+            if conn.cloud_id == cloud_id:
+                return conn
+        return None
+
+    # -- metrics ---------------------------------------------------------
+
+    def traffic_totals(self) -> Dict[str, int]:
+        """Aggregate client traffic for the overhead experiments."""
+        totals = {
+            "payload_up": 0,
+            "payload_down": 0,
+            "overhead": 0,
+            "requests": 0,
+            "failed_requests": 0,
+        }
+        for conn in self.connections:
+            meter = getattr(conn, "traffic", None)
+            if meter is None:
+                continue
+            totals["payload_up"] += meter.payload_up
+            totals["payload_down"] += meter.payload_down
+            totals["overhead"] += meter.overhead
+            totals["requests"] += meter.requests
+            totals["failed_requests"] += meter.failed_requests
+        totals["metadata_bytes"] = self.metadata_bytes
+        totals["block_bytes"] = self.block_bytes
+        return totals

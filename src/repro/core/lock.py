@@ -1,0 +1,176 @@
+"""Quorum-based distributed mutual exclusion over cloud files (paper §5.2).
+
+The lock is built from nothing but the five RESTful calls:
+
+* to acquire, a device uploads an **empty lock file** named after itself
+  into a dedicated lock directory on every cloud, then lists each lock
+  directory; it holds a cloud's lock iff its own file is the only
+  (non-stale) lock file there, and holds *the* lock iff it locks a
+  majority (quorum) of clouds;
+* contention is resolved by withdrawing (deleting one's lock files
+  everywhere) and retrying after a random backoff;
+* crash tolerance needs no synchronized clocks: a holder refreshes its
+  lock files periodically (re-upload → new server mtime); any client
+  that observes the *same* (name, mtime) pair for longer than ΔT deems
+  it obsolete and deletes it — **lock breaking**.
+
+Correctness rests only on read-after-write consistency of each cloud,
+which every CCS provides.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..cloud import CloudAPI
+from ..simkernel import Interrupt, Simulator
+from .config import UniDriveConfig
+from .util import gather_safe
+
+__all__ = ["QuorumLock", "LockTimeout"]
+
+
+class LockTimeout(Exception):
+    """Raised when the quorum could not be acquired within the budget."""
+
+
+class QuorumLock:
+    """One device's handle on the multi-cloud metadata lock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        connections: Sequence[CloudAPI],
+        device: str,
+        config: UniDriveConfig,
+        rng: np.random.Generator,
+    ):
+        if not connections:
+            raise ValueError("need at least one cloud connection")
+        self.sim = sim
+        self.connections = list(connections)
+        self.device = device
+        self.config = config
+        self._rng = rng
+        self.held = False
+        self._refresher = None
+        # (cloud_id, file name, server mtime) -> local time first observed.
+        self._first_seen: Dict[Tuple[str, str, float], float] = {}
+
+    @property
+    def lock_file_name(self) -> str:
+        return f"lock_{self.device}"
+
+    @property
+    def lock_path(self) -> str:
+        return posixpath.join(self.config.lock_dir, self.lock_file_name)
+
+    @property
+    def quorum(self) -> int:
+        return len(self.connections) // 2 + 1
+
+    # -- acquisition -------------------------------------------------------
+
+    def acquire(self):
+        """Acquire the quorum lock, retrying with random backoff.
+
+        Raises :class:`LockTimeout` once ``lock_acquire_timeout`` virtual
+        seconds elapse without reaching a quorum.  The budget is a time
+        window (not an attempt count) so that a contender outlives both a
+        long-held lock and the ΔT needed to break a crashed holder's.
+        """
+        if self.held:
+            raise RuntimeError(f"{self.device} already holds the lock")
+        deadline = self.sim.now + self.config.lock_acquire_timeout
+        attempt = 0
+        while True:
+            locked = yield from self._try_once()
+            if locked >= self.quorum:
+                self.held = True
+                self._refresher = self.sim.process(self._refresh_loop())
+                return
+            yield from self._withdraw()
+            if self.sim.now >= deadline:
+                raise LockTimeout(
+                    f"{self.device}: no quorum within "
+                    f"{self.config.lock_acquire_timeout:.0f}s"
+                )
+            attempt += 1
+            backoff = self._rng.uniform(
+                0.2, self.config.lock_backoff_max * (1 + attempt / 4)
+            )
+            yield self.sim.timeout(backoff)
+
+    def release(self):
+        """Release by deleting our lock files everywhere (best effort)."""
+        if self._refresher is not None and self._refresher.is_alive:
+            self._refresher.interrupt("released")
+        self._refresher = None
+        self.held = False
+        yield from self._withdraw()
+
+    # -- internals -------------------------------------------------------
+
+    def _try_once(self):
+        """One acquisition round; returns the number of clouds locked."""
+        yield from gather_safe(
+            self.sim,
+            [conn.upload(self.lock_path, b"") for conn in self.connections],
+        )
+        listings = yield from gather_safe(
+            self.sim,
+            [
+                conn.list_folder(self.config.lock_dir)
+                for conn in self.connections
+            ],
+        )
+        locked = 0
+        breakers = []
+        for conn, (ok, entries) in zip(self.connections, listings):
+            if not ok:
+                continue
+            mine = False
+            contenders = 0
+            for entry in entries:
+                if entry.is_folder:
+                    continue
+                if entry.name == self.lock_file_name:
+                    mine = True
+                    continue
+                key = (conn.cloud_id, entry.name, entry.mtime)
+                first = self._first_seen.setdefault(key, self.sim.now)
+                if self.sim.now - first > self.config.lock_stale_seconds:
+                    # Obsolete lock from a crashed device: break it.
+                    breakers.append(conn.delete(entry.path))
+                else:
+                    contenders += 1
+            if mine and contenders == 0:
+                locked += 1
+        if breakers:
+            yield from gather_safe(self.sim, breakers)
+        return locked
+
+    def _withdraw(self):
+        yield from gather_safe(
+            self.sim,
+            [conn.delete(self.lock_path) for conn in self.connections],
+        )
+
+    def _refresh_loop(self):
+        """Keep our lock files fresh so peers don't break them."""
+        period = self.config.lock_stale_seconds / 3.0
+        try:
+            while True:
+                yield self.sim.timeout(period)
+                yield from gather_safe(
+                    self.sim,
+                    [
+                        conn.upload(self.lock_path, b"")
+                        for conn in self.connections
+                    ],
+                )
+        except Interrupt:
+            return

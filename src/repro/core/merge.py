@@ -1,0 +1,134 @@
+"""Three-way metadata merge with conflict retention (paper §5.2).
+
+When a device holds local updates and discovers cloud updates committed
+by another device, it reconciles them SVN/GIT-style:
+
+* ``delta_local  = diff(v_o, v_l)`` and ``delta_cloud = diff(v_o, v_c)``
+  are computed by tree comparison against the common ancestor ``v_o``;
+* paths touched by only one side merge automatically;
+* paths touched by both sides with different outcomes are **conflicts**:
+  the cloud version stays current, the local snapshot is *retained* in
+  the entry's conflict list (its content data is never discarded), and
+  the caller surfaces it to the user;
+* edit-vs-delete resolves in favour of the edit (no silent data loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .metadata import FileSnapshot, SyncFolderImage
+
+__all__ = ["ChangeType", "diff_images", "merge_images", "recompute_refcounts",
+           "MergeResult"]
+
+
+class ChangeType:
+    UPSERT = "upsert"
+    DELETE = "delete"
+
+
+def diff_images(
+    old: SyncFolderImage, new: SyncFolderImage
+) -> Dict[str, Tuple[str, Optional[FileSnapshot]]]:
+    """Per-path changes from ``old`` to ``new`` (tree comparison).
+
+    Returns ``{path: (ChangeType, snapshot-or-None)}``; unchanged paths
+    (identical signatures) are omitted.
+    """
+    changes: Dict[str, Tuple[str, Optional[FileSnapshot]]] = {}
+    for path, entry in new.files.items():
+        old_entry = old.files.get(path)
+        if old_entry is None or (
+            old_entry.current.signature() != entry.current.signature()
+        ):
+            changes[path] = (ChangeType.UPSERT, entry.current)
+    for path in old.files:
+        if path not in new.files:
+            changes[path] = (ChangeType.DELETE, None)
+    return changes
+
+
+@dataclass
+class MergeResult:
+    """Outcome of a three-way merge."""
+
+    image: SyncFolderImage
+    conflicts: List[str]  # paths where both sides changed differently
+    applied_local: List[str]  # local changes that made it into the merge
+
+
+def merge_images(
+    base: SyncFolderImage,
+    local: SyncFolderImage,
+    cloud: SyncFolderImage,
+) -> MergeResult:
+    """Merge concurrent local and cloud updates over a common base."""
+    delta_local = diff_images(base, local)
+    delta_cloud = diff_images(base, cloud)
+    merged = cloud.copy()
+    conflicts: List[str] = []
+    applied: List[str] = []
+
+    # Segment pool union first, so upserts can reference local segments.
+    for segment_id, record in local.segments.items():
+        if segment_id in merged.segments:
+            merged.segments[segment_id].locations.update(record.locations)
+        else:
+            merged.add_segment(record.__class__.from_dict(record.to_dict()))
+
+    for path, (kind, snapshot) in delta_local.items():
+        cloud_change = delta_cloud.get(path)
+        if cloud_change is None:
+            # Only the local side touched this path.
+            if kind == ChangeType.UPSERT:
+                merged.upsert_file(snapshot)
+            else:
+                merged.delete_file(path)
+            applied.append(path)
+            continue
+        cloud_kind, cloud_snapshot = cloud_change
+        if kind == cloud_kind == ChangeType.DELETE:
+            continue  # both deleted: agreement
+        if (
+            kind == cloud_kind == ChangeType.UPSERT
+            and snapshot.signature() == cloud_snapshot.signature()
+        ):
+            continue  # coincident identical update: agreement
+        if kind == ChangeType.UPSERT and cloud_kind == ChangeType.DELETE:
+            # Edit-vs-delete: the edit wins (resurrect the file).
+            merged.upsert_file(snapshot)
+            applied.append(path)
+            continue
+        if kind == ChangeType.DELETE and cloud_kind == ChangeType.UPSERT:
+            # Delete-vs-edit: the cloud edit stays; nothing to retain.
+            conflicts.append(path)
+            continue
+        # Divergent edits: cloud stays current, local retained.
+        merged.add_conflict(path, snapshot)
+        conflicts.append(path)
+
+    recompute_refcounts(merged)
+    return MergeResult(image=merged, conflicts=sorted(conflicts),
+                       applied_local=sorted(applied))
+
+
+def recompute_refcounts(image: SyncFolderImage) -> None:
+    """Rebuild the segment pool's reference counts from file entries.
+
+    Run after a merge: incremental counting across three images is
+    error-prone, whereas the file entries are the single source of truth.
+    Unreferenced segments are kept (refcount 0) for the garbage collector
+    to reap along with their cloud blocks.
+    """
+    for record in image.segments.values():
+        record.refcount = 0
+    for entry in image.files.values():
+        for segment_id in entry.current.segment_ids:
+            if segment_id in image.segments:
+                image.segments[segment_id].refcount += 1
+        for conflict in entry.conflicts:
+            for segment_id in conflict.segment_ids:
+                if segment_id in image.segments:
+                    image.segments[segment_id].refcount += 1

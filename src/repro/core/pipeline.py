@@ -1,0 +1,72 @@
+"""File ⇄ segments ⇄ erasure-coded blocks (paper §6.1).
+
+Upload direction: a file is content-defined-chunked into segments; each
+segment is encoded with a non-systematic (n, k) Reed-Solomon code where
+``n = max_blocks_per_cloud(k, K_s) * N`` — enough distinct blocks to
+feed over-provisioning without ever violating the security cap.
+
+Download direction: any k blocks of each segment reconstruct it; the
+segments concatenate (in snapshot order) back into the file.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Dict, List
+
+from ..chunking import Segment, Segmenter
+from ..codec import ReedSolomonCode
+from .config import UniDriveConfig
+from .metadata import SegmentRecord
+from .placement import max_block_count
+
+__all__ = ["BlockPipeline"]
+
+
+class BlockPipeline:
+    """Stateless transform between file bytes and cloud block files."""
+
+    def __init__(self, config: UniDriveConfig, n_clouds: int):
+        config.validate(n_clouds)
+        self.config = config
+        self.n_clouds = n_clouds
+        self.segmenter = Segmenter(theta=config.theta)
+        self.n = max_block_count(config.k_blocks, config.k_security, n_clouds)
+        self.k = config.k_blocks
+        self.code = ReedSolomonCode(self.n, self.k, systematic=False)
+
+    # -- encode ------------------------------------------------------------
+
+    def segment_file(self, content: bytes) -> List[Segment]:
+        """Content-defined segmentation with stable IDs (dedup keys)."""
+        return self.segmenter.split(content)
+
+    def make_record(self, segment: Segment) -> SegmentRecord:
+        """Metadata record for a (new) segment; locations start empty."""
+        return SegmentRecord(
+            segment_id=segment.segment_id,
+            size=segment.size,
+            n=self.n,
+            k=self.k,
+        )
+
+    def encode_segment(self, segment: Segment) -> List[bytes]:
+        """All ``n`` parity blocks of a segment (immutable once created)."""
+        return self.code.encode(segment.data)
+
+    def block_path(self, record: SegmentRecord, index: int) -> str:
+        """Cloud-side path of one block file."""
+        return posixpath.join(
+            self.config.blocks_dir, record.block_name(index)
+        )
+
+    # -- decode ------------------------------------------------------------
+
+    def decode_segment(self, record: SegmentRecord,
+                       blocks: Dict[int, bytes]) -> bytes:
+        """Reconstruct one segment from any k of its blocks."""
+        return self.code.decode(blocks, record.size)
+
+    def assemble_file(self, segment_contents: List[bytes]) -> bytes:
+        """Concatenate decoded segments in snapshot order."""
+        return b"".join(segment_contents)

@@ -1,0 +1,148 @@
+"""Block placement arithmetic (paper §6.1).
+
+For a segment of ``k`` data blocks striped over ``N`` clouds with
+reliability parameter ``K_r`` and security parameter ``K_s``:
+
+* **fair share** — every cloud must hold at least ``ceil(k / K_r)``
+  blocks, so that any ``K_r`` accessible clouds can supply ``k`` blocks;
+* **security cap** — no cloud may hold more than
+  ``ceil(k / (K_s - 1)) - 1`` blocks (or ``k`` when ``K_s == 1``), so no
+  coalition of ``K_s - 1`` clouds accumulates ``k`` blocks;
+* the erasure code therefore needs at most ``cap * N`` distinct blocks,
+  of which ``fair_share * N`` are *normal* parity blocks scheduled
+  deterministically and the rest are *over-provisioned* parity blocks
+  assigned on the fly to fast clouds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "fair_share",
+    "max_blocks_per_cloud",
+    "normal_block_count",
+    "max_block_count",
+    "fair_share_assignment",
+    "rebalance_on_remove",
+    "rebalance_on_add",
+]
+
+
+def fair_share(k: int, k_reliability: int) -> int:
+    """Minimum blocks per cloud for the reliability requirement."""
+    if k < 1 or k_reliability < 1:
+        raise ValueError(f"k and K_r must be >= 1, got k={k} K_r={k_reliability}")
+    return math.ceil(k / k_reliability)
+
+
+def max_blocks_per_cloud(k: int, k_security: int) -> int:
+    """Maximum blocks per cloud allowed by the security requirement."""
+    if k < 1 or k_security < 1:
+        raise ValueError(f"k and K_s must be >= 1, got k={k} K_s={k_security}")
+    if k_security == 1:
+        return k
+    return math.ceil(k / (k_security - 1)) - 1
+
+
+def normal_block_count(k: int, k_reliability: int, n_clouds: int) -> int:
+    """Blocks scheduled deterministically: ``fair_share * N``."""
+    return fair_share(k, k_reliability) * n_clouds
+
+
+def max_block_count(k: int, k_security: int, n_clouds: int) -> int:
+    """Total distinct blocks the code must be able to produce."""
+    return max_blocks_per_cloud(k, k_security) * n_clouds
+
+
+def fair_share_assignment(
+    cloud_ids: Sequence[str], k: int, k_reliability: int
+) -> Dict[str, List[int]]:
+    """Deterministic even partition of normal parity blocks to clouds.
+
+    Cloud ``i`` receives block indices
+    ``[i * share, (i + 1) * share)`` — the "Basic Upload Scheduling" of
+    §6.2.  Deterministic so every device derives the same layout.
+    """
+    share = fair_share(k, k_reliability)
+    return {
+        cloud_id: list(range(i * share, (i + 1) * share))
+        for i, cloud_id in enumerate(cloud_ids)
+    }
+
+
+def rebalance_on_remove(
+    locations: Dict[int, str],
+    removed_cloud: str,
+    remaining_clouds: Sequence[str],
+    k: int,
+    k_reliability: int,
+    k_security: int,
+) -> Dict[int, str]:
+    """New locations after dropping a cloud (paper §6.2, remove CCS).
+
+    The removed cloud's blocks are redistributed to the remaining clouds
+    with the fewest blocks, never exceeding the (recomputed) security
+    cap.  Raises ValueError when the remaining clouds cannot legally
+    absorb the fair-share requirement.
+    """
+    if not remaining_clouds:
+        raise ValueError("cannot remove the last cloud")
+    cap = max_blocks_per_cloud(k, k_security)
+    new_locations = {
+        idx: cloud for idx, cloud in locations.items() if cloud != removed_cloud
+    }
+    counts = {cloud: 0 for cloud in remaining_clouds}
+    for cloud in new_locations.values():
+        if cloud in counts:
+            counts[cloud] += 1
+    moved = [idx for idx, cloud in locations.items() if cloud == removed_cloud]
+    for idx in sorted(moved):
+        target = min(
+            (c for c in remaining_clouds if counts[c] < cap),
+            key=lambda c: (counts[c], remaining_clouds.index(c)),
+            default=None,
+        )
+        if target is None:
+            raise ValueError(
+                "security cap prevents redistributing all blocks; "
+                "add a cloud or relax K_s"
+            )
+        new_locations[idx] = target
+        counts[target] += 1
+    return new_locations
+
+
+def rebalance_on_add(
+    locations: Dict[int, str],
+    new_cloud: str,
+    all_clouds: Sequence[str],
+    k: int,
+    k_reliability: int,
+) -> Dict[int, str]:
+    """New locations after adding a cloud (paper §6.2, add CCS).
+
+    The new cloud takes its fair share by adopting block indices from
+    the most-loaded clouds; donors simply delete those blocks (the new
+    cloud's copies are re-encoded from any k available blocks).
+    """
+    share = fair_share(k, k_reliability)
+    counts: Dict[str, int] = {}
+    for cloud in locations.values():
+        counts[cloud] = counts.get(cloud, 0) + 1
+    new_locations = dict(locations)
+    for _ in range(share):
+        donor = max(
+            (c for c in counts if counts.get(c, 0) > 0),
+            key=lambda c: counts[c],
+            default=None,
+        )
+        if donor is None:
+            break
+        victim_idx = max(
+            idx for idx, cloud in new_locations.items() if cloud == donor
+        )
+        new_locations[victim_idx] = new_cloud
+        counts[donor] -= 1
+    return new_locations

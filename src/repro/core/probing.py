@@ -1,0 +1,71 @@
+"""In-channel bandwidth probing (paper §6.2).
+
+UniDrive never probes explicitly: every completed block transfer *is*
+the probe.  The estimator keeps an exponentially-weighted moving average
+of **per-connection** throughput per (cloud, direction) — per-connection
+rather than aggregate because scheduling hands one block to one
+connection, and clouds differ in how many concurrent connections they
+sustain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ThroughputEstimator", "UPLOAD", "DOWNLOAD"]
+
+UPLOAD = "up"
+DOWNLOAD = "down"
+
+
+class ThroughputEstimator:
+    """EWMA per-connection throughput tracker."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._estimates: Dict[Tuple[str, str], float] = {}
+        self._samples: Dict[Tuple[str, str], int] = {}
+
+    def record(self, cloud_id: str, direction: str, nbytes: float,
+               duration: float) -> None:
+        """Feed one completed transfer as a probe."""
+        if duration <= 0:
+            return
+        throughput = nbytes / duration
+        key = (cloud_id, direction)
+        current = self._estimates.get(key)
+        if current is None:
+            self._estimates[key] = throughput
+        else:
+            self._estimates[key] = (
+                self.alpha * throughput + (1 - self.alpha) * current
+            )
+        self._samples[key] = self._samples.get(key, 0) + 1
+
+    def record_failure(self, cloud_id: str, direction: str) -> None:
+        """Penalize a cloud whose request failed (wasted the channel)."""
+        key = (cloud_id, direction)
+        current = self._estimates.get(key)
+        if current is not None:
+            self._estimates[key] = current * (1 - self.alpha)
+
+    def estimate(self, cloud_id: str, direction: str) -> float:
+        """Estimated per-connection bytes/second.
+
+        Unprobed clouds report ``+inf`` so the scheduler explores them
+        first — the cheapest possible probe is the next real block.
+        """
+        return self._estimates.get((cloud_id, direction), math.inf)
+
+    def sample_count(self, cloud_id: str, direction: str) -> int:
+        return self._samples.get((cloud_id, direction), 0)
+
+    def rank(self, cloud_ids: Sequence[str], direction: str) -> List[str]:
+        """Clouds ordered fastest-first (unprobed clouds lead)."""
+        return sorted(
+            cloud_ids,
+            key=lambda cid: -self.estimate(cid, direction),
+        )

@@ -1,0 +1,750 @@
+"""Data block scheduling (paper §6.2) — UniDrive's networking core.
+
+Upload policy, per batch of files:
+
+* **Basic scheduling** — each segment's ``fair_share * N`` normal parity
+  blocks are partitioned evenly and deterministically across clouds.
+* **Over-provisioning** — a cloud that exhausts its fair share keeps
+  pulling *extra* parity blocks (never exceeding the per-cloud security
+  cap), so network use is proportional to observed speed and fast clouds
+  are never idle while slow ones lag.
+* **Two-phase batch order** — *availability-first*: every connection
+  works on the earliest file that is not yet available (k blocks per
+  segment uploaded); only when all files are available does the
+  *reliability-second* phase top up outstanding fair shares.
+* **Dynamic, pull-based dispatch** — workers (one per connection) ask
+  for the next block when idle, so faster clouds naturally transfer
+  more; completed transfers feed the in-channel
+  :class:`~repro.core.probing.ThroughputEstimator`.
+
+Download policy: any k blocks per segment suffice; idle connections pull
+block indices their cloud holds, never requesting more than k per
+segment, with files strictly in order.
+
+Setting ``over_provision=False`` and ``dynamic=False`` turns the
+scheduler into the RACS/DepSky-style **multi-cloud benchmark** baseline
+the paper compares against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cloud import CloudAPI, CloudError
+from ..simkernel import AllOf, Simulator
+from .config import UniDriveConfig
+from .metadata import SegmentRecord
+from .pipeline import BlockPipeline
+from .placement import fair_share, fair_share_assignment, max_blocks_per_cloud
+from .probing import DOWNLOAD, UPLOAD, ThroughputEstimator
+
+__all__ = [
+    "UploadScheduler",
+    "DownloadScheduler",
+    "FileUpload",
+    "FileUploadReport",
+    "UploadBatchReport",
+    "FileDownload",
+    "FileDownloadReport",
+    "DownloadBatchReport",
+]
+
+
+# ---------------------------------------------------------------------------
+# Inputs and reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FileUpload:
+    """One file to upload: its segments (records + plaintext data)."""
+
+    path: str
+    segments: List[Tuple[SegmentRecord, bytes]]  # (record, segment bytes)
+
+    @property
+    def size(self) -> int:
+        return sum(record.size for record, _ in self.segments)
+
+
+@dataclass
+class FileUploadReport:
+    path: str
+    size: int
+    started_at: float
+    available_at: Optional[float] = None
+    reliable_at: Optional[float] = None
+    degraded: bool = False  # a cloud died; fair shares incomplete
+    blocks_per_cloud: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def available_duration(self) -> Optional[float]:
+        if self.available_at is None:
+            return None
+        return self.available_at - self.started_at
+
+
+@dataclass
+class UploadBatchReport:
+    files: List[FileUploadReport]
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    failed_requests: int = 0
+
+    @property
+    def all_available(self) -> bool:
+        return all(f.available_at is not None for f in self.files)
+
+    @property
+    def last_available_at(self) -> Optional[float]:
+        times = [f.available_at for f in self.files]
+        if any(t is None for t in times):
+            return None
+        return max(times) if times else self.started_at
+
+    def report_for(self, path: str) -> FileUploadReport:
+        for report in self.files:
+            if report.path == path:
+                return report
+        raise KeyError(path)
+
+
+@dataclass
+class FileDownload:
+    """One file to download: ordered segment records from metadata."""
+
+    path: str
+    segments: List[SegmentRecord]
+
+    @property
+    def size(self) -> int:
+        return sum(record.size for record in self.segments)
+
+
+@dataclass
+class FileDownloadReport:
+    path: str
+    size: int
+    started_at: float
+    completed_at: Optional[float] = None
+    content: Optional[bytes] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class DownloadBatchReport:
+    files: List[FileDownloadReport]
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    failed_requests: int = 0
+
+    @property
+    def all_completed(self) -> bool:
+        return all(f.completed_at is not None for f in self.files)
+
+    def report_for(self, path: str) -> FileDownloadReport:
+        for report in self.files:
+            if report.path == path:
+                return report
+        raise KeyError(path)
+
+
+# ---------------------------------------------------------------------------
+# Upload scheduling
+# ---------------------------------------------------------------------------
+
+
+class _SegmentUploadState:
+    """Book-keeping for one unique segment within a batch."""
+
+    def __init__(self, record: SegmentRecord, data: bytes,
+                 cloud_ids: Sequence[str], config: UniDriveConfig):
+        self.record = record
+        self.data = data
+        self.k = record.k
+        self.cap = max_blocks_per_cloud(record.k, config.k_security)
+        share = fair_share(record.k, config.k_reliability)
+        assignment = fair_share_assignment(cloud_ids, record.k,
+                                           config.k_reliability)
+        self.fair: Dict[str, deque] = {
+            cid: deque(indices) for cid, indices in assignment.items()
+        }
+        self.fair_targets: Dict[str, int] = {cid: share for cid in cloud_ids}
+        normal_count = share * len(cloud_ids)
+        self.extras = deque(range(normal_count, record.n))
+        self.uploaded: Dict[int, str] = {}
+        self.inflight: Dict[int, str] = {}
+        self.fair_inflight: set = set()
+        self.per_cloud: Dict[str, int] = {cid: 0 for cid in cloud_ids}
+        self.fair_uploaded: Dict[str, int] = {cid: 0 for cid in cloud_ids}
+        self.degraded = False
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def assignment_satisfied(self) -> bool:
+        """Enough blocks uploaded or in flight to promise availability."""
+        return len(self.uploaded) + len(self.inflight) >= self.k
+
+    @property
+    def available(self) -> bool:
+        return len(self.uploaded) >= self.k
+
+    def fair_done(self, cloud_id: str) -> bool:
+        return self.fair_uploaded.get(cloud_id, 0) >= self.fair_targets.get(
+            cloud_id, 0
+        )
+
+    def fair_pending(self, cloud_id: str) -> bool:
+        return bool(self.fair.get(cloud_id))
+
+    @property
+    def reliable(self) -> bool:
+        return all(
+            self.fair_done(cid) for cid in self.fair_targets
+        ) and not self.degraded
+
+    def any_fair_pending(self) -> bool:
+        return any(self.fair.values())
+
+    @property
+    def fair_outstanding(self) -> bool:
+        """Fair-share work still queued or in flight anywhere."""
+        return self.any_fair_pending() or bool(self.fair_inflight)
+
+    def cap_room(self, cloud_id: str) -> bool:
+        return self.per_cloud.get(cloud_id, 0) < self.cap
+
+    # -- transitions -------------------------------------------------------
+
+    def take_fair(self, cloud_id: str) -> Optional[int]:
+        queue = self.fair.get(cloud_id)
+        if not queue or not self.cap_room(cloud_id):
+            return None
+        index = queue.popleft()
+        self._mark_inflight(index, cloud_id)
+        self.fair_inflight.add(index)
+        return index
+
+    def take_extra(self, cloud_id: str) -> Optional[int]:
+        if not self.extras or not self.cap_room(cloud_id):
+            return None
+        index = self.extras.popleft()
+        self._mark_inflight(index, cloud_id)
+        return index
+
+    def _mark_inflight(self, index: int, cloud_id: str) -> None:
+        self.inflight[index] = cloud_id
+        self.per_cloud[cloud_id] = self.per_cloud.get(cloud_id, 0) + 1
+
+    def complete(self, index: int, cloud_id: str, is_fair: bool) -> None:
+        self.inflight.pop(index, None)
+        self.fair_inflight.discard(index)
+        self.uploaded[index] = cloud_id
+        # The asynchronous Cloud-ID callback (paper §5.1): the metadata
+        # record learns where the block landed as soon as it landed.
+        self.record.locations[index] = cloud_id
+        if is_fair:
+            self.fair_uploaded[cloud_id] = self.fair_uploaded.get(cloud_id, 0) + 1
+
+    def fail(self, index: int, cloud_id: str, is_fair: bool,
+             cloud_dead: bool) -> None:
+        """Return the index to its pool (or the extras pool if the cloud
+        died and can no longer take its fair share)."""
+        self.inflight.pop(index, None)
+        self.fair_inflight.discard(index)
+        self.per_cloud[cloud_id] = max(0, self.per_cloud.get(cloud_id, 0) - 1)
+        if is_fair and not cloud_dead:
+            self.fair[cloud_id].appendleft(index)
+        else:
+            if is_fair:
+                self.degraded = True
+            self.extras.appendleft(index)
+
+    def abandon_cloud(self, cloud_id: str) -> None:
+        """A cloud died: its queued fair indices become extras."""
+        queue = self.fair.get(cloud_id)
+        if queue:
+            self.degraded = True
+            while queue:
+                self.extras.appendleft(queue.pop())
+
+
+@dataclass
+class _UploadTask:
+    state: _SegmentUploadState
+    index: int
+    is_fair: bool
+
+
+class UploadScheduler:
+    """Schedules one batch of file uploads over the multi-cloud."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        connections: Sequence[CloudAPI],
+        pipeline: BlockPipeline,
+        config: UniDriveConfig,
+        estimator: Optional[ThroughputEstimator] = None,
+        over_provision: bool = True,
+        dynamic: bool = True,
+        on_block_uploaded: Optional[Callable[[str, int, str], None]] = None,
+    ):
+        if not connections:
+            raise ValueError("need at least one cloud connection")
+        self.sim = sim
+        self.connections = list(connections)
+        self.cloud_ids = [c.cloud_id for c in self.connections]
+        self.pipeline = pipeline
+        self.config = config
+        self.estimator = estimator or ThroughputEstimator()
+        self.over_provision = over_provision
+        self.dynamic = dynamic
+        self.on_block_uploaded = on_block_uploaded
+        # Per-batch state, reset in run_batch().
+        self._files: List[FileUpload] = []
+        self._reports: Dict[str, FileUploadReport] = {}
+        self._states: Dict[str, _SegmentUploadState] = {}
+        self._file_segments: Dict[str, List[_SegmentUploadState]] = {}
+        self._inflight_total = 0
+        self._dead: Dict[str, int] = {}
+        self._failed_requests = 0
+        self._wake = None
+
+    # -- public API -------------------------------------------------------
+
+    def run_batch(self, files: Sequence[FileUpload]):
+        """Upload a batch; generator returns an :class:`UploadBatchReport`."""
+        started = self.sim.now
+        self._files = list(files)
+        self._reports = {}
+        self._states = {}
+        self._file_segments = {}
+        self._inflight_total = 0
+        self._dead = {cid: 0 for cid in self.cloud_ids}
+        self._failed_requests = 0
+        self._wake = self.sim.event()
+        for file in self._files:
+            self._reports[file.path] = FileUploadReport(
+                path=file.path, size=file.size, started_at=self.sim.now,
+                blocks_per_cloud={cid: 0 for cid in self.cloud_ids},
+            )
+            states = []
+            for record, data in file.segments:
+                state = self._states.get(record.segment_id)
+                if state is None:
+                    state = _SegmentUploadState(
+                        record, data, self.cloud_ids, self.config
+                    )
+                    self._states[record.segment_id] = state
+                states.append(state)
+            self._file_segments[file.path] = states
+        workers = []
+        for conn in self.connections:
+            for _slot in range(self.config.connections_per_cloud):
+                workers.append(self.sim.process(self._worker(conn)))
+        if workers:
+            yield AllOf(self.sim, workers)
+        self._refresh_file_reports(final=True)
+        return UploadBatchReport(
+            files=[self._reports[f.path] for f in self._files],
+            started_at=started,
+            finished_at=self.sim.now,
+            failed_requests=self._failed_requests,
+        )
+
+    # -- worker loop -------------------------------------------------------
+
+    def _worker(self, conn: CloudAPI):
+        cloud_id = conn.cloud_id
+        while True:
+            task = self._next_task(cloud_id)
+            if task is None:
+                if self._done():
+                    return
+                yield self._wake
+                continue
+            state, index = task.state, task.index
+            block = self.pipeline.code.encode_block(state.data, index)
+            path = self.pipeline.block_path(state.record, index)
+            self._inflight_total += 1
+            start = self.sim.now
+            try:
+                yield from conn.upload(path, block)
+            except CloudError:
+                self._inflight_total -= 1
+                self._failed_requests += 1
+                self.estimator.record_failure(cloud_id, UPLOAD)
+                dead = self._note_failure(cloud_id)
+                state.fail(index, cloud_id, task.is_fair, cloud_dead=dead)
+                self._pulse()
+                continue
+            self._inflight_total -= 1
+            self._dead[cloud_id] = 0
+            self.estimator.record(
+                cloud_id, UPLOAD, len(block), self.sim.now - start
+            )
+            state.complete(index, cloud_id, task.is_fair)
+            if self.on_block_uploaded is not None:
+                self.on_block_uploaded(
+                    state.record.segment_id, index, cloud_id
+                )
+            self._refresh_file_reports()
+            self._bump_block_count(state, cloud_id)
+            self._pulse()
+
+    # -- dispatch policy ----------------------------------------------------
+
+    def _next_task(self, cloud_id: str,
+                   peek: bool = False) -> Optional[_UploadTask]:
+        """Pick (and unless ``peek``, commit) the next block for a cloud.
+
+        The selection walks the same decision ladder in both modes, so a
+        successful peek guarantees the subsequent commit would succeed.
+        """
+        if self._is_dead(cloud_id):
+            return None
+
+        def fair(state: _SegmentUploadState) -> Optional[_UploadTask]:
+            if not state.fair_pending(cloud_id) or not state.cap_room(cloud_id):
+                return None
+            if peek:
+                return _UploadTask(state, -1, is_fair=True)
+            return _UploadTask(state, state.take_fair(cloud_id), is_fair=True)
+
+        def extra(state: _SegmentUploadState) -> Optional[_UploadTask]:
+            # Over-provisioned blocks go only to clouds that already
+            # *finished transferring* their own fair share of this
+            # segment (paper §6.2).
+            if not state.fair_done(cloud_id):
+                return None
+            if not state.extras or not state.cap_room(cloud_id):
+                return None
+            if peek:
+                return _UploadTask(state, -1, is_fair=False)
+            return _UploadTask(state, state.take_extra(cloud_id),
+                               is_fair=False)
+
+        # Phase A: availability-first, files strictly in order.  Every
+        # cloud keeps pulling blocks for the earliest file that is not
+        # yet *available* (k blocks actually uploaded) — maximal
+        # parallel transfer, with fast clouds hedging via extras.
+        for file in self._files:
+            for state in self._file_segments[file.path]:
+                if state.available:
+                    continue
+                task = fair(state)
+                if task is not None:
+                    return task
+                if self.over_provision:
+                    task = extra(state)
+                    if task is not None:
+                        return task
+            if not self.dynamic:
+                # Benchmark baseline: finish this file's fair shares
+                # before touching the next file (no phase split).
+                for state in self._file_segments[file.path]:
+                    task = fair(state)
+                    if task is not None:
+                        return task
+                if any(
+                    not s.available or s.any_fair_pending()
+                    for s in self._file_segments[file.path]
+                ):
+                    return None
+        # Phase B: reliability-second — top up outstanding fair shares.
+        for file in self._files:
+            for state in self._file_segments[file.path]:
+                task = fair(state)
+                if task is not None:
+                    return task
+        # Over-provision while slower clouds still owe fair shares
+        # (stop once the slowest cloud finished its fair share, §6.2).
+        if self.over_provision and self.dynamic:
+            for file in self._files:
+                for state in self._file_segments[file.path]:
+                    if not state.fair_outstanding:
+                        continue
+                    task = extra(state)
+                    if task is not None:
+                        return task
+        return None
+
+    # -- progress & termination -------------------------------------------
+
+    def _refresh_file_reports(self, final: bool = False) -> None:
+        for file in self._files:
+            report = self._reports[file.path]
+            states = self._file_segments[file.path]
+            if report.available_at is None and all(
+                s.available for s in states
+            ):
+                report.available_at = self.sim.now
+            if report.reliable_at is None and all(
+                s.reliable for s in states
+            ):
+                report.reliable_at = self.sim.now
+            if final:
+                report.degraded = any(s.degraded for s in states)
+
+    def _bump_block_count(self, state: _SegmentUploadState,
+                          cloud_id: str) -> None:
+        for file in self._files:
+            if state in self._file_segments[file.path]:
+                counts = self._reports[file.path].blocks_per_cloud
+                counts[cloud_id] = counts.get(cloud_id, 0) + 1
+
+    def _note_failure(self, cloud_id: str) -> bool:
+        """Count a failure; returns True once the cloud is declared dead."""
+        self._dead[cloud_id] += 1
+        if self._dead[cloud_id] == self.config.cloud_failure_threshold:
+            for state in self._states.values():
+                state.abandon_cloud(cloud_id)
+            return True
+        return self._is_dead(cloud_id)
+
+    def _is_dead(self, cloud_id: str) -> bool:
+        return self._dead.get(cloud_id, 0) >= self.config.cloud_failure_threshold
+
+    def _done(self) -> bool:
+        if self._inflight_total > 0:
+            return False
+        return all(
+            self._next_task(cid, peek=True) is None for cid in self.cloud_ids
+        )
+
+    def _pulse(self) -> None:
+        wake, self._wake = self._wake, self.sim.event()
+        wake.succeed()
+
+
+# ---------------------------------------------------------------------------
+# Download scheduling
+# ---------------------------------------------------------------------------
+
+
+class _SegmentDownloadState:
+    """Book-keeping for one segment being fetched."""
+
+    def __init__(self, record: SegmentRecord):
+        self.record = record
+        self.k = record.k
+        self.blocks: Dict[int, bytes] = {}
+        self.inflight: Dict[int, str] = {}
+        self.exhausted: set = set()  # (index, cloud) pairs that failed
+
+    @property
+    def complete(self) -> bool:
+        return len(self.blocks) >= self.k
+
+    @property
+    def saturated(self) -> bool:
+        """True when no further request should be issued."""
+        return len(self.blocks) + len(self.inflight) >= self.k
+
+    def candidate_index(self, cloud_id: str) -> Optional[int]:
+        for index in self.record.blocks_on(cloud_id):
+            if index in self.blocks or index in self.inflight:
+                continue
+            if (index, cloud_id) in self.exhausted:
+                continue
+            return index
+        return None
+
+
+class DownloadScheduler:
+    """Schedules one batch of file downloads from the multi-cloud."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        connections: Sequence[CloudAPI],
+        pipeline: BlockPipeline,
+        config: UniDriveConfig,
+        estimator: Optional[ThroughputEstimator] = None,
+        dynamic: bool = True,
+    ):
+        if not connections:
+            raise ValueError("need at least one cloud connection")
+        self.sim = sim
+        self.connections = list(connections)
+        self.pipeline = pipeline
+        self.config = config
+        self.estimator = estimator or ThroughputEstimator()
+        self.dynamic = dynamic
+        self._files: List[FileDownload] = []
+        self._reports: Dict[str, FileDownloadReport] = {}
+        self._states: Dict[str, _SegmentDownloadState] = {}
+        self._file_segments: Dict[str, List[_SegmentDownloadState]] = {}
+        self._inflight_total = 0
+        self._dead: Dict[str, int] = {}
+        self._failed_requests = 0
+        self._wake = None
+
+    def run_batch(self, files: Sequence[FileDownload]):
+        """Fetch a batch; generator returns a :class:`DownloadBatchReport`.
+
+        Files that cannot be reconstructed (too many clouds down) finish
+        with ``content=None`` rather than blocking the batch.
+        """
+        started = self.sim.now
+        self._files = list(files)
+        self._reports = {}
+        self._states = {}
+        self._file_segments = {}
+        self._inflight_total = 0
+        self._dead = {c.cloud_id: 0 for c in self.connections}
+        self._failed_requests = 0
+        self._wake = self.sim.event()
+        for file in self._files:
+            self._reports[file.path] = FileDownloadReport(
+                path=file.path, size=file.size, started_at=self.sim.now
+            )
+            states = []
+            for record in file.segments:
+                state = self._states.get(record.segment_id)
+                if state is None:
+                    state = _SegmentDownloadState(record)
+                    self._states[record.segment_id] = state
+                states.append(state)
+            self._file_segments[file.path] = states
+        workers = []
+        for conn in self._ranked_connections():
+            for _slot in range(self.config.connections_per_cloud):
+                workers.append(self.sim.process(self._worker(conn)))
+        if workers:
+            yield AllOf(self.sim, workers)
+        for file in self._files:
+            report = self._reports[file.path]
+            states = self._file_segments[file.path]
+            if all(s.complete for s in states):
+                contents = [
+                    self.pipeline.decode_segment(s.record, s.blocks)
+                    for s in states
+                ]
+                report.content = self.pipeline.assemble_file(contents)
+                if report.completed_at is None:
+                    report.completed_at = self.sim.now
+        return DownloadBatchReport(
+            files=[self._reports[f.path] for f in self._files],
+            started_at=started,
+            finished_at=self.sim.now,
+            failed_requests=self._failed_requests,
+        )
+
+    def _ranked_connections(self) -> List[CloudAPI]:
+        """Fastest clouds first so their workers ask first (paper §6.2)."""
+        if not self.dynamic:
+            return list(self.connections)
+        order = self.estimator.rank(
+            [c.cloud_id for c in self.connections], DOWNLOAD
+        )
+        by_id = {c.cloud_id: c for c in self.connections}
+        return [by_id[cid] for cid in order]
+
+    def _worker(self, conn: CloudAPI):
+        cloud_id = conn.cloud_id
+        while True:
+            pick = self._next_request(cloud_id)
+            if pick is None:
+                if self._done():
+                    return
+                yield self._wake
+                continue
+            state, index = pick
+            state.inflight[index] = cloud_id
+            self._inflight_total += 1
+            path = self.pipeline.block_path(state.record, index)
+            start = self.sim.now
+            try:
+                block = yield from conn.download(path)
+            except CloudError:
+                self._inflight_total -= 1
+                self._failed_requests += 1
+                state.inflight.pop(index, None)
+                state.exhausted.add((index, cloud_id))
+                self.estimator.record_failure(cloud_id, DOWNLOAD)
+                self._dead[cloud_id] += 1
+                self._pulse()
+                continue
+            self._inflight_total -= 1
+            self._dead[cloud_id] = 0
+            self.estimator.record(
+                cloud_id, DOWNLOAD, len(block), self.sim.now - start
+            )
+            state.inflight.pop(index, None)
+            state.blocks[index] = block
+            self._mark_progress()
+            self._pulse()
+
+    def _next_request(self, cloud_id: str):
+        if self._dead.get(cloud_id, 0) >= self.config.cloud_failure_threshold:
+            return None
+        for file in self._files:
+            for state in self._file_segments[file.path]:
+                if state.saturated:
+                    continue
+                index = state.candidate_index(cloud_id)
+                if index is None:
+                    continue
+                if self.dynamic and self._defer_to_faster(state, cloud_id):
+                    continue
+                return (state, index)
+            if not self.dynamic:
+                # Static baseline: strictly finish this file first.
+                if not all(
+                    s.complete for s in self._file_segments[file.path]
+                ):
+                    return None
+        return None
+
+    def _defer_to_faster(self, state: _SegmentDownloadState,
+                         cloud_id: str) -> bool:
+        """The paper's sorted assignment: the next block goes to the
+        idle connection of the *fastest* cloud.  A slower cloud backs
+        off whenever strictly-faster clouds can still supply all the
+        blocks this segment is missing."""
+        needed = state.k - len(state.blocks) - len(state.inflight)
+        if needed <= 0:
+            return True
+        mine = self.estimator.estimate(cloud_id, DOWNLOAD)
+        faster_supply = 0
+        for index, holder in state.record.locations.items():
+            if holder == cloud_id:
+                continue
+            if index in state.blocks or index in state.inflight:
+                continue
+            if (index, holder) in state.exhausted:
+                continue
+            if self._dead.get(holder, 0) >= self.config.cloud_failure_threshold:
+                continue
+            if self.estimator.estimate(holder, DOWNLOAD) > mine:
+                faster_supply += 1
+        return faster_supply >= needed
+
+    def _mark_progress(self) -> None:
+        for file in self._files:
+            report = self._reports[file.path]
+            if report.completed_at is None and all(
+                s.complete for s in self._file_segments[file.path]
+            ):
+                report.completed_at = self.sim.now
+
+    def _done(self) -> bool:
+        if self._inflight_total > 0:
+            return False
+        return all(
+            self._next_request(c.cloud_id) is None for c in self.connections
+        )
+
+    def _pulse(self) -> None:
+        wake, self._wake = self._wake, self.sim.event()
+        wake.succeed()

@@ -1,0 +1,14 @@
+"""Metadata encryption substrate: DES (FIPS 46-3) with CBC mode."""
+
+from .des import BLOCK_SIZE, DES
+from .modes import PaddingError, decrypt_cbc, encrypt_cbc, pad, unpad
+
+__all__ = [
+    "BLOCK_SIZE",
+    "DES",
+    "PaddingError",
+    "decrypt_cbc",
+    "encrypt_cbc",
+    "pad",
+    "unpad",
+]

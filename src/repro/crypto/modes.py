@@ -1,0 +1,74 @@
+"""CBC mode and PKCS#5 padding over the DES block primitive.
+
+`encrypt_cbc` prepends the IV to the ciphertext so the output is
+self-contained — the metadata file stored in the clouds is exactly this
+byte string.
+"""
+
+from __future__ import annotations
+
+from .des import BLOCK_SIZE, DES
+
+__all__ = [
+    "pad",
+    "unpad",
+    "encrypt_cbc",
+    "decrypt_cbc",
+    "PaddingError",
+]
+
+
+class PaddingError(ValueError):
+    """Raised when ciphertext does not decrypt to valid PKCS#5 padding."""
+
+
+def pad(data: bytes) -> bytes:
+    """Apply PKCS#5 padding up to the 8-byte DES block size."""
+    fill = BLOCK_SIZE - (len(data) % BLOCK_SIZE)
+    return data + bytes([fill] * fill)
+
+
+def unpad(data: bytes) -> bytes:
+    """Strip PKCS#5 padding, validating it fully."""
+    if not data or len(data) % BLOCK_SIZE != 0:
+        raise PaddingError("padded data length must be a positive multiple of 8")
+    fill = data[-1]
+    if not 1 <= fill <= BLOCK_SIZE:
+        raise PaddingError(f"invalid padding byte {fill}")
+    if data[-fill:] != bytes([fill] * fill):
+        raise PaddingError("corrupt padding")
+    return data[:-fill]
+
+
+def _xor8(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def encrypt_cbc(key: bytes, plaintext: bytes, iv: bytes) -> bytes:
+    """DES-CBC encrypt; returns ``iv || ciphertext``."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be 8 bytes, got {len(iv)}")
+    cipher = DES(key)
+    padded = pad(plaintext)
+    out = [iv]
+    previous = iv
+    for offset in range(0, len(padded), BLOCK_SIZE):
+        block = _xor8(padded[offset:offset + BLOCK_SIZE], previous)
+        previous = cipher.encrypt_block(block)
+        out.append(previous)
+    return b"".join(out)
+
+
+def decrypt_cbc(key: bytes, blob: bytes) -> bytes:
+    """Decrypt ``iv || ciphertext`` produced by :func:`encrypt_cbc`."""
+    if len(blob) < 2 * BLOCK_SIZE or len(blob) % BLOCK_SIZE != 0:
+        raise PaddingError("ciphertext too short or misaligned")
+    cipher = DES(key)
+    iv, body = blob[:BLOCK_SIZE], blob[BLOCK_SIZE:]
+    out = []
+    previous = iv
+    for offset in range(0, len(body), BLOCK_SIZE):
+        block = body[offset:offset + BLOCK_SIZE]
+        out.append(_xor8(cipher.decrypt_block(block), previous))
+        previous = block
+    return unpad(b"".join(out))

@@ -1,0 +1,14 @@
+"""Local filesystem interface: virtual FS, real-dir adapter, watcher."""
+
+from .virtual_fs import FileStat, LocalDirFileSystem, VirtualFileSystem
+from .watcher import Change, ChangeKind, FolderWatcher, diff_snapshots
+
+__all__ = [
+    "Change",
+    "ChangeKind",
+    "FileStat",
+    "FolderWatcher",
+    "LocalDirFileSystem",
+    "VirtualFileSystem",
+    "diff_snapshots",
+]

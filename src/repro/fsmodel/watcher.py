@@ -1,0 +1,69 @@
+"""Scan-based change detection for the local sync folder.
+
+The paper's Windows client hooks file-system notifications; our
+simulator equivalent diffs successive directory snapshots, which yields
+the same abstraction downstream: a list of add / edit / delete records
+feeding the ``ChangedFileList`` (paper §5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .virtual_fs import FileStat
+
+__all__ = ["ChangeKind", "Change", "diff_snapshots", "FolderWatcher"]
+
+
+class ChangeKind(enum.Enum):
+    ADD = "add"
+    EDIT = "edit"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Change:
+    """One local filesystem change since the previous scan."""
+
+    kind: ChangeKind
+    path: str
+    mtime: float = 0.0
+
+
+def diff_snapshots(
+    old: Dict[str, FileStat], new: Dict[str, FileStat]
+) -> List[Change]:
+    """Compare two scans; content digests decide 'edited'."""
+    changes: List[Change] = []
+    for path in sorted(new):
+        stat = new[path]
+        previous = old.get(path)
+        if previous is None:
+            changes.append(Change(ChangeKind.ADD, path, stat.mtime))
+        elif previous.digest != stat.digest:
+            changes.append(Change(ChangeKind.EDIT, path, stat.mtime))
+    for path in sorted(old):
+        if path not in new:
+            changes.append(Change(ChangeKind.DELETE, path, old[path].mtime))
+    return changes
+
+
+class FolderWatcher:
+    """Tracks the last-seen snapshot and reports deltas on poll."""
+
+    def __init__(self, filesystem):
+        self.filesystem = filesystem
+        self._last: Dict[str, FileStat] = {}
+
+    def prime(self) -> None:
+        """Adopt the current state as the baseline (no changes reported)."""
+        self._last = self.filesystem.scan()
+
+    def poll(self) -> List[Change]:
+        """Return changes since the last poll (or prime) and advance."""
+        current = self.filesystem.scan()
+        changes = diff_snapshots(self._last, current)
+        self._last = current
+        return changes

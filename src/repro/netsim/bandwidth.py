@@ -1,0 +1,116 @@
+"""Stochastic per-connection bandwidth processes.
+
+The paper's measurement study (§3.2) found CCS bandwidth to be
+
+* spatially diverse — up to 60x between clouds at one location,
+* temporally volatile — 17x max/min within a single day,
+* unpredictable — no usable diurnal pattern, independent across clouds.
+
+We model the per-connection rate of one (client-location, cloud,
+direction) link as a piecewise-constant process over fixed epochs:
+
+``rate(t) = mean * exp(x_e - sigma^2/2) * diurnal(t) / fade_e``
+
+where ``x_e`` is a stationary AR(1) series in log space (stationary
+standard deviation ``volatility``) and ``fade_e`` is an occasional deep
+fade (heavy tail).  Epoch values are generated lazily and cached, so the
+process is deterministic in its seed yet supports month-long campaigns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+__all__ = ["BandwidthProcess", "MBPS"]
+
+MBPS = 1_000_000 / 8.0  # bytes per second in one megabit per second
+
+
+class BandwidthProcess:
+    """Lazily-sampled piecewise-constant bandwidth, in bytes/second."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_rate: float,
+        volatility: float = 0.5,
+        ar_coefficient: float = 0.8,
+        epoch: float = 60.0,
+        fade_probability: float = 0.02,
+        fade_depth: float = 8.0,
+        diurnal_amplitude: float = 0.0,
+        diurnal_period: float = 86400.0,
+    ):
+        if mean_rate <= 0:
+            raise ValueError(f"mean_rate must be positive, got {mean_rate}")
+        if not 0 <= ar_coefficient < 1:
+            raise ValueError("ar_coefficient must be in [0, 1)")
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        if not 0 <= diurnal_amplitude < 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        self.mean_rate = mean_rate
+        self.volatility = volatility
+        self.ar = ar_coefficient
+        self.epoch = epoch
+        self.fade_probability = fade_probability
+        self.fade_depth = fade_depth
+        self.diurnal_amplitude = diurnal_amplitude
+        self.diurnal_period = diurnal_period
+        self._rng = rng
+        self._phase = rng.uniform(0, 2 * math.pi)
+        self._innovation_scale = volatility * math.sqrt(1 - ar_coefficient**2)
+        self._multipliers: List[float] = []
+        self._x_state: float = 0.0
+
+    def _extend_to(self, index: int) -> None:
+        while len(self._multipliers) <= index:
+            if self._multipliers:
+                x = self.ar * self._x_state + self._rng.normal(
+                    0.0, self._innovation_scale
+                )
+            else:
+                x = self._rng.normal(0.0, self.volatility)
+            self._x_state = x
+            multiplier = math.exp(x - self.volatility**2 / 2)
+            if self._rng.random() < self.fade_probability:
+                multiplier /= self._rng.uniform(2.0, self.fade_depth)
+            self._multipliers.append(multiplier)
+
+    def rate_at(self, t: float) -> float:
+        """Per-connection rate in bytes/second at virtual time ``t``."""
+        if t < 0:
+            raise ValueError(f"negative time {t}")
+        index = int(t // self.epoch)
+        self._extend_to(index)
+        rate = self.mean_rate * self._multipliers[index]
+        if self.diurnal_amplitude:
+            rate *= 1.0 + self.diurnal_amplitude * math.sin(
+                2 * math.pi * t / self.diurnal_period + self._phase
+            )
+        return max(rate, self.mean_rate * 1e-3)
+
+    def next_change_after(self, t: float) -> float:
+        """Next time the piecewise-constant rate may change."""
+        return (int(t // self.epoch) + 1) * self.epoch
+
+
+class ConstantBandwidth:
+    """A degenerate process with a fixed rate (for tests/instant clouds)."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+
+    def rate_at(self, t: float) -> float:
+        return self.rate
+
+    def next_change_after(self, t: float) -> float:
+        return math.inf
+
+
+__all__.append("ConstantBandwidth")

@@ -1,0 +1,36 @@
+"""Per-request API latency.
+
+Every RESTful call pays a setup cost (TCP/TLS handshakes, HTTP headers,
+server-side processing) before any payload bytes flow.  The paper's
+trial data shows this cost dominating for files below ~100 KB
+(§7.3, Figure 15), which is exactly the behaviour this model produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Lognormal request-setup latency around a base round-trip time."""
+
+    def __init__(self, rng: np.random.Generator, base_seconds: float,
+                 jitter: float = 0.35):
+        if base_seconds <= 0:
+            raise ValueError(f"base_seconds must be positive, got {base_seconds}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        self.base_seconds = base_seconds
+        self.jitter = jitter
+        self._rng = rng
+
+    def sample(self) -> float:
+        """Draw one request's setup latency in seconds."""
+        if self.jitter == 0:
+            return self.base_seconds
+        factor = float(
+            np.exp(self._rng.normal(0.0, self.jitter) - self.jitter**2 / 2)
+        )
+        return self.base_seconds * factor

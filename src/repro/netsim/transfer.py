@@ -1,0 +1,242 @@
+"""Fluid-flow simulation of concurrent block transfers on one link.
+
+One :class:`TransferEngine` models a single direction (upload *or*
+download) of one client's path to one cloud.  Each active transfer
+progresses at the link's current per-connection rate; when more
+transfers are active than the link's useful parallelism
+(``max_parallel``, the paper uses up to 5 connections per cloud), the
+aggregate capacity ``rate * max_parallel`` is shared equally.
+
+The engine advances transfer progress lazily between *decision points*:
+a transfer starting or finishing, or a bandwidth epoch boundary.  At
+each decision point it recomputes the earliest next completion and arms
+a single timer, giving O(active) work per event and exact completion
+times for piecewise-constant rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..simkernel import Event, Simulator
+
+__all__ = ["TransferEngine", "Transfer", "SharedNic"]
+
+_EPSILON_BYTES = 1e-6
+
+
+class Transfer:
+    """One in-flight transfer: bookkeeping plus its completion event."""
+
+    __slots__ = ("nbytes", "remaining", "event", "started_at", "finished_at")
+
+    def __init__(self, sim: Simulator, nbytes: float):
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.event = Event(sim)
+        self.started_at = sim.now
+        self.finished_at: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Wall (virtual) time the transfer took; finished transfers only."""
+        if self.finished_at is None:
+            raise RuntimeError("transfer not finished")
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput(self) -> float:
+        """Average bytes/second achieved, for in-channel probing."""
+        duration = self.duration
+        return self.nbytes / duration if duration > 0 else math.inf
+
+
+class SharedNic:
+    """A client-side aggregate bandwidth cap shared by several engines.
+
+    Models the host NIC (or an ISP plan): the paper's rented EC2 VMs
+    capped downloads at 40 Mbps *across all clouds combined*, which is
+    what limited UniDrive's download-side gains (§7.2).  When the summed
+    demand of all attached engines exceeds ``capacity``, every engine's
+    per-connection rate is scaled down proportionally (fluid max-min
+    with equal weights).
+    """
+
+    def __init__(self, capacity: float):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.engines: List["TransferEngine"] = []
+
+    def attach(self, engine: "TransferEngine") -> None:
+        self.engines.append(engine)
+        engine.nic = self
+
+    def demand(self) -> float:
+        """Aggregate unconstrained demand of all attached engines."""
+        total = 0.0
+        for engine in self.engines:
+            n = engine.active_count
+            if n == 0:
+                continue
+            rate = engine.bandwidth.rate_at(engine.sim.now)
+            total += rate * min(n, engine.max_parallel)
+        return total
+
+    def scale(self) -> float:
+        """Current throttling factor in (0, 1]."""
+        demand = self.demand()
+        if demand <= self.capacity:
+            return 1.0
+        return self.capacity / demand
+
+    def poke(self, source: "TransferEngine") -> None:
+        """An engine's membership changed: re-plan the siblings."""
+        for engine in self.engines:
+            if engine is not source and engine._active:
+                engine._advance()
+                engine._reschedule(notify_nic=False)
+
+
+class TransferEngine:
+    """Shares one link's capacity among concurrent transfers."""
+
+    def __init__(self, sim: Simulator, bandwidth, max_parallel: int = 5,
+                 nic: "SharedNic" = None):
+        if max_parallel < 1:
+            raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.max_parallel = max_parallel
+        self.nic = None
+        self._active: List[Transfer] = []
+        self._last_update = sim.now
+        self._timer_version = 0
+        #: Per-connection rate in effect for the current interval;
+        #: cached so progress accounting matches exactly what was
+        #: planned, even when a shared NIC rescales rates mid-flight.
+        self._rate_in_effect = 0.0
+        self.bytes_completed = 0.0
+        self.transfers_completed = 0
+        if nic is not None:
+            nic.attach(self)
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def per_connection_rate(self) -> float:
+        """Current rate each active transfer receives, bytes/second."""
+        rate = self.bandwidth.rate_at(self.sim.now)
+        n = len(self._active)
+        if n > self.max_parallel:
+            rate = rate * self.max_parallel / n
+        if self.nic is not None:
+            rate *= self.nic.scale()
+        return rate
+
+    def start(self, nbytes: float) -> Transfer:
+        """Begin transferring ``nbytes``; ``transfer.event`` fires at completion.
+
+        Zero-byte transfers complete immediately (a control request's
+        payload time is dominated by latency, handled elsewhere).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        transfer = Transfer(self.sim, nbytes)
+        if nbytes == 0:
+            transfer.finished_at = self.sim.now
+            transfer.event.succeed(transfer)
+            return transfer
+        self._advance()
+        self._active.append(transfer)
+        self._reschedule()
+        if self.nic is not None:
+            self.nic.poke(self)
+        return transfer
+
+    def cancel(self, transfer: Transfer) -> None:
+        """Abort an in-flight transfer; its event fires with CancelledError."""
+        if transfer in self._active:
+            self._advance()
+            self._active.remove(transfer)
+            transfer.event.fail(TransferCancelled())
+            transfer.event.defused = True
+            self._reschedule()
+            if self.nic is not None:
+                self.nic.poke(self)
+
+    # -- internals --------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account progress from the last update to now.
+
+        Progress accrues at the cached rate planned by the previous
+        ``_reschedule`` — every event that can change the rate (epoch
+        boundary, arrival, completion, NIC rebalance) passes through a
+        decision point first, so the interval had exactly that rate.
+        """
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._active:
+            return
+        progressed = self._rate_in_effect * elapsed
+        for transfer in self._active:
+            transfer.remaining -= progressed
+
+    def _reschedule(self, notify_nic: bool = True) -> None:
+        """Complete finished transfers and arm the next wake-up timer."""
+        self._timer_version += 1
+        # A transfer whose remainder would complete in less than one
+        # representable time step can never make progress (now + delay
+        # rounds back to now), so treat it as done.  The threshold is
+        # rate-aware: residual float dust scales with the link rate.
+        rate_now = self.per_connection_rate()
+        resolution = math.ulp(max(self.sim.now, 1.0))
+        threshold = max(_EPSILON_BYTES, rate_now * resolution * 8)
+        finished = [
+            t for t in self._active if t.remaining <= threshold
+        ]
+        if finished:
+            for transfer in finished:
+                self._active.remove(transfer)
+                transfer.remaining = 0.0
+                transfer.finished_at = self.sim.now
+                self.bytes_completed += transfer.nbytes
+                self.transfers_completed += 1
+                transfer.event.succeed(transfer)
+        if finished and notify_nic and self.nic is not None:
+            self.nic.poke(self)
+        if not self._active:
+            self._rate_in_effect = 0.0
+            return
+        rate = self.per_connection_rate()
+        self._rate_in_effect = rate
+        shortest = min(t.remaining for t in self._active)
+        completion_delay = shortest / rate if rate > 0 else math.inf
+        epoch_delay = self.bandwidth.next_change_after(self.sim.now) - self.sim.now
+        delay = min(completion_delay, epoch_delay)
+        if not math.isfinite(delay):  # pragma: no cover - defensive
+            raise RuntimeError("transfer can never complete (zero rate)")
+        # Guarantee the timer lands strictly after `now` in float time.
+        delay = max(delay, resolution * 2)
+        version = self._timer_version
+        timer = self.sim.timeout(max(delay, 0.0))
+        timer.add_callback(lambda _evt: self._on_timer(version))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return  # superseded by a newer decision point
+        self._advance()
+        self._reschedule()
+
+
+class TransferCancelled(Exception):
+    """Outcome of a transfer aborted via :meth:`TransferEngine.cancel`."""
+
+
+__all__.append("TransferCancelled")

@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation kernel (SimPy-flavoured)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .sync import Gate, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

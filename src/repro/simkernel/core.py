@@ -1,0 +1,389 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based process kernel in the spirit of
+SimPy.  Every stochastic or time-consuming activity in the UniDrive
+reproduction (cloud API calls, block transfers, device sync loops) is
+expressed as a generator that yields :class:`Event` objects and is driven
+by a :class:`Simulator`.
+
+The kernel is deliberately minimal: events, timeouts, processes,
+interrupts and the two combinators :class:`AllOf` / :class:`AnyOf`.
+Everything runs in *virtual* time, so a month-long measurement campaign
+completes in seconds of wall-clock time and is reproducible event for
+event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised when the kernel detects an internal protocol violation."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupt ``cause`` is available both as ``exc.cause`` and as
+    ``exc.args[0]``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    triggers it and schedules its callbacks to run at the current virtual
+    time.  Processes wait on events by ``yield``-ing them.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self.defused = False
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The success value, or the failure exception instance."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with ``exception`` as its outcome."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed.
+
+        Adding a callback to an already-processed event schedules an
+        immediate re-delivery so late subscribers still observe it.
+        """
+        if self.callbacks is not None:
+            self.callbacks.append(callback)
+        else:
+            # Already processed: deliver asynchronously at the current time.
+            self.sim._schedule_call(lambda: callback(self))
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        sim._schedule(self, delay=delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout is triggered on creation")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout is triggered on creation")
+
+
+class Process(Event):
+    """A running generator, itself usable as an event (fires on return).
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    succeeds, the generator is resumed with the event's value; when it
+    fails, the exception is thrown into the generator (and the event is
+    defused, since the process took responsibility for it).
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process() needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        poke = Event(self.sim)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke.defused = True
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+            self._target = None
+        poke.callbacks.append(self._resume)
+        self.sim._schedule(poke)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Stale wake-up: an event this process once waited on fired
+            # after the process was interrupted away from it and has
+            # since terminated.  Consume silently.
+            if not event._ok:
+                event.defused = True
+            return
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Exception as exc:
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {target!r}"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except Exception as err:
+                    self.fail(err)
+                return
+            if target.processed:
+                # Yielded an already-processed event: continue immediately.
+                event = target
+                continue
+            self._target = target
+            target.add_callback(self._resume)
+            return
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` and :class:`AnyOf`."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("events belong to different simulators")
+        self._pending = len(self.events)
+        if self._pending == 0:
+            self.succeed(self._collect())
+        else:
+            for ev in self.events:
+                ev.add_callback(self._check)
+
+    def _collect(self) -> List[Any]:
+        return [ev._value for ev in self.events if ev.triggered]
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* events have fired; value is the list of values.
+
+    Fails fast if any constituent event fails.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the *first* event fires; ``winner`` is that event."""
+
+    winner: Optional[Event] = None
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        self.winner = event
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defused = True
+            self.fail(event._value)
+
+
+class Simulator:
+    """The event loop: a priority queue over virtual time.
+
+    Ties at the same timestamp are broken by insertion order, making runs
+    fully deterministic.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    # -- event factories ------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start ``generator`` as a process; returns its Process event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), event, None)
+        )
+
+    def _schedule_call(self, func: Callable[[], None]) -> None:
+        heapq.heappush(
+            self._queue, (self._now, next(self._counter), None, func)
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def _step(self) -> None:
+        when, _, event, func = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        if func is not None:
+            func()
+            return
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time exceeds ``until``."""
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self._step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_process(self, generator_or_process) -> Any:
+        """Run a generator (or Process) to completion; return its value.
+
+        Re-raises the process's exception on failure.  This is the main
+        entry point used by tests and experiment harnesses.
+        """
+        proc = generator_or_process
+        if not isinstance(proc, Process):
+            proc = self.process(proc)
+        while self._queue and not proc.triggered:
+            self._step()
+        if not proc.triggered:
+            raise SimulationError(
+                "process starved: no scheduled events remain"
+            )
+        # Drain same-timestamp bookkeeping so callbacks fire, then report.
+        if not proc.ok:
+            proc.defused = True
+            raise proc.value
+        return proc.value

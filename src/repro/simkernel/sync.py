@@ -1,0 +1,143 @@
+"""Inter-process coordination primitives for the simulation kernel.
+
+These mirror the subset of SimPy's resource layer that the UniDrive
+schedulers need: an unbounded FIFO :class:`Store` (used as a work queue
+between the scheduler and per-connection worker processes), a counting
+:class:`Resource` (connection slots), and a broadcast :class:`Gate`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from .core import Event, Simulator
+
+__all__ = ["Store", "Resource", "Gate"]
+
+
+class Store:
+    """An unbounded FIFO queue of items with event-based ``get``.
+
+    ``put`` never blocks.  ``get`` returns an :class:`Event` that fires
+    with the next item once one is available, in strict FIFO order both
+    over items and over waiting getters.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def put_front(self, item: Any) -> None:
+        """Enqueue ``item`` at the head (used for re-queued failed work)."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.appendleft(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending ``get`` event (no-op if already fired)."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+
+class Resource:
+    """A counting semaphore with FIFO acquisition order."""
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a slot is held."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release a held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Gate:
+    """A broadcast flag: processes wait until the gate is opened.
+
+    Unlike an :class:`Event`, a gate can be reset and reused; each call to
+    :meth:`wait` while closed returns a fresh event released by the next
+    :meth:`open`.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._open = False
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def open(self) -> None:
+        """Open the gate, releasing all current waiters."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def close(self) -> None:
+        self._open = False

@@ -1,0 +1,60 @@
+"""Workloads & experiment harness: vantage points, generators, trial."""
+
+from .generator import (
+    SIZE_BUCKETS,
+    TrialSizeMixture,
+    apply_edit,
+    bucket_of,
+    make_batch,
+    random_bytes,
+)
+from .locations import (
+    CLOUD_IDS,
+    EC2_NODES,
+    PLANETLAB_NODES,
+    connect_location,
+    link_profile,
+    location_profiles,
+    make_clouds,
+    make_stress,
+)
+from .measurement import MeasurementCampaign, Sample, run_campaign, summarize
+from .survey import SURVEY, SurveyFinding, survey_report
+from .runner import (
+    APPROACHES,
+    Testbed,
+    TransferMeasurement,
+    measure_single_transfers,
+)
+from .trial import TrialRecord, TrialResult, run_trial
+
+__all__ = [
+    "APPROACHES",
+    "CLOUD_IDS",
+    "EC2_NODES",
+    "MeasurementCampaign",
+    "PLANETLAB_NODES",
+    "SIZE_BUCKETS",
+    "SURVEY",
+    "Sample",
+    "SurveyFinding",
+    "Testbed",
+    "TransferMeasurement",
+    "TrialRecord",
+    "TrialResult",
+    "TrialSizeMixture",
+    "apply_edit",
+    "bucket_of",
+    "connect_location",
+    "link_profile",
+    "location_profiles",
+    "make_batch",
+    "make_clouds",
+    "make_stress",
+    "measure_single_transfers",
+    "random_bytes",
+    "run_campaign",
+    "run_trial",
+    "survey_report",
+    "summarize",
+]

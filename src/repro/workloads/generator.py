@@ -1,0 +1,101 @@
+"""Workload content generation.
+
+Random, incompressible content (the paper generates random files to
+defeat deduplication and transfer suppression), localized edit
+operations for the Delta-sync experiments, and the file-size mixture of
+the real-world trial population (§7.3: >500 GB across 96,982 files,
+28.3% documents, 30.5% multimedia).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "random_bytes",
+    "make_batch",
+    "apply_edit",
+    "TrialSizeMixture",
+    "SIZE_BUCKETS",
+    "bucket_of",
+]
+
+_KB = 1024
+_MB = 1024 * 1024
+
+
+def random_bytes(rng: np.random.Generator, size: int) -> bytes:
+    """Incompressible random content (defeats dedup, as in the paper)."""
+    if size < 0:
+        raise ValueError(f"negative size {size}")
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def make_batch(rng: np.random.Generator, count: int, size: int,
+               prefix: str = "/batch/file") -> Dict[str, bytes]:
+    """``count`` equally-sized random files (e.g. the 100 x 1 MB batch)."""
+    return {
+        f"{prefix}{i:04d}.bin": random_bytes(rng, size) for i in range(count)
+    }
+
+
+def apply_edit(rng: np.random.Generator, content: bytes,
+               edit_size: int = 4096) -> bytes:
+    """Overwrite one random run of bytes — a localized user edit.
+
+    Content-defined chunking should confine the damage to O(1) segments,
+    which is what keeps Delta-sync traffic small.
+    """
+    if not content:
+        return random_bytes(rng, edit_size)
+    data = bytearray(content)
+    edit_size = min(edit_size, len(data))
+    start = int(rng.integers(0, max(1, len(data) - edit_size)))
+    data[start:start + edit_size] = random_bytes(rng, edit_size)
+    return bytes(data)
+
+
+#: (label, lower bound inclusive, upper bound exclusive) — the size
+#: buckets used by the trial figures (Figure 15).
+SIZE_BUCKETS: List[Tuple[str, int, int]] = [
+    ("<100KB", 0, 100 * _KB),
+    ("100KB-1MB", 100 * _KB, 1 * _MB),
+    ("1-10MB", 1 * _MB, 10 * _MB),
+    (">10MB", 10 * _MB, 1 << 62),
+]
+
+
+def bucket_of(size: int) -> str:
+    for label, low, high in SIZE_BUCKETS:
+        if low <= size < high:
+            return label
+    return SIZE_BUCKETS[-1][0]
+
+
+class TrialSizeMixture:
+    """File sizes matching the trial's population (documents-heavy with a
+    multimedia tail)."""
+
+    def __init__(self, rng: np.random.Generator,
+                 max_bytes: int = 24 * _MB):
+        self._rng = rng
+        self.max_bytes = max_bytes
+
+    def sample(self) -> int:
+        """Draw one file size in bytes."""
+        roll = self._rng.random()
+        if roll < 0.30:
+            # Small files: notes, configs, thumbnails (long thin head).
+            size = int(self._rng.lognormal(mean=9.2, sigma=1.2))  # ~10 KB
+        elif roll < 0.60:
+            # Documents: ~28.3% of trial files.
+            size = int(self._rng.lognormal(mean=12.0, sigma=1.0))  # ~160 KB
+        else:
+            # Multimedia: ~30.5% of trial files, MB scale.
+            size = int(self._rng.lognormal(mean=14.5, sigma=1.1))  # ~2 MB
+        return max(256, min(size, self.max_bytes))
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for _ in range(count)]

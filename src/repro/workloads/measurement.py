@@ -1,0 +1,144 @@
+"""The §3.2 measurement study, reproduced against the simulated clouds.
+
+A campaign periodically uploads and downloads fixed-size probe files to
+all five clouds back to back from one vantage point, exactly like the
+paper's PlanetLab client, and records per-request durations and
+failures.  Figures 1-4 and Table 1 aggregate these samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cloud import CloudError
+from ..simkernel import Simulator
+from .generator import random_bytes
+from .locations import CLOUD_IDS, connect_location, make_clouds, make_stress
+
+__all__ = ["Sample", "MeasurementCampaign", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One probe transfer."""
+
+    t: float  # virtual time when the probe started
+    location: str
+    cloud_id: str
+    direction: str  # "up" | "down"
+    size: int
+    duration: Optional[float]  # None on failure
+    succeeded: bool
+
+    @property
+    def throughput_mbps(self) -> Optional[float]:
+        if not self.succeeded or not self.duration:
+            return None
+        return self.size * 8 / self.duration / 1e6
+
+
+class MeasurementCampaign:
+    """Periodic probing of every cloud from one location."""
+
+    def __init__(
+        self,
+        location: str,
+        sizes: Sequence[int],
+        interval: float = 1800.0,
+        duration_days: float = 30.0,
+        seed: int = 0,
+        cloud_ids: Sequence[str] = CLOUD_IDS,
+        with_stress: bool = True,
+    ):
+        self.location = location
+        self.sizes = list(sizes)
+        self.interval = interval
+        self.duration = duration_days * 86400.0
+        self.seed = seed
+        self.sim = Simulator()
+        self.clouds = make_clouds(self.sim, cloud_ids)
+        stress = make_stress(seed + 7, cloud_ids) if with_stress else None
+        self.connections = connect_location(
+            self.sim, self.clouds, location, seed=seed, stress=stress
+        )
+        self.samples: List[Sample] = []
+        self._rng = np.random.default_rng(seed + 13)
+
+    def run(self) -> List[Sample]:
+        """Execute the campaign; returns all collected samples."""
+        self.sim.run_process(self._campaign())
+        return self.samples
+
+    def _campaign(self):
+        # Pre-seed each (cloud, size) probe object so downloads have a
+        # target; overwritten each round to keep memory bounded.
+        for size in self.sizes:
+            content = random_bytes(self._rng, size)
+            for conn in self.connections:
+                try:
+                    yield from conn.upload(self._probe_path(size), content)
+                except CloudError:
+                    pass
+        start = self.sim.now
+        while self.sim.now - start < self.duration:
+            for size in self.sizes:
+                content = random_bytes(self._rng, size)
+                # Back to back over the clouds, as in the paper.
+                for conn in self.connections:
+                    yield from self._probe(conn, "up", size, content)
+                for conn in self.connections:
+                    yield from self._probe(conn, "down", size, None)
+            yield self.sim.timeout(self.interval)
+
+    def _probe_path(self, size: int) -> str:
+        return f"/measurement/probe_{size}.bin"
+
+    def _probe(self, conn, direction: str, size: int, content):
+        began = self.sim.now
+        try:
+            if direction == "up":
+                yield from conn.upload(self._probe_path(size), content)
+            else:
+                yield from conn.download(self._probe_path(size))
+        except CloudError:
+            self.samples.append(
+                Sample(began, self.location, conn.cloud_id, direction,
+                       size, None, False)
+            )
+            return
+        self.samples.append(
+            Sample(began, self.location, conn.cloud_id, direction,
+                   size, self.sim.now - began, True)
+        )
+
+
+def run_campaign(location: str, sizes: Sequence[int], **kwargs) -> List[Sample]:
+    """Convenience one-shot campaign."""
+    return MeasurementCampaign(location, sizes, **kwargs).run()
+
+
+def summarize(samples: List[Sample], cloud_id: str, direction: str,
+              size: Optional[int] = None) -> Dict[str, float]:
+    """avg/min/max duration and success rate for one (cloud, direction)."""
+    chosen = [
+        s for s in samples
+        if s.cloud_id == cloud_id and s.direction == direction
+        and (size is None or s.size == size)
+    ]
+    durations = [s.duration for s in chosen if s.succeeded]
+    total = len(chosen)
+    return {
+        "count": total,
+        "success_rate": (
+            sum(1 for s in chosen if s.succeeded) / total if total else 0.0
+        ),
+        "avg": float(np.mean(durations)) if durations else float("nan"),
+        "min": float(np.min(durations)) if durations else float("nan"),
+        "max": float(np.max(durations)) if durations else float("nan"),
+    }
+
+
+__all__.append("summarize")

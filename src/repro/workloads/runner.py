@@ -1,0 +1,262 @@
+"""Experiment harness for the §7 evaluation figures.
+
+Builds the four approaches the paper compares — five native apps, the
+intuitive multi-cloud, the RACS/DepSky-style benchmark, and UniDrive —
+against a shared set of simulated clouds at any EC2 vantage point, and
+measures upload / download / end-to-end sync times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import (
+    IntuitiveMultiCloud,
+    MultiCloudBenchmark,
+    NativeClient,
+    ThroughputEstimator,
+    UniDriveConfig,
+    UniDriveTransfer,
+)
+from ..core.baselines import NATIVE_CONNECTIONS
+from ..simkernel import Simulator
+from .generator import random_bytes
+from .locations import CLOUD_IDS, connect_location, make_clouds, make_stress
+
+__all__ = [
+    "Testbed",
+    "TransferMeasurement",
+    "measure_single_transfers",
+    "APPROACHES",
+]
+
+#: Canonical approach names used across the benchmark tables.
+APPROACHES = ["dropbox", "onedrive", "gdrive", "baidupcs", "dbank",
+              "intuitive", "benchmark", "unidrive"]
+
+
+@dataclass
+class TransferMeasurement:
+    """One measured transfer for one approach."""
+
+    approach: str
+    location: str
+    direction: str
+    size: int
+    duration: Optional[float]
+    succeeded: bool
+
+    @property
+    def throughput_mbps(self) -> Optional[float]:
+        if not self.succeeded or not self.duration:
+            return None
+        return self.size * 8 / self.duration / 1e6
+
+
+class Testbed:
+    """One vantage point with every approach wired to shared clouds."""
+
+    __test__ = False  # not a pytest class despite the harness-y name
+
+    def __init__(self, location: str, seed: int = 0,
+                 config: Optional[UniDriveConfig] = None,
+                 with_stress: bool = True,
+                 retain_content: bool = True):
+        self.location = location
+        self.seed = seed
+        self.config = config or UniDriveConfig()
+        self.sim = Simulator()
+        self.clouds = make_clouds(self.sim, CLOUD_IDS,
+                                  retain_content=retain_content)
+        stress = make_stress(seed + 11) if with_stress else None
+        # Separate connection sets per approach keep traffic metering
+        # and probing state isolated, but every set shares one seed so
+        # all approaches face the *same* bandwidth realizations — a
+        # paired comparison, like measuring back to back on one host.
+        self._conn_sets: Dict[str, list] = {}
+        for name in APPROACHES:
+            # Native apps (and the intuitive solution built from them)
+            # sustain only their app-specific connection counts.
+            parallel = (
+                NATIVE_CONNECTIONS
+                if name in CLOUD_IDS or name == "intuitive"
+                else 5
+            )
+            self._conn_sets[name] = connect_location(
+                self.sim, self.clouds, location,
+                seed=seed * 100, stress=stress, max_parallel=parallel,
+            )
+        self.natives = {
+            cid: NativeClient(self.sim, conn)
+            for cid, conn in zip(
+                CLOUD_IDS,
+                [self._conn_sets[cid][i] for i, cid in enumerate(CLOUD_IDS)],
+            )
+        }
+        self.intuitive = IntuitiveMultiCloud(
+            self.sim,
+            [
+                NativeClient(self.sim, conn)
+                for conn in self._conn_sets["intuitive"]
+            ],
+        )
+        self.benchmark = MultiCloudBenchmark(
+            self.sim, self._conn_sets["benchmark"], self.config
+        )
+        self.estimator = ThroughputEstimator()
+        self.unidrive = UniDriveTransfer(
+            self.sim, self._conn_sets["unidrive"], self.config,
+            estimator=self.estimator,
+        )
+        self._rng = np.random.default_rng(seed + 29)
+        self._counter = 0
+
+    def connections_for(self, approach: str) -> list:
+        return self._conn_sets[approach]
+
+    # -- measurement primitives ---------------------------------------------
+
+    def measure_upload(self, approach: str, size: int) -> TransferMeasurement:
+        """Upload a fresh random file through one approach; time it."""
+        content = random_bytes(self._rng, size)
+        path = self._fresh_path(approach)
+        outcome = self.sim.run_process(
+            self._client(approach).upload(path, content)
+        )
+        return self._record(approach, "up", size, outcome)
+
+    def measure_download(self, approach: str, size: int,
+                         path: str = None) -> TransferMeasurement:
+        """Time a download; uploads a fresh file first unless ``path``
+        names one this approach already uploaded (repeat measurements
+        of a stored file avoid paying the upload again)."""
+        client = self._client(approach)
+        if path is None:
+            content = random_bytes(self._rng, size)
+            path = self._fresh_path(approach)
+            up = self.sim.run_process(client.upload(path, content))
+            if not up.succeeded:
+                return self._record(approach, "down", size, up)
+        if isinstance(client, MultiCloudBenchmark):
+            outcome = self.sim.run_process(client.download(path))
+        else:
+            outcome = self.sim.run_process(client.download(path, size))
+        return self._record(approach, "down", size, outcome)
+
+    def seed_file(self, approach: str, size: int):
+        """Upload a file for later repeated downloads; returns its path
+        (or None when the upload failed)."""
+        content = random_bytes(self._rng, size)
+        path = self._fresh_path(approach)
+        outcome = self.sim.run_process(
+            self._client(approach).upload(path, content)
+        )
+        return path if outcome.succeeded else None
+
+    def measure_upload_all(self, approaches, size):
+        """Time one upload per approach, all starting at the same
+        instant (their connection sets are independent, so they do not
+        interfere) — a perfectly paired comparison across identical
+        bandwidth epochs."""
+        content = random_bytes(self._rng, size)
+        procs = {}
+        for approach in approaches:
+            path = self._fresh_path(approach)
+            procs[approach] = self.sim.process(
+                self._client(approach).upload(path, content)
+            )
+
+        def waiter():
+            from repro.simkernel import AllOf
+
+            yield AllOf(self.sim, list(procs.values()))
+
+        self.sim.run_process(waiter())
+        return {
+            a: self._record(a, "up", size, p.value)
+            for a, p in procs.items()
+        }
+
+    def measure_download_all(self, approaches, size, paths):
+        """Time one download per approach concurrently; ``paths`` maps
+        approach -> a previously stored path (see :meth:`seed_file`)."""
+        procs = {}
+        for approach in approaches:
+            client = self._client(approach)
+            if isinstance(client, MultiCloudBenchmark):
+                gen = client.download(paths[approach])
+            else:
+                gen = client.download(paths[approach], size)
+            procs[approach] = self.sim.process(gen)
+
+        def waiter():
+            from repro.simkernel import AllOf
+
+            yield AllOf(self.sim, list(procs.values()))
+
+        self.sim.run_process(waiter())
+        return {
+            a: self._record(a, "down", size, p.value)
+            for a, p in procs.items()
+        }
+
+    def advance(self, seconds: float) -> None:
+        """Let virtual time pass (temporal variation studies)."""
+        self.sim.run(until=self.sim.now + seconds)
+
+    # -- internals -----------------------------------------------------------
+
+    def _client(self, approach: str):
+        if approach in self.natives:
+            return self.natives[approach]
+        if approach == "intuitive":
+            return self.intuitive
+        if approach == "benchmark":
+            return self.benchmark
+        if approach == "unidrive":
+            return self.unidrive
+        raise KeyError(f"unknown approach {approach!r}")
+
+    def _fresh_path(self, approach: str) -> str:
+        self._counter += 1
+        return f"/bench/{approach}/f{self._counter}.bin"
+
+    def _record(self, approach, direction, size, outcome):
+        return TransferMeasurement(
+            approach=approach,
+            location=self.location,
+            direction=direction,
+            size=size,
+            duration=outcome.duration if outcome.succeeded else None,
+            succeeded=outcome.succeeded,
+        )
+
+
+def measure_single_transfers(
+    location: str,
+    approaches: Sequence[str],
+    size: int,
+    repeats: int = 5,
+    gap_seconds: float = 1800.0,
+    seed: int = 0,
+    directions: Sequence[str] = ("up", "down"),
+    config: Optional[UniDriveConfig] = None,
+) -> List[TransferMeasurement]:
+    """Repeated up/down measurement of each approach at one location.
+
+    Repeats are spread ``gap_seconds`` apart so temporal bandwidth
+    variation is sampled, as in the paper's methodology.
+    """
+    bed = Testbed(location, seed=seed, config=config, retain_content=False)
+    out: List[TransferMeasurement] = []
+    for _round in range(repeats):
+        for approach in approaches:
+            if "up" in directions:
+                out.append(bed.measure_upload(approach, size))
+            if "down" in directions:
+                out.append(bed.measure_download(approach, size))
+        bed.advance(gap_seconds)
+    return out

@@ -1,0 +1,187 @@
+"""Synthetic reproduction of the 272-user real-world trial (§7.3).
+
+The paper's trial distributed UniDrive to users on heterogeneous
+networks (residential, university, corporate) across 21 sites and
+logged every upload's throughput plus Web API success rates.  We
+synthesize an equivalent population:
+
+* each user gets a home location (drawn from the vantage-point tables),
+  a personal bandwidth scale factor (last-mile diversity), and 3-5
+  enrolled clouds;
+* users perform uploads at random times across the trial window with
+  file sizes from the trial's documents/multimedia mixture;
+* links run with inflated failure rates so the *request* success rate
+  lands near the trial's 82.5%, while UniDrive's multi-cloud retry
+  keeps *file operation* success near 98%+.
+
+Figures 15 and 16 are direct aggregations of the emitted records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core import UniDriveConfig, UniDriveTransfer
+from ..simkernel import Simulator
+from .generator import TrialSizeMixture, bucket_of, random_bytes
+from .locations import (
+    CLOUD_IDS,
+    EC2_NODES,
+    PLANETLAB_NODES,
+    connect_location,
+    make_clouds,
+    make_stress,
+)
+
+__all__ = ["TrialRecord", "TrialResult", "run_trial"]
+
+_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One file upload by one trial user."""
+
+    user: int
+    location: str
+    t: float
+    size: int
+    duration: Optional[float]
+    succeeded: bool
+
+    @property
+    def throughput_mbps(self) -> Optional[float]:
+        if not self.succeeded or not self.duration:
+            return None
+        return self.size * 8 / self.duration / 1e6
+
+    @property
+    def bucket(self) -> str:
+        return bucket_of(self.size)
+
+    @property
+    def day(self) -> int:
+        return int(self.t // _DAY)
+
+
+@dataclass
+class TrialResult:
+    """Aggregated outcome of one synthetic trial."""
+
+    records: List[TrialRecord]
+    api_requests: int
+    api_failures: int
+    days: float
+
+    @property
+    def api_success_rate(self) -> float:
+        if self.api_requests == 0:
+            return 1.0
+        return 1.0 - self.api_failures / self.api_requests
+
+    @property
+    def file_success_rate(self) -> float:
+        if not self.records:
+            return 1.0
+        return sum(1 for r in self.records if r.succeeded) / len(self.records)
+
+    def throughput_by(self, location: Optional[str] = None,
+                      bucket: Optional[str] = None,
+                      day: Optional[int] = None) -> List[float]:
+        return [
+            r.throughput_mbps
+            for r in self.records
+            if r.succeeded and r.throughput_mbps is not None
+            and (location is None or r.location == location)
+            and (bucket is None or r.bucket == bucket)
+            and (day is None or r.day == day)
+        ]
+
+
+def run_trial(
+    n_users: int = 272,
+    days: float = 7.0,
+    uploads_per_user: int = 8,
+    seed: int = 0,
+    failure_scale: float = 3.5,
+    locations: Optional[Sequence[str]] = None,
+    config: Optional[UniDriveConfig] = None,
+) -> TrialResult:
+    """Simulate the trial; returns per-upload records plus API stats.
+
+    ``failure_scale`` inflates every link's base failure rate to model
+    the much rougher consumer networks observed in the wild (the paper
+    measured 82.5% request success during the trial versus ~99% from
+    PlanetLab).
+    """
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    sites = list(locations or (PLANETLAB_NODES + EC2_NODES))
+    config = config or UniDriveConfig(theta=1024 * 1024)
+    clouds = make_clouds(sim, CLOUD_IDS, retain_content=False)
+    stress = make_stress(seed + 3, CLOUD_IDS, mean_calm=2400.0,
+                         mean_stress=1200.0)
+    mixture = TrialSizeMixture(np.random.default_rng(seed + 5))
+    records: List[TrialRecord] = []
+    all_connections = []
+
+    def user_process(user_id: int):
+        location = sites[int(rng.integers(0, len(sites)))]
+        bandwidth_scale = float(np.exp(rng.normal(0.0, 0.45)))
+        n_clouds = int(rng.integers(3, len(CLOUD_IDS) + 1))
+        enrolled = list(rng.choice(len(clouds), size=n_clouds, replace=False))
+        connections = connect_location(
+            sim, [clouds[i] for i in enrolled], location,
+            seed=seed + 17 * user_id + 1,
+            stress=stress, bandwidth_scale=bandwidth_scale,
+        )
+        # Consumer networks are rough: inflate base failure rates.
+        for conn in connections:
+            conn.conditions.failures.base_rate = min(
+                0.3, conn.conditions.failures.base_rate * failure_scale
+            )
+        all_connections.extend(connections)
+        user_config = UniDriveConfig(
+            theta=config.theta,
+            k_blocks=config.k_blocks,
+            k_reliability=min(config.k_reliability, n_clouds),
+            k_security=min(config.k_security, n_clouds),
+        )
+        client = UniDriveTransfer(sim, connections, user_config)
+        user_rng = np.random.default_rng(seed + 23 * user_id + 7)
+        times = np.sort(user_rng.uniform(0, days * _DAY, uploads_per_user))
+        for upload_index, when in enumerate(times):
+            delay = when - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            size = mixture.sample()
+            content = random_bytes(user_rng, size)
+            began = sim.now
+            outcome = yield from client.upload(
+                f"/u{user_id}/f{upload_index}.bin", content
+            )
+            records.append(
+                TrialRecord(
+                    user=user_id,
+                    location=location,
+                    t=began,
+                    size=size,
+                    duration=outcome.duration,
+                    succeeded=outcome.succeeded,
+                )
+            )
+
+    for user in range(n_users):
+        sim.process(user_process(user))
+    sim.run()
+    api_requests = sum(c.traffic.requests for c in all_connections)
+    api_failures = sum(c.traffic.failed_requests for c in all_connections)
+    return TrialResult(
+        records=records,
+        api_requests=api_requests,
+        api_failures=api_failures,
+        days=days,
+    )

@@ -1,0 +1,120 @@
+"""Tests for content-based segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking import Segment, Segmenter, segment_ids
+
+THETA = 4096  # small theta keeps tests fast; behaviour is scale-free
+
+
+def random_bytes(size, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 256, size=size, dtype=np.uint8
+    ).tobytes()
+
+
+def test_theta_validation():
+    with pytest.raises(ValueError):
+        Segmenter(theta=16, window=32)
+
+
+def test_empty_input():
+    assert Segmenter(THETA).split(b"") == []
+
+
+def test_small_file_is_single_segment():
+    data = b"tiny file"
+    segments = Segmenter(THETA).split(data)
+    assert len(segments) == 1
+    assert segments[0].data == data
+    assert segments[0].offset == 0
+
+
+def test_segments_reassemble_exactly():
+    data = random_bytes(10 * THETA + 123, seed=1)
+    segments = Segmenter(THETA).split(data)
+    assert b"".join(s.data for s in segments) == data
+    # Offsets must be consistent with concatenation order.
+    position = 0
+    for segment in segments:
+        assert segment.offset == position
+        position += segment.size
+
+
+def test_segment_sizes_respect_band():
+    data = random_bytes(50 * THETA, seed=2)
+    segmenter = Segmenter(THETA)
+    segments = segmenter.split(data)
+    assert len(segments) > 10
+    for segment in segments[:-1]:
+        assert segmenter.min_size <= segment.size <= segmenter.max_size
+    # The tail may only be undersized if merging would break the band.
+    assert segments[-1].size <= segmenter.max_size
+
+
+def test_mean_segment_size_near_theta():
+    data = random_bytes(200 * THETA, seed=3)
+    segments = Segmenter(THETA).split(data)
+    mean = sum(s.size for s in segments) / len(segments)
+    assert 0.6 * THETA < mean < 1.5 * THETA
+
+
+def test_deterministic():
+    data = random_bytes(20 * THETA, seed=4)
+    a = segment_ids(Segmenter(THETA).split(data))
+    b = segment_ids(Segmenter(THETA).split(data))
+    assert a == b
+
+
+def test_segment_id_is_content_hash():
+    import hashlib
+
+    segment = Segment.from_bytes(b"content")
+    assert segment.segment_id == hashlib.sha1(b"content").hexdigest()
+
+
+def test_identical_content_same_ids_across_files():
+    """Dedup property: same content yields same segment IDs."""
+    data = random_bytes(20 * THETA, seed=5)
+    ids_a = segment_ids(Segmenter(THETA).split(data))
+    ids_b = segment_ids(Segmenter(THETA).split(data))
+    assert ids_a == ids_b
+
+
+def test_local_edit_perturbs_few_segments():
+    """The core CDC property: an edit invalidates O(1) segments."""
+    data = bytearray(random_bytes(60 * THETA, seed=6))
+    segmenter = Segmenter(THETA)
+    original = set(segment_ids(segmenter.split(bytes(data))))
+    # Flip one byte in the middle.
+    data[30 * THETA] ^= 0xFF
+    edited = segment_ids(segmenter.split(bytes(data)))
+    changed = [sid for sid in edited if sid not in original]
+    assert 1 <= len(changed) <= 3
+
+
+def test_insertion_resynchronizes():
+    """After inserting bytes, later segments must realign (dedup works)."""
+    data = random_bytes(60 * THETA, seed=7)
+    segmenter = Segmenter(THETA)
+    original = set(segment_ids(segmenter.split(data)))
+    edited_data = data[: 5 * THETA] + b"INSERTED!" + data[5 * THETA:]
+    edited = segment_ids(segmenter.split(edited_data))
+    shared = [sid for sid in edited if sid in original]
+    # The vast majority of segments must be re-used.
+    assert len(shared) >= len(edited) - 4
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=30000), st.integers(0, 100))
+def test_reassembly_property(size, seed):
+    data = random_bytes(size, seed=seed)
+    segmenter = Segmenter(theta=2048)
+    segments = segmenter.split(data)
+    assert b"".join(s.data for s in segments) == data
+    for segment in segments:
+        assert segment.size <= segmenter.max_size
+        assert segment.size > 0 or size == 0

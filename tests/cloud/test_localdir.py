@@ -1,0 +1,65 @@
+"""Tests for the real-directory cloud used by examples."""
+
+from repro.cloud import LocalDirCloud, NotFoundError
+from repro.simkernel import Simulator
+
+
+def test_roundtrip(tmp_path):
+    sim = Simulator()
+    cloud = LocalDirCloud(sim, "local", str(tmp_path / "cloudA"))
+
+    def proc():
+        yield from cloud.upload("/dir/file.bin", b"content")
+        data = yield from cloud.download("/dir/file.bin")
+        return data
+
+    assert sim.run_process(proc()) == b"content"
+
+
+def test_list_and_delete(tmp_path):
+    sim = Simulator()
+    cloud = LocalDirCloud(sim, "local", str(tmp_path))
+
+    def proc():
+        yield from cloud.create_folder("/d")
+        yield from cloud.upload("/d/a", b"1")
+        yield from cloud.upload("/d/b", b"22")
+        entries = yield from cloud.list_folder("/d")
+        yield from cloud.delete("/d/a")
+        after = yield from cloud.list_folder("/d")
+        yield from cloud.delete("/d")
+        return entries, after
+
+    entries, after = sim.run_process(proc())
+    assert sorted(e.name for e in entries) == ["a", "b"]
+    assert [e.name for e in after] == ["b"]
+    by_name = {e.name: e for e in entries}
+    assert by_name["b"].size == 2
+
+
+def test_missing_paths(tmp_path):
+    sim = Simulator()
+    cloud = LocalDirCloud(sim, "local", str(tmp_path))
+
+    def proc():
+        try:
+            yield from cloud.download("/none")
+        except NotFoundError:
+            pass
+        try:
+            yield from cloud.list_folder("/nodir")
+        except NotFoundError:
+            return "both-missing"
+
+    assert sim.run_process(proc()) == "both-missing"
+
+
+def test_delete_idempotent(tmp_path):
+    sim = Simulator()
+    cloud = LocalDirCloud(sim, "local", str(tmp_path))
+
+    def proc():
+        yield from cloud.delete("/ghost")
+        return "ok"
+
+    assert sim.run_process(proc()) == "ok"

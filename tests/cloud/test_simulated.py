@@ -1,0 +1,232 @@
+"""Tests for SimulatedCloud + CloudConnection behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CloudConnection,
+    CloudUnavailableError,
+    NotFoundError,
+    RequestFailedError,
+    SimulatedCloud,
+    make_instant_connection,
+)
+from repro.netsim import MBPS, LinkProfile
+from repro.simkernel import Simulator
+
+
+def make_pair(seed=0, **profile_kwargs):
+    sim = Simulator()
+    cloud = SimulatedCloud(sim, "dropbox")
+    defaults = dict(
+        up_mbps=8.0,
+        down_mbps=16.0,
+        rtt_seconds=0.2,
+        latency_jitter=0.0,
+        failure_rate=0.0,
+        volatility=0.0,
+        fade_probability=0.0,
+        diurnal_amplitude=0.0,
+    )
+    defaults.update(profile_kwargs)
+    profile = LinkProfile(**defaults)
+    conn = CloudConnection(sim, cloud, profile, np.random.default_rng(seed))
+    return sim, cloud, conn
+
+
+def test_upload_download_roundtrip():
+    sim, cloud, conn = make_pair()
+
+    def proc():
+        yield from conn.upload("/file.bin", b"payload bytes")
+        content = yield from conn.download("/file.bin")
+        return content
+
+    assert sim.run_process(proc()) == b"payload bytes"
+
+
+def test_upload_takes_latency_plus_transfer_time():
+    sim, cloud, conn = make_pair(rtt_seconds=0.5)
+    size = 1_000_000
+
+    def proc():
+        yield from conn.upload("/big", bytes(size))
+        return sim.now
+
+    elapsed = sim.run_process(proc())
+    expected = 0.5 + size / (8.0 * MBPS)
+    assert elapsed == pytest.approx(expected, rel=0.01)
+
+
+def test_download_faster_than_upload_here():
+    sim, cloud, conn = make_pair()
+    size = 2_000_000
+
+    def proc():
+        yield from conn.upload("/f", bytes(size))
+        start = sim.now
+        yield from conn.download("/f")
+        return sim.now - start
+
+    down_time = sim.run_process(proc())
+    expected = 0.2 + size / (16.0 * MBPS)
+    assert down_time == pytest.approx(expected, rel=0.01)
+
+
+def test_list_and_delete():
+    sim, cloud, conn = make_pair()
+
+    def proc():
+        yield from conn.create_folder("/dir")
+        yield from conn.upload("/dir/a", b"1")
+        yield from conn.upload("/dir/b", b"22")
+        entries = yield from conn.list_folder("/dir")
+        yield from conn.delete("/dir/a")
+        remaining = yield from conn.list_folder("/dir")
+        return [e.name for e in entries], [e.name for e in remaining]
+
+    before, after = sim.run_process(proc())
+    assert before == ["a", "b"]
+    assert after == ["b"]
+
+
+def test_mtime_is_server_time():
+    sim, cloud, conn = make_pair()
+
+    def proc():
+        yield sim.timeout(100.0)
+        yield from conn.upload("/f", b"x")
+        entries = yield from conn.list_folder("/")
+        return entries[0].mtime
+
+    mtime = sim.run_process(proc())
+    assert mtime > 100.0
+
+
+def test_unavailable_cloud_raises_after_timeout():
+    sim, cloud, conn = make_pair()
+    cloud.set_available(False)
+
+    def proc():
+        try:
+            yield from conn.upload("/f", b"x")
+        except CloudUnavailableError:
+            return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(10.0)
+
+
+def test_inaccessible_profile_raises():
+    sim, cloud, conn = make_pair(accessible=False)
+
+    def proc():
+        try:
+            yield from conn.download("/f")
+        except CloudUnavailableError:
+            return "blocked"
+
+    assert sim.run_process(proc()) == "blocked"
+
+
+def test_download_missing_file():
+    sim, cloud, conn = make_pair()
+
+    def proc():
+        try:
+            yield from conn.download("/missing")
+        except NotFoundError:
+            return "notfound"
+
+    assert sim.run_process(proc()) == "notfound"
+
+
+def test_transient_failures_occur_at_configured_rate():
+    sim, cloud, conn = make_pair(seed=3, failure_rate=0.3)
+    outcomes = []
+
+    def proc():
+        for i in range(200):
+            try:
+                yield from conn.upload(f"/f{i}", b"tiny")
+                outcomes.append(True)
+            except RequestFailedError:
+                outcomes.append(False)
+
+    sim.run_process(proc())
+    failure_fraction = outcomes.count(False) / len(outcomes)
+    assert 0.2 < failure_fraction < 0.6  # two draws per upload
+
+
+def test_failed_upload_does_not_store():
+    sim, cloud, conn = make_pair(seed=5, failure_rate=0.999)
+
+    def proc():
+        try:
+            yield from conn.upload("/f", b"data")
+        except RequestFailedError:
+            pass
+
+    sim.run_process(proc())
+    assert not cloud.store.exists("/f")
+
+
+def test_traffic_meter_accounting():
+    sim, cloud, conn = make_pair()
+
+    def proc():
+        yield from conn.upload("/f", b"x" * 1000)
+        yield from conn.download("/f")
+        yield from conn.list_folder("/")
+
+    sim.run_process(proc())
+    assert conn.traffic.payload_up == 1000
+    assert conn.traffic.payload_down == 1000
+    assert conn.traffic.requests == 3
+    assert conn.traffic.overhead >= 3 * 700
+
+
+def test_concurrent_uploads_share_connection_pool():
+    sim, cloud, conn = make_pair()
+    size = 1_000_000
+    finish = []
+
+    def one(i):
+        yield from conn.upload(f"/f{i}", bytes(size))
+        finish.append(sim.now)
+
+    for i in range(5):
+        sim.process(one(i))
+    sim.run()
+    # 5 parallel connections at 8 Mbps each -> all finish ~same time.
+    assert max(finish) - min(finish) < 0.2
+    assert max(finish) == pytest.approx(0.2 + size / (8.0 * MBPS), rel=0.05)
+
+
+def test_instant_connection_is_fast_and_reliable():
+    sim = Simulator()
+    cloud = SimulatedCloud(sim, "instant")
+    conn = make_instant_connection(sim, cloud)
+
+    def proc():
+        for i in range(50):
+            yield from conn.upload(f"/f{i}", b"data" * 100)
+        return sim.now
+
+    assert sim.run_process(proc()) < 0.01
+
+
+def test_quota_flows_through_connection():
+    sim = Simulator()
+    cloud = SimulatedCloud(sim, "tiny", quota_bytes=100)
+    conn = make_instant_connection(sim, cloud)
+
+    from repro.cloud import QuotaExceededError
+
+    def proc():
+        yield from conn.upload("/ok", b"x" * 90)
+        try:
+            yield from conn.upload("/big", b"y" * 20)
+        except QuotaExceededError:
+            return "quota"
+
+    assert sim.run_process(proc()) == "quota"

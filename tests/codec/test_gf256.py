@@ -1,0 +1,116 @@
+"""Unit and property tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec import gf256
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+def test_add_is_xor():
+    assert gf256.add(0b1010, 0b0110) == 0b1100
+    assert gf256.sub(0b1010, 0b0110) == 0b1100
+
+
+def test_mul_known_values():
+    # 2 * 2 = 4; generator powers cycle with period 255.
+    assert gf256.mul(2, 2) == 4
+    assert gf256.mul(0, 123) == 0
+    assert gf256.mul(1, 123) == 123
+    # 0x80 * 2 overflows and reduces by the primitive polynomial.
+    assert gf256.mul(0x80, 2) == (0x100 ^ gf256.PRIMITIVE_POLY)
+
+
+def test_exp_log_roundtrip():
+    for value in range(1, 256):
+        assert gf256.EXP_TABLE[gf256.LOG_TABLE[value]] == value
+
+
+def test_div_by_zero():
+    with pytest.raises(ZeroDivisionError):
+        gf256.div(5, 0)
+
+
+def test_inv_of_zero():
+    with pytest.raises(ZeroDivisionError):
+        gf256.inv(0)
+
+
+def test_pow_edge_cases():
+    assert gf256.pow(0, 0) == 1
+    assert gf256.pow(0, 5) == 0
+    assert gf256.pow(7, 0) == 1
+    with pytest.raises(ZeroDivisionError):
+        gf256.pow(0, -1)
+
+
+@given(elements, elements)
+def test_mul_commutative(a, b):
+    assert gf256.mul(a, b) == gf256.mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_mul_associative(a, b, c):
+    assert gf256.mul(gf256.mul(a, b), c) == gf256.mul(a, gf256.mul(b, c))
+
+
+@given(elements, elements, elements)
+def test_distributive(a, b, c):
+    left = gf256.mul(a, gf256.add(b, c))
+    right = gf256.add(gf256.mul(a, b), gf256.mul(a, c))
+    assert left == right
+
+
+@given(nonzero)
+def test_inverse_identity(a):
+    assert gf256.mul(a, gf256.inv(a)) == 1
+
+
+@given(elements, nonzero)
+def test_div_inverts_mul(a, b):
+    assert gf256.div(gf256.mul(a, b), b) == a
+
+
+@given(nonzero, st.integers(min_value=-10, max_value=10))
+def test_pow_matches_repeated_mul(a, n):
+    expected = 1
+    base = a if n >= 0 else gf256.inv(a)
+    for _ in range(abs(n)):
+        expected = gf256.mul(expected, base)
+    assert gf256.pow(a, n) == expected
+
+
+@given(elements, st.binary(min_size=1, max_size=64))
+def test_mul_vec_matches_scalar(scalar, data):
+    vec = np.frombuffer(data, dtype=np.uint8)
+    out = gf256.mul_vec(scalar, vec)
+    for i, value in enumerate(vec):
+        assert out[i] == gf256.mul(scalar, int(value))
+
+
+@given(elements, st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8))
+def test_addmul_vec_matches_scalar(scalar, acc_bytes, vec_bytes):
+    acc = np.frombuffer(acc_bytes, dtype=np.uint8).copy()
+    vec = np.frombuffer(vec_bytes, dtype=np.uint8)
+    expected = [
+        gf256.add(int(a), gf256.mul(scalar, int(v)))
+        for a, v in zip(acc, vec)
+    ]
+    gf256.addmul_vec(acc, scalar, vec)
+    assert list(acc) == expected
+
+
+def test_mul_vec_zero_scalar_returns_zeros():
+    vec = np.array([1, 2, 3], dtype=np.uint8)
+    assert gf256.mul_vec(0, vec).tolist() == [0, 0, 0]
+
+
+def test_mul_vec_does_not_alias_input():
+    vec = np.array([1, 2, 3], dtype=np.uint8)
+    out = gf256.mul_vec(1, vec)
+    out[0] = 99
+    assert vec[0] == 1

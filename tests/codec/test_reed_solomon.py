@@ -1,0 +1,165 @@
+"""Tests for the Reed-Solomon codec, including UniDrive's security property."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import DecodeError, ReedSolomonCode
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ReedSolomonCode(n=2, k=3)
+    with pytest.raises(ValueError):
+        ReedSolomonCode(n=0, k=0)
+    with pytest.raises(ValueError):
+        ReedSolomonCode(n=256, k=3)
+
+
+def test_encode_produces_n_equal_blocks():
+    code = ReedSolomonCode(n=5, k=3)
+    blocks = code.encode(b"hello world, this is a segment")
+    assert len(blocks) == 5
+    sizes = {len(b) for b in blocks}
+    assert len(sizes) == 1
+    assert sizes.pop() == code.shard_size(30)
+
+
+def test_roundtrip_with_first_k_blocks():
+    code = ReedSolomonCode(n=5, k=3)
+    data = bytes(range(100)) * 3
+    blocks = code.encode(data)
+    got = code.decode({i: blocks[i] for i in range(3)}, len(data))
+    assert got == data
+
+
+def test_roundtrip_every_k_subset():
+    code = ReedSolomonCode(n=6, k=3)
+    data = b"UniDrive synergizes multiple consumer cloud storage services."
+    blocks = code.encode(data)
+    for subset in itertools.combinations(range(6), 3):
+        shards = {i: blocks[i] for i in subset}
+        assert code.decode(shards, len(data)) == data
+
+
+def test_too_few_blocks_rejected():
+    code = ReedSolomonCode(n=5, k=3)
+    blocks = code.encode(b"data")
+    with pytest.raises(DecodeError):
+        code.decode({0: blocks[0], 1: blocks[1]}, 4)
+
+
+def test_bad_index_rejected():
+    code = ReedSolomonCode(n=5, k=3)
+    blocks = code.encode(b"data")
+    with pytest.raises(DecodeError):
+        code.decode({0: blocks[0], 1: blocks[1], 9: blocks[2]}, 4)
+
+
+def test_size_mismatch_rejected():
+    code = ReedSolomonCode(n=5, k=3)
+    blocks = code.encode(b"some data here")
+    bad = {0: blocks[0], 1: blocks[1], 2: blocks[2] + b"x"}
+    with pytest.raises(DecodeError):
+        code.decode(bad, 14)
+
+
+def test_extra_blocks_ignored():
+    code = ReedSolomonCode(n=5, k=2)
+    data = b"extra blocks are fine"
+    blocks = code.encode(data)
+    assert code.decode(dict(enumerate(blocks)), len(data)) == data
+
+
+def test_empty_data_roundtrip():
+    code = ReedSolomonCode(n=4, k=2)
+    blocks = code.encode(b"")
+    assert code.decode({0: blocks[0], 1: blocks[1]}, 0) == b""
+
+
+def test_k_equals_one_is_replication_style():
+    code = ReedSolomonCode(n=3, k=1)
+    data = b"replicate me"
+    blocks = code.encode(data)
+    for i in range(3):
+        assert code.decode({i: blocks[i]}, len(data)) == data
+
+
+def test_k_equals_n():
+    code = ReedSolomonCode(n=4, k=4)
+    data = bytes(range(64))
+    blocks = code.encode(data)
+    assert code.decode(dict(enumerate(blocks)), len(data)) == data
+
+
+def test_systematic_first_k_blocks_are_plaintext():
+    code = ReedSolomonCode(n=5, k=2, systematic=True)
+    data = b"AB" * 10
+    blocks = code.encode(data)
+    assert blocks[0] + blocks[1] == data
+
+
+def test_non_systematic_blocks_carry_no_plaintext():
+    """UniDrive's security property: no block equals a data shard."""
+    code = ReedSolomonCode(n=5, k=3)
+    data = bytes(range(30))
+    size = code.shard_size(len(data))
+    shards = [data[i * size:(i + 1) * size] for i in range(3)]
+    for block in code.encode(data):
+        assert block not in shards
+
+
+def test_non_systematic_single_cloud_cannot_reconstruct():
+    """With K_s = 2, one cloud's blocks (< k of them) reveal nothing usable."""
+    code = ReedSolomonCode(n=10, k=3)
+    data = b"top secret document contents, do not leak"
+    blocks = code.encode(data)
+    # Even the maximum per-cloud allocation (ceil(k/(Ks-1)) - 1 = 2 blocks)
+    # is below k and decode must refuse.
+    with pytest.raises(DecodeError):
+        code.decode({0: blocks[0], 1: blocks[1]}, len(data))
+
+
+def test_reencode_block_matches_original():
+    code = ReedSolomonCode(n=6, k=3)
+    data = b"rebalancing after adding a cloud"
+    blocks = code.encode(data)
+    regenerated = code.reencode_block(
+        {1: blocks[1], 3: blocks[3], 5: blocks[5]}, 0, len(data)
+    )
+    assert regenerated == blocks[0]
+
+
+def test_generator_matrix_read_only():
+    code = ReedSolomonCode(n=4, k=2)
+    with pytest.raises(ValueError):
+        code.generator_matrix[0, 0] = 1
+
+
+def test_shard_size_validation():
+    code = ReedSolomonCode(n=4, k=2)
+    with pytest.raises(ValueError):
+        code.shard_size(-1)
+    with pytest.raises(ValueError):
+        code.decode({}, -1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.binary(min_size=0, max_size=2048),
+    params=st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=6),
+    ),
+    systematic=st.booleans(),
+)
+def test_roundtrip_property(data, params, systematic):
+    k, extra = params
+    n = k + extra
+    code = ReedSolomonCode(n=n, k=k, systematic=systematic)
+    blocks = code.encode(data)
+    # Use the *last* k blocks to exercise a nontrivial submatrix.
+    chosen = {i: blocks[i] for i in range(n - k, n)}
+    assert code.decode(chosen, len(data)) == data

@@ -1,0 +1,69 @@
+"""Tests for the §1 storage-capacity arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.capacity import (
+    over_provisioned_expansion,
+    replication_capacity,
+    storage_expansion,
+    unidrive_capacity,
+)
+
+
+def test_paper_example():
+    """100 GB x 3 vendors, tolerate 1 outage: 200 GB vs at most 150 GB."""
+    quotas = [100, 100, 100]
+    assert unidrive_capacity(quotas, k_blocks=2, k_reliability=2) == 200.0
+    assert replication_capacity(quotas, tolerate_failures=1) == pytest.approx(
+        150.0
+    )
+
+
+def test_default_deployment_expansion():
+    """N=5, K_r=3, k=3: fair share 1/cloud -> 5/3 expansion."""
+    assert storage_expansion(3, 3, 5) == pytest.approx(5 / 3)
+    # Worst transient expansion with K_s=2: cap 2/cloud -> 10/3.
+    assert over_provisioned_expansion(3, 2, 5) == pytest.approx(10 / 3)
+
+
+def test_unidrive_capacity_bound_by_smallest_quota():
+    assert unidrive_capacity([10, 100, 100], 2, 2) == 20.0
+
+
+def test_replication_unequal_quotas():
+    # One huge cloud cannot hold two replicas of the same byte.
+    assert replication_capacity([1000, 10, 10], 1) == pytest.approx(20.0)
+    assert replication_capacity([100, 50, 50], 1) == pytest.approx(100.0)
+
+
+def test_replication_three_copies():
+    assert replication_capacity([90, 90, 90], 2) == pytest.approx(90.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        unidrive_capacity([], 2, 2)
+    with pytest.raises(ValueError):
+        unidrive_capacity([-1], 2, 2)
+    with pytest.raises(ValueError):
+        replication_capacity([100, 100], tolerate_failures=2)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=1000), min_size=3,
+             max_size=6),
+    st.integers(min_value=1, max_value=2),
+)
+def test_unidrive_beats_replication_property(quotas, failures):
+    """For matched fault tolerance on equal-ish quotas, erasure coding
+    never offers less capacity than replication when quotas are equal."""
+    n = len(quotas)
+    equal = [min(quotas)] * n
+    k_reliability = n - failures
+    # Pick k so the fair share is exact: k = K_r (share == 1).
+    unidrive = unidrive_capacity(equal, k_blocks=k_reliability,
+                                 k_reliability=k_reliability)
+    replicated = replication_capacity(equal, tolerate_failures=failures)
+    assert unidrive >= replicated - 1e-6

@@ -1,0 +1,101 @@
+"""Tests for device heartbeats and fully-synced over-provision GC."""
+
+import numpy as np
+
+from repro.cloud import SimulatedCloud, make_instant_connection
+from repro.core import UniDriveClient, UniDriveConfig
+from repro.fsmodel import VirtualFileSystem
+from repro.simkernel import Simulator
+
+CONFIG = UniDriveConfig(theta=64 * 1024)
+
+
+def make_env(n_devices=2, seed=0):
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"cloud{i}") for i in range(5)]
+    clients = []
+    for d in range(n_devices):
+        fs = VirtualFileSystem()
+        conns = [
+            make_instant_connection(sim, c, seed=seed + 10 * d + i)
+            for i, c in enumerate(clouds)
+        ]
+        clients.append(
+            UniDriveClient(sim, f"device{d}", fs, conns, config=CONFIG,
+                           rng=np.random.default_rng(seed + d))
+        )
+    return sim, clouds, clients
+
+
+def payload(seed, size=180 * 1024):
+    return np.random.default_rng(seed).integers(
+        0, 256, size=size, dtype=np.uint8
+    ).tobytes()
+
+
+def total_blocks(clouds):
+    return sum(
+        len(c.store.list_folder(CONFIG.blocks_dir)) for c in clouds
+    )
+
+
+def test_heartbeats_published_after_sync():
+    sim, clouds, clients = make_env()
+    clients[0].fs.write_file("/f", payload(1), mtime=sim.now)
+    sim.run_process(clients[0].sync())
+    sim.run_process(clients[1].sync())
+    versions = sim.run_process(clients[0].fleet_applied_versions())
+    assert versions == {"device0": 1, "device1": 1}
+
+
+def test_gc_waits_for_lagging_device():
+    sim, clouds, clients = make_env()
+    clients[0].fs.write_file("/f", payload(2), mtime=sim.now)
+    sim.run_process(clients[0].sync())
+    sim.run_process(clients[1].sync())  # both at version 1
+    # Device 0 commits version 2; device 1 has not applied it yet.
+    clients[0].fs.write_file("/g", payload(3), mtime=sim.now)
+    sim.run_process(clients[0].sync())
+    ran = sim.run_process(clients[0].gc_if_fully_synced())
+    assert ran is False  # device1's heartbeat still says version 1
+    before = total_blocks(clouds)
+    # Once device 1 catches up, GC proceeds and reclaims extras.
+    sim.run_process(clients[1].sync())
+    ran = sim.run_process(clients[0].gc_if_fully_synced())
+    assert ran is True
+    sim.run()
+    assert total_blocks(clouds) < before
+
+
+def test_gc_keeps_data_recoverable():
+    sim, clouds, clients = make_env()
+    data = payload(4)
+    clients[0].fs.write_file("/keep", data, mtime=sim.now)
+    sim.run_process(clients[0].sync())
+    sim.run_process(clients[1].sync())
+    assert sim.run_process(clients[0].gc_if_fully_synced())
+    sim.run()
+    # After reclaiming extras only fair shares remain: exactly one
+    # block per cloud per segment...
+    for cloud in clouds:
+        per_segment = {}
+        for entry in cloud.store.list_folder(CONFIG.blocks_dir):
+            seg = entry.name.rsplit(".", 1)[0]
+            per_segment[seg] = per_segment.get(seg, 0) + 1
+        assert all(count == 1 for count in per_segment.values())
+    # ...and a third device can still reconstruct everything.
+    fs = VirtualFileSystem()
+    conns = [
+        make_instant_connection(sim, c, seed=77 + i)
+        for i, c in enumerate(clouds)
+    ]
+    fresh = UniDriveClient(sim, "late-device", fs, conns, config=CONFIG,
+                           rng=np.random.default_rng(99))
+    sim.run_process(fresh.sync())
+    assert fs.read_file("/keep") == data
+
+
+def test_no_heartbeats_means_no_gc():
+    sim, clouds, clients = make_env(n_devices=1)
+    # Nothing synced yet: no heartbeat files exist.
+    assert sim.run_process(clients[0].gc_if_fully_synced()) is False

@@ -1,0 +1,101 @@
+"""Tests for the file ⇄ segments ⇄ blocks pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import UniDriveConfig
+from repro.core.pipeline import BlockPipeline
+
+CONFIG = UniDriveConfig(theta=64 * 1024)
+
+
+def make():
+    return BlockPipeline(CONFIG, n_clouds=5)
+
+
+def content(size, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 256, size=size, dtype=np.uint8
+    ).tobytes()
+
+
+def test_geometry_matches_placement_math():
+    pipeline = make()
+    # k=3, K_s=2, N=5 -> cap 2/cloud -> n = 10 blocks max.
+    assert pipeline.k == 3
+    assert pipeline.n == 10
+    assert pipeline.code.n == 10
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        BlockPipeline(UniDriveConfig(k_reliability=6), n_clouds=5)
+
+
+def test_segment_and_record():
+    pipeline = make()
+    data = content(200 * 1024, seed=1)
+    segments = pipeline.segment_file(data)
+    assert b"".join(s.data for s in segments) == data
+    record = pipeline.make_record(segments[0])
+    assert record.segment_id == segments[0].segment_id
+    assert record.size == segments[0].size
+    assert (record.n, record.k) == (10, 3)
+    assert record.locations == {}
+
+
+def test_block_path_layout():
+    pipeline = make()
+    record = pipeline.make_record(pipeline.segment_file(b"x" * 100)[0])
+    path = pipeline.block_path(record, 7)
+    assert path == f"/unidrive/blocks/{record.segment_id}.7"
+
+
+def test_encode_decode_roundtrip():
+    pipeline = make()
+    data = content(150 * 1024, seed=2)
+    for segment in pipeline.segment_file(data):
+        record = pipeline.make_record(segment)
+        blocks = pipeline.encode_segment(segment)
+        assert len(blocks) == 10
+        # Any k=3 blocks reconstruct.
+        got = pipeline.decode_segment(
+            record, {1: blocks[1], 5: blocks[5], 9: blocks[9]}
+        )
+        assert got == segment.data
+
+
+def test_encode_block_matches_encode_segment():
+    pipeline = make()
+    segment = pipeline.segment_file(content(80 * 1024, seed=3))[0]
+    full = pipeline.encode_segment(segment)
+    for index in (0, 4, 9):
+        assert pipeline.code.encode_block(segment.data, index) == full[index]
+
+
+def test_encode_block_index_validation():
+    pipeline = make()
+    with pytest.raises(ValueError):
+        pipeline.code.encode_block(b"data", 10)
+
+
+def test_assemble_file_order():
+    pipeline = make()
+    assert pipeline.assemble_file([b"ab", b"cd", b"ef"]) == b"abcdef"
+    assert pipeline.assemble_file([]) == b""
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=300_000), st.integers(0, 50))
+def test_full_pipeline_roundtrip_property(size, seed):
+    pipeline = make()
+    data = content(size, seed=seed)
+    reassembled = []
+    for segment in pipeline.segment_file(data):
+        record = pipeline.make_record(segment)
+        blocks = pipeline.encode_segment(segment)
+        chosen = {i: blocks[i] for i in (2, 6, 7)}
+        reassembled.append(pipeline.decode_segment(record, chosen))
+    assert pipeline.assemble_file(reassembled) == data

@@ -1,0 +1,132 @@
+"""Tests for the placement arithmetic of paper §6.1."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import UniDriveConfig
+from repro.core.placement import (
+    fair_share,
+    fair_share_assignment,
+    max_block_count,
+    max_blocks_per_cloud,
+    normal_block_count,
+    rebalance_on_add,
+    rebalance_on_remove,
+)
+
+CLOUDS = ["c1", "c2", "c3", "c4", "c5"]
+
+
+def test_paper_parameters():
+    """N=5, K_r=3, K_s=2, k=3 (paper §7.1): share 1, cap 2, 5..10 blocks."""
+    assert fair_share(3, 3) == 1
+    assert max_blocks_per_cloud(3, 2) == 2
+    assert normal_block_count(3, 3, 5) == 5
+    assert max_block_count(3, 2, 5) == 10
+
+
+def test_fair_share_rounding():
+    assert fair_share(4, 3) == 2
+    assert fair_share(6, 3) == 2
+    assert fair_share(1, 5) == 1
+
+
+def test_security_cap_special_case_ks1():
+    # K_s = 1 means no security constraint: a single cloud may hold all k.
+    assert max_blocks_per_cloud(7, 1) == 7
+
+
+def test_security_cap_denies_reconstruction():
+    """K_s - 1 clouds may hold at most (K_s - 1) * cap < k blocks."""
+    for k in range(1, 20):
+        for ks in range(2, 6):
+            cap = max_blocks_per_cloud(k, ks)
+            assert (ks - 1) * cap < k
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        fair_share(0, 3)
+    with pytest.raises(ValueError):
+        max_blocks_per_cloud(3, 0)
+
+
+def test_config_validate_accepts_paper_setup():
+    UniDriveConfig().validate(5)
+
+
+def test_config_validate_rejects_bad_orders():
+    with pytest.raises(ValueError):
+        UniDriveConfig(k_reliability=6).validate(5)  # K_r > N
+    with pytest.raises(ValueError):
+        UniDriveConfig(k_security=4).validate(5)  # K_s > K_r
+    with pytest.raises(ValueError):
+        UniDriveConfig().validate(0)
+
+
+def test_config_validate_rejects_security_reliability_clash():
+    # k=4, K_r=3 needs 2 blocks/cloud; K_s=3 allows only 1.
+    with pytest.raises(ValueError, match="security"):
+        UniDriveConfig(k_blocks=4, k_reliability=3, k_security=3).validate(5)
+
+
+def test_fair_share_assignment_partition():
+    assignment = fair_share_assignment(CLOUDS, k=3, k_reliability=3)
+    indices = [i for ids in assignment.values() for i in ids]
+    assert sorted(indices) == list(range(5))  # share=1 each, disjoint
+    assert assignment["c1"] == [0]
+    assert assignment["c5"] == [4]
+
+
+def test_fair_share_assignment_multi_block():
+    assignment = fair_share_assignment(["a", "b"], k=4, k_reliability=2)
+    assert assignment == {"a": [0, 1], "b": [2, 3]}
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=8),
+)
+def test_reliability_property(k, kr, n):
+    """Any K_r clouds holding their fair share can supply >= k blocks."""
+    share = fair_share(k, kr)
+    assert share * kr >= k
+    assert normal_block_count(k, kr, n) == share * n
+
+
+def test_rebalance_on_remove_moves_blocks():
+    locations = {0: "c1", 1: "c2", 2: "c3", 3: "c4", 4: "c5"}
+    new = rebalance_on_remove(
+        locations, "c3", ["c1", "c2", "c4", "c5"], k=3,
+        k_reliability=3, k_security=2,
+    )
+    assert "c3" not in new.values()
+    assert set(new) == set(locations)  # same block indices survive
+    # Every remaining cloud ends within the security cap (2).
+    for cloud in ["c1", "c2", "c4", "c5"]:
+        assert sum(1 for c in new.values() if c == cloud) <= 2
+
+
+def test_rebalance_on_remove_respects_cap():
+    # Two clouds, cap 2 each, 5 blocks to place: impossible.
+    locations = {i: "a" if i < 2 else "b" if i < 4 else "c" for i in range(5)}
+    with pytest.raises(ValueError):
+        rebalance_on_remove(locations, "c", ["a", "b"], k=3,
+                            k_reliability=2, k_security=2)
+
+
+def test_rebalance_on_remove_last_cloud_rejected():
+    with pytest.raises(ValueError):
+        rebalance_on_remove({0: "a"}, "a", [], 1, 1, 1)
+
+
+def test_rebalance_on_add_takes_fair_share():
+    locations = {0: "c1", 1: "c1", 2: "c2", 3: "c2", 4: "c3", 5: "c3"}
+    new = rebalance_on_add(
+        locations, "c4", ["c1", "c2", "c3", "c4"], k=6, k_reliability=4
+    )
+    adopted = [i for i, c in new.items() if c == "c4"]
+    assert len(adopted) == fair_share(6, 4)
+    assert set(new) == set(locations)

@@ -1,0 +1,72 @@
+"""Tests for the in-channel throughput estimator."""
+
+import math
+
+import pytest
+
+from repro.core.probing import DOWNLOAD, UPLOAD, ThroughputEstimator
+
+
+def test_alpha_validation():
+    with pytest.raises(ValueError):
+        ThroughputEstimator(alpha=0)
+    with pytest.raises(ValueError):
+        ThroughputEstimator(alpha=1.5)
+
+
+def test_unprobed_cloud_is_optimistic():
+    estimator = ThroughputEstimator()
+    assert estimator.estimate("new", UPLOAD) == math.inf
+
+
+def test_first_sample_taken_verbatim():
+    estimator = ThroughputEstimator()
+    estimator.record("c", UPLOAD, nbytes=1000, duration=2.0)
+    assert estimator.estimate("c", UPLOAD) == 500.0
+
+
+def test_ewma_converges():
+    estimator = ThroughputEstimator(alpha=0.5)
+    estimator.record("c", UPLOAD, 1000, 1.0)  # 1000
+    estimator.record("c", UPLOAD, 2000, 1.0)  # 0.5*2000 + 0.5*1000 = 1500
+    assert estimator.estimate("c", UPLOAD) == 1500.0
+
+
+def test_directions_independent():
+    estimator = ThroughputEstimator()
+    estimator.record("c", UPLOAD, 100, 1.0)
+    assert estimator.estimate("c", DOWNLOAD) == math.inf
+
+
+def test_zero_duration_ignored():
+    estimator = ThroughputEstimator()
+    estimator.record("c", UPLOAD, 100, 0.0)
+    assert estimator.estimate("c", UPLOAD) == math.inf
+
+
+def test_failure_penalty():
+    estimator = ThroughputEstimator(alpha=0.5)
+    estimator.record("c", UPLOAD, 1000, 1.0)
+    estimator.record_failure("c", UPLOAD)
+    assert estimator.estimate("c", UPLOAD) == 500.0
+    # Penalizing an unprobed cloud is a no-op.
+    estimator.record_failure("x", UPLOAD)
+    assert estimator.estimate("x", UPLOAD) == math.inf
+
+
+def test_rank_orders_fastest_first():
+    estimator = ThroughputEstimator()
+    estimator.record("slow", DOWNLOAD, 100, 1.0)
+    estimator.record("fast", DOWNLOAD, 1000, 1.0)
+    ranked = estimator.rank(["slow", "fast", "unknown"], DOWNLOAD)
+    assert ranked[0] == "unknown"  # explored first
+    assert ranked[1] == "fast"
+    assert ranked[2] == "slow"
+
+
+def test_sample_count():
+    estimator = ThroughputEstimator()
+    estimator.record("c", UPLOAD, 10, 1.0)
+    estimator.record("c", UPLOAD, 10, 1.0)
+    assert estimator.sample_count("c", UPLOAD) == 2
+    assert estimator.sample_count("c", DOWNLOAD) == 0

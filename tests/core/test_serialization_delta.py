@@ -1,0 +1,153 @@
+"""Tests for metadata serialization, encryption, and Delta-sync."""
+
+import pytest
+
+from repro.core.config import UniDriveConfig
+from repro.core.deltasync import (
+    DeltaLog,
+    op_add_conflict,
+    op_add_segment,
+    op_delete_file,
+    op_drop_segment,
+    op_set_location,
+    op_set_version,
+    op_upsert_file,
+    should_merge,
+)
+from repro.core.metadata import (
+    FileSnapshot,
+    SegmentRecord,
+    SyncFolderImage,
+    VersionStamp,
+)
+from repro.core.serialization import (
+    deserialize_image,
+    deserialize_version,
+    serialize_image,
+    serialize_version,
+)
+
+KEY = b"UniDrive"
+
+
+def build_image():
+    image = SyncFolderImage("device-A")
+    image.version = VersionStamp(3, "device-A")
+    image.add_segment(SegmentRecord("s1", size=1000, n=10, k=3))
+    image.set_block_location("s1", 0, "dropbox")
+    image.set_block_location("s1", 4, "gdrive")
+    image.upsert_file(
+        FileSnapshot("/docs/a.txt", 1.5, 1000, ["s1"], "device-A")
+    )
+    return image
+
+
+def test_image_roundtrip_encrypted():
+    image = build_image()
+    blob = serialize_image(image, KEY)
+    restored = deserialize_image(blob, KEY)
+    assert restored.to_dict() == image.to_dict()
+
+
+def test_image_ciphertext_is_opaque():
+    image = build_image()
+    blob = serialize_image(image, KEY)
+    assert b"docs" not in blob
+    assert b"dropbox" not in blob
+
+
+def test_image_serialization_deterministic():
+    a = serialize_image(build_image(), KEY)
+    b = serialize_image(build_image(), KEY)
+    assert a == b
+
+
+def test_image_wrong_key_fails():
+    from repro.crypto import PaddingError
+
+    blob = serialize_image(build_image(), KEY)
+    try:
+        restored = deserialize_image(blob, b"badkey!!")
+    except (PaddingError, ValueError, UnicodeDecodeError):
+        return
+    assert restored.to_dict() != build_image().to_dict()
+
+
+def test_version_file_roundtrip():
+    stamp = VersionStamp(42, "device-B")
+    blob = serialize_version(stamp)
+    assert len(blob) < 100  # must stay tiny: polled every tau seconds
+    assert deserialize_version(blob).to_dict() == stamp.to_dict()
+
+
+def test_delta_log_replays_every_op():
+    base = SyncFolderImage("d")
+    log = DeltaLog()
+    log.append(op_add_segment(SegmentRecord("s1", 100, 10, 3)))
+    log.append(op_upsert_file(FileSnapshot("/f", 1.0, 100, ["s1"], "d")))
+    log.append(op_set_location("s1", 2, "onedrive"))
+    log.append(op_set_version(5, "d"))
+    log.apply_to(base)
+    assert base.files["/f"].current.size == 100
+    assert base.segments["s1"].locations == {2: "onedrive"}
+    assert base.version.counter == 5
+
+
+def test_delta_log_delete_and_conflict_ops():
+    image = SyncFolderImage("d")
+    log = DeltaLog()
+    log.append(op_add_segment(SegmentRecord("s1", 10, 5, 2)))
+    log.append(op_add_segment(SegmentRecord("s2", 10, 5, 2)))
+    log.append(op_upsert_file(FileSnapshot("/f", 1.0, 10, ["s1"], "d")))
+    log.append(op_add_conflict("/f", FileSnapshot("/f", 2.0, 10, ["s2"], "e")))
+    log.apply_to(image)
+    assert len(image.files["/f"].conflicts) == 1
+    follow = DeltaLog([op_delete_file("/f"), op_drop_segment("s1")])
+    follow.apply_to(image)
+    assert "/f" not in image.files
+    assert "s1" not in image.segments
+
+
+def test_delta_log_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        DeltaLog([{"op": "explode"}]).apply_to(SyncFolderImage())
+
+
+def test_delta_log_wire_roundtrip():
+    log = DeltaLog()
+    log.append(op_set_version(9, "dev"))
+    log.append(op_delete_file("/gone"))
+    blob = log.to_bytes(KEY)
+    restored = DeltaLog.from_bytes(blob, KEY)
+    assert restored.ops == log.ops
+
+
+def test_delta_log_empty_roundtrip():
+    blob = DeltaLog().to_bytes(KEY)
+    assert DeltaLog.from_bytes(blob, KEY).ops == []
+
+
+def test_delta_equivalent_to_direct_mutation():
+    """Applying a delta == performing the same calls directly."""
+    direct = SyncFolderImage("d")
+    direct.add_segment(SegmentRecord("s1", 50, 10, 3))
+    direct.upsert_file(FileSnapshot("/x", 1.0, 50, ["s1"], "d"))
+    direct.set_block_location("s1", 1, "baidu")
+
+    replayed = SyncFolderImage("d")
+    log = DeltaLog([
+        op_add_segment(SegmentRecord("s1", 50, 10, 3)),
+        op_upsert_file(FileSnapshot("/x", 1.0, 50, ["s1"], "d")),
+        op_set_location("s1", 1, "baidu"),
+    ])
+    log.apply_to(replayed)
+    assert replayed.to_dict() == direct.to_dict()
+
+
+def test_should_merge_thresholds():
+    config = UniDriveConfig()  # ratio 0.25, cap 10 KiB
+    assert not should_merge(base_size=100_000, delta_size=5_000, config=config)
+    assert should_merge(base_size=100_000, delta_size=10_240, config=config)
+    # Small base: the ratio bound dominates.
+    assert should_merge(base_size=4_000, delta_size=1_000, config=config)
+    assert not should_merge(base_size=4_000, delta_size=999, config=config)

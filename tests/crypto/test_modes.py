@@ -1,0 +1,94 @@
+"""Tests for CBC mode and PKCS#5 padding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    PaddingError,
+    decrypt_cbc,
+    encrypt_cbc,
+    pad,
+    unpad,
+)
+
+KEY = b"metakey1"
+IV = b"\x00\x01\x02\x03\x04\x05\x06\x07"
+
+
+def test_pad_lengths():
+    assert len(pad(b"")) == 8
+    assert len(pad(b"1234567")) == 8
+    assert len(pad(b"12345678")) == 16
+
+
+def test_pad_unpad_roundtrip():
+    for size in range(0, 33):
+        data = bytes(range(size % 256))[:size]
+        assert unpad(pad(data)) == data
+
+
+def test_unpad_rejects_garbage():
+    with pytest.raises(PaddingError):
+        unpad(b"")
+    with pytest.raises(PaddingError):
+        unpad(b"\x00" * 8)  # padding byte 0 invalid
+    with pytest.raises(PaddingError):
+        unpad(b"\x01\x02\x03\x04\x05\x06\x07\x09")  # 9 > block size
+    with pytest.raises(PaddingError):
+        unpad(b"abcdefg")  # misaligned
+
+
+def test_cbc_roundtrip():
+    plaintext = b"SyncFolderImage: {files: 42, segments: 99}"
+    blob = encrypt_cbc(KEY, plaintext, IV)
+    assert decrypt_cbc(KEY, blob) == plaintext
+
+
+def test_cbc_output_contains_iv():
+    blob = encrypt_cbc(KEY, b"data", IV)
+    assert blob[:8] == IV
+
+
+def test_cbc_ciphertext_differs_from_plaintext():
+    plaintext = b"A" * 64
+    blob = encrypt_cbc(KEY, plaintext, IV)
+    assert plaintext not in blob
+
+
+def test_cbc_equal_blocks_encrypt_differently():
+    # CBC chaining: identical plaintext blocks yield distinct ciphertext.
+    blob = encrypt_cbc(KEY, b"A" * 16, IV)
+    body = blob[8:]
+    assert body[0:8] != body[8:16]
+
+
+def test_cbc_wrong_key_fails_or_garbles():
+    plaintext = b"confidential metadata"
+    blob = encrypt_cbc(KEY, plaintext, IV)
+    try:
+        got = decrypt_cbc(b"wrongkey", blob)
+    except PaddingError:
+        return
+    assert got != plaintext
+
+
+def test_cbc_iv_validation():
+    with pytest.raises(ValueError):
+        encrypt_cbc(KEY, b"data", b"short")
+
+
+def test_cbc_blob_validation():
+    with pytest.raises(PaddingError):
+        decrypt_cbc(KEY, b"tooshort")
+    with pytest.raises(PaddingError):
+        decrypt_cbc(KEY, b"x" * 17)
+
+
+@given(st.binary(min_size=0, max_size=256),
+       st.binary(min_size=8, max_size=8),
+       st.binary(min_size=8, max_size=8))
+def test_cbc_roundtrip_property(plaintext, key, iv):
+    blob = encrypt_cbc(key, plaintext, iv)
+    assert decrypt_cbc(key, blob) == plaintext
+    assert len(blob) % 8 == 0

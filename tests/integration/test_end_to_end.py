@@ -1,0 +1,162 @@
+"""End-to-end integration: the full stack over realistic networks."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniDriveClient, UniDriveConfig
+from repro.fsmodel import VirtualFileSystem
+from repro.simkernel import Simulator
+from repro.workloads import connect_location, make_clouds, random_bytes
+
+CONFIG = UniDriveConfig(theta=256 * 1024, check_interval=15.0)
+
+
+def make_env(locations, seed=0, config=CONFIG):
+    sim = Simulator()
+    clouds = make_clouds(sim)
+    clients = []
+    for index, location in enumerate(locations):
+        fs = VirtualFileSystem()
+        conns = connect_location(
+            sim, clouds, location, seed=seed + 11 * index
+        )
+        clients.append(
+            UniDriveClient(
+                sim, f"dev-{location}-{index}", fs, conns, config=config,
+                rng=np.random.default_rng(seed + index),
+            )
+        )
+    return sim, clouds, clients
+
+
+def test_three_devices_converge_over_wan():
+    sim, clouds, clients = make_env(["virginia", "tokyo", "ireland"], seed=1)
+    rng = np.random.default_rng(2)
+    contents = {
+        f"/folder/file{i}.bin": random_bytes(rng, 120_000) for i in range(4)
+    }
+    for path, data in contents.items():
+        clients[0].fs.write_file(path, data, mtime=sim.now)
+    sim.run_process(clients[0].sync())
+    for client in clients[1:]:
+        sim.run_process(client.sync())
+    for client in clients:
+        for path, data in contents.items():
+            assert client.fs.read_file(path) == data
+
+
+def test_periodic_loops_converge_despite_failures():
+    """Devices running sync loops converge even on flaky links."""
+    sim, clouds, clients = make_env(["virginia", "sydney"], seed=3)
+    for client in clients:
+        for conn in client.connections:
+            conn.conditions.failures.base_rate = 0.10  # rough network
+        sim.process(client.run_forever())
+    rng = np.random.default_rng(4)
+    payload = random_bytes(rng, 400_000)
+
+    def writer():
+        yield sim.timeout(5.0)
+        clients[0].fs.write_file("/big.bin", payload, mtime=sim.now)
+
+    sim.process(writer())
+    sim.run(until=900.0)
+    assert clients[1].fs.exists("/big.bin")
+    assert clients[1].fs.read_file("/big.bin") == payload
+
+
+def test_no_plaintext_ever_reaches_any_cloud():
+    """Security, end to end: scan every byte stored in every cloud for
+    the file's content and its path — nothing may appear."""
+    sim, clouds, clients = make_env(["virginia"], seed=5)
+    marker = b"TOP-SECRET-MARKER-0123456789" * 40
+    clients[0].fs.write_file("/secret/report.txt", marker, mtime=sim.now)
+    sim.run_process(clients[0].sync())
+    for cloud in clouds:
+        for path, obj in cloud.store._files.items():
+            stored = obj.content or b""
+            assert marker[:64] not in stored, (cloud.cloud_id, path)
+            assert b"secret/report" not in stored, (cloud.cloud_id, path)
+            assert b"report.txt" not in path.encode(), path
+
+
+def test_sync_during_cloud_outage_and_recovery():
+    sim, clouds, clients = make_env(["virginia", "oregon"], seed=6)
+    rng = np.random.default_rng(7)
+    # Two clouds die before anything is uploaded.
+    clouds[3].set_available(False)
+    clouds[4].set_available(False)
+    payload = random_bytes(rng, 200_000)
+    clients[0].fs.write_file("/survive.bin", payload, mtime=sim.now)
+    report = sim.run_process(clients[0].sync())
+    assert report.uploaded_files == ["/survive.bin"]
+    # The receiver can still fetch with the same two clouds down.
+    sim.run_process(clients[1].sync())
+    assert clients[1].fs.read_file("/survive.bin") == payload
+    # The clouds come back; a later edit uses all five again.
+    clouds[3].set_available(True)
+    clouds[4].set_available(True)
+    payload2 = random_bytes(rng, 150_000)
+    clients[1].fs.write_file("/survive.bin", payload2, mtime=sim.now)
+    sim.run_process(clients[1].sync())
+    sim.run_process(clients[0].sync())
+    assert clients[0].fs.read_file("/survive.bin") == payload2
+
+
+def test_concurrent_commits_serialize_and_merge():
+    """Five devices all commit different files at once; the quorum lock
+    serializes the commits and every device ends fully merged."""
+    sim, clouds, clients = make_env(
+        ["virginia", "oregon", "ireland", "tokyo", "sydney"], seed=8
+    )
+    rng = np.random.default_rng(9)
+    contents = {}
+    for index, client in enumerate(clients):
+        path = f"/from-device-{index}.bin"
+        contents[path] = random_bytes(rng, 60_000)
+        client.fs.write_file(path, contents[path], mtime=sim.now)
+        sim.process(client.sync())
+    sim.run()
+    # A couple of catch-up rounds propagate everything everywhere.
+    for _round in range(2):
+        for client in clients:
+            sim.run_process(client.sync())
+    for client in clients:
+        for path, data in contents.items():
+            assert client.fs.read_file(path) == data, (client.device, path)
+    # Version counters are strictly increasing and unique per commit.
+    counters = [c.image.version.counter for c in clients]
+    assert len(set(counters)) == 1  # all converged to the same version
+
+
+def test_large_file_integrity_over_noisy_network():
+    sim, clouds, clients = make_env(["saopaulo_ec2", "virginia"], seed=10,
+                                    config=UniDriveConfig(theta=1024 * 1024))
+    rng = np.random.default_rng(11)
+    payload = random_bytes(rng, 6 * 1024 * 1024)
+    clients[0].fs.write_file("/video.mp4", payload, mtime=sim.now)
+    sim.run_process(clients[0].sync())
+    sim.run_process(clients[1].sync())
+    assert clients[1].fs.read_file("/video.mp4") == payload
+
+
+def test_quota_exhaustion_degrades_gracefully():
+    """One cloud runs out of quota; sync still completes (degraded)."""
+    sim = Simulator()
+    clouds = make_clouds(sim)
+    clouds[0].store.quota_bytes = 50_000  # tiny quota on cloud 0
+    fs = VirtualFileSystem()
+    conns = connect_location(sim, clouds, "virginia", seed=12)
+    client = UniDriveClient(sim, "dev", fs, conns, config=CONFIG,
+                            rng=np.random.default_rng(12))
+    payload = random_bytes(np.random.default_rng(13), 500_000)
+    fs.write_file("/big.bin", payload, mtime=sim.now)
+    report = sim.run_process(client.sync())
+    assert report.uploaded_files == ["/big.bin"]
+    # Reader without the quota-starved cloud still reconstructs.
+    fs2 = VirtualFileSystem()
+    conns2 = connect_location(sim, clouds, "oregon", seed=14)
+    reader = UniDriveClient(sim, "reader", fs2, conns2, config=CONFIG,
+                            rng=np.random.default_rng(14))
+    sim.run_process(reader.sync())
+    assert fs2.read_file("/big.bin") == payload

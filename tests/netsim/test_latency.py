@@ -1,0 +1,34 @@
+"""Tests for the request-latency model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import LatencyModel
+
+
+def test_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        LatencyModel(rng, base_seconds=0)
+    with pytest.raises(ValueError):
+        LatencyModel(rng, base_seconds=0.1, jitter=-1)
+
+
+def test_zero_jitter_is_deterministic():
+    model = LatencyModel(np.random.default_rng(0), 0.25, jitter=0.0)
+    assert model.sample() == 0.25
+    assert model.sample() == 0.25
+
+
+def test_samples_positive_and_centered():
+    model = LatencyModel(np.random.default_rng(1), 0.2, jitter=0.35)
+    samples = np.array([model.sample() for _ in range(5000)])
+    assert (samples > 0).all()
+    # Mean-corrected lognormal: the average stays near the base RTT.
+    assert 0.17 < samples.mean() < 0.23
+
+
+def test_jitter_spreads_samples():
+    model = LatencyModel(np.random.default_rng(2), 0.2, jitter=0.5)
+    samples = [model.sample() for _ in range(1000)]
+    assert max(samples) / min(samples) > 3

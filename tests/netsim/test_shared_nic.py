@@ -1,0 +1,107 @@
+"""Tests for the shared-NIC aggregate bandwidth cap."""
+
+import pytest
+
+from repro.netsim import ConstantBandwidth, SharedNic, TransferEngine
+from repro.simkernel import Simulator
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SharedNic(0)
+
+
+def test_single_engine_unconstrained_when_capacity_ample():
+    sim = Simulator()
+    nic = SharedNic(capacity=1000.0)
+    engine = TransferEngine(sim, ConstantBandwidth(100.0), max_parallel=2,
+                            nic=nic)
+
+    def proc():
+        transfer = engine.start(1000.0)
+        yield transfer.event
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(10.0)
+
+
+def test_nic_caps_aggregate_rate():
+    """Two engines at 100 B/s each, NIC capacity 100: each runs at 50."""
+    sim = Simulator()
+    nic = SharedNic(capacity=100.0)
+    engines = [
+        TransferEngine(sim, ConstantBandwidth(100.0), max_parallel=1, nic=nic)
+        for _ in range(2)
+    ]
+    finish = {}
+
+    def proc(name, engine):
+        transfer = engine.start(500.0)
+        yield transfer.event
+        finish[name] = sim.now
+
+    sim.process(proc("a", engines[0]))
+    sim.process(proc("b", engines[1]))
+    sim.run()
+    assert finish["a"] == pytest.approx(10.0)
+    assert finish["b"] == pytest.approx(10.0)
+
+
+def test_nic_rebalances_when_sibling_finishes():
+    """When engine A finishes, engine B should speed back up."""
+    sim = Simulator()
+    nic = SharedNic(capacity=100.0)
+    engine_a = TransferEngine(sim, ConstantBandwidth(100.0), nic=nic)
+    engine_b = TransferEngine(sim, ConstantBandwidth(100.0), nic=nic)
+    finish = {}
+
+    def proc(name, engine, size):
+        transfer = engine.start(size)
+        yield transfer.event
+        finish[name] = sim.now
+
+    sim.process(proc("a", engine_a, 250.0))
+    sim.process(proc("b", engine_b, 750.0))
+    sim.run()
+    # Shared 50/50 until t=5 (a done: 250 at 50 B/s); b then has 500
+    # left at the full 100 B/s -> t = 5 + 5 = 10.
+    assert finish["a"] == pytest.approx(5.0)
+    assert finish["b"] == pytest.approx(10.0)
+
+
+def test_nic_rebalances_on_late_arrival():
+    sim = Simulator()
+    nic = SharedNic(capacity=100.0)
+    engine_a = TransferEngine(sim, ConstantBandwidth(100.0), nic=nic)
+    engine_b = TransferEngine(sim, ConstantBandwidth(100.0), nic=nic)
+    finish = {}
+
+    def first():
+        transfer = engine_a.start(1000.0)
+        yield transfer.event
+        finish["a"] = sim.now
+
+    def second():
+        yield sim.timeout(5.0)
+        transfer = engine_b.start(250.0)
+        yield transfer.event
+        finish["b"] = sim.now
+
+    sim.process(first())
+    sim.process(second())
+    sim.run()
+    # a alone at 100 B/s for 5s (500 left); then both at 50 B/s.
+    # b: 250 at 50 B/s -> t=10; a: 500-250=250 left at 100 -> t=12.5.
+    assert finish["b"] == pytest.approx(10.0)
+    assert finish["a"] == pytest.approx(12.5)
+
+
+def test_demand_counts_parallelism_caps():
+    sim = Simulator()
+    nic = SharedNic(capacity=1e9)
+    engine = TransferEngine(sim, ConstantBandwidth(100.0), max_parallel=2,
+                            nic=nic)
+    engine.start(1e6)
+    engine.start(1e6)
+    engine.start(1e6)  # beyond max_parallel: shares, not extra demand
+    assert nic.demand() == pytest.approx(200.0)

@@ -1,0 +1,215 @@
+"""Tests for the fluid-flow transfer engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    BandwidthProcess,
+    ConstantBandwidth,
+    TransferCancelled,
+    TransferEngine,
+)
+from repro.simkernel import Simulator
+
+
+def test_single_transfer_exact_duration():
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(100.0), max_parallel=4)
+
+    def proc():
+        transfer = engine.start(1000.0)
+        yield transfer.event
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(10.0)
+
+
+def test_zero_byte_transfer_completes_immediately():
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(100.0))
+    transfer = engine.start(0)
+    assert transfer.event.triggered
+    assert transfer.finished_at == 0.0
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(100.0))
+    with pytest.raises(ValueError):
+        engine.start(-1)
+
+
+def test_max_parallel_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TransferEngine(sim, ConstantBandwidth(1.0), max_parallel=0)
+
+
+def test_parallel_transfers_within_capacity_independent():
+    """Up to max_parallel transfers each get the full per-connection rate."""
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(100.0), max_parallel=3)
+    done = []
+
+    def proc(size):
+        transfer = engine.start(size)
+        yield transfer.event
+        done.append((size, sim.now))
+
+    for size in (500.0, 1000.0, 1500.0):
+        sim.process(proc(size))
+    sim.run()
+    assert dict(done) == {500.0: 5.0, 1000.0: 10.0, 1500.0: 15.0}
+
+
+def test_oversubscription_shares_capacity():
+    """Beyond max_parallel, aggregate rate*max_parallel is split evenly."""
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(100.0), max_parallel=1)
+    finish = {}
+
+    def proc(name, size):
+        transfer = engine.start(size)
+        yield transfer.event
+        finish[name] = sim.now
+
+    sim.process(proc("a", 1000.0))
+    sim.process(proc("b", 1000.0))
+    sim.run()
+    # Two equal transfers sharing 100 B/s finish together at t=20.
+    assert finish["a"] == pytest.approx(20.0)
+    assert finish["b"] == pytest.approx(20.0)
+
+
+def test_staggered_arrival_progress_accounting():
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(100.0), max_parallel=1)
+    finish = {}
+
+    def first():
+        transfer = engine.start(1000.0)
+        yield transfer.event
+        finish["first"] = sim.now
+
+    def second():
+        yield sim.timeout(5.0)
+        transfer = engine.start(250.0)
+        yield transfer.event
+        finish["second"] = sim.now
+
+    sim.process(first())
+    sim.process(second())
+    sim.run()
+    # t in [0,5): first alone at 100 B/s -> 500 left.
+    # t in [5,10): both at 50 B/s; second needs 250 -> done at t=10.
+    # first then has 250 left alone at 100 B/s -> done at t=12.5.
+    assert finish["second"] == pytest.approx(10.0)
+    assert finish["first"] == pytest.approx(12.5)
+
+
+def test_bandwidth_epoch_changes_respected():
+    class StepBandwidth:
+        """100 B/s before t=10, then 50 B/s."""
+
+        def rate_at(self, t):
+            return 100.0 if t < 10.0 else 50.0
+
+        def next_change_after(self, t):
+            return 10.0 if t < 10.0 else math.inf
+
+    sim = Simulator()
+    engine = TransferEngine(sim, StepBandwidth(), max_parallel=1)
+
+    def proc():
+        transfer = engine.start(1500.0)
+        yield transfer.event
+        return sim.now
+
+    # 1000 bytes in first 10s, remaining 500 at 50 B/s -> t=20.
+    assert sim.run_process(proc()) == pytest.approx(20.0)
+
+
+def test_cancel_fires_cancelled_error():
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(10.0), max_parallel=1)
+
+    def proc():
+        transfer = engine.start(1000.0)
+        sim.process(canceller(transfer))
+        try:
+            yield transfer.event
+        except TransferCancelled:
+            return ("cancelled", sim.now)
+
+    def canceller(transfer):
+        yield sim.timeout(3.0)
+        engine.cancel(transfer)
+
+    assert sim.run_process(proc()) == ("cancelled", 3.0)
+
+
+def test_cancel_frees_capacity():
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(100.0), max_parallel=1)
+    finish = {}
+
+    def victim():
+        transfer = engine.start(10000.0)
+        try:
+            yield transfer.event
+        except TransferCancelled:
+            finish["victim"] = "cancelled"
+
+    def survivor():
+        transfer = engine.start(1000.0)
+        yield transfer.event
+        finish["survivor"] = sim.now
+
+    def canceller():
+        yield sim.timeout(2.0)
+        engine.cancel(engine._active[0])
+
+    sim.process(victim())
+    sim.process(survivor())
+    sim.process(canceller())
+    sim.run()
+    # Shared 50 B/s for 2s -> survivor has 900 left, then full 100 B/s.
+    assert finish["victim"] == "cancelled"
+    assert finish["survivor"] == pytest.approx(2.0 + 900.0 / 100.0)
+
+
+def test_throughput_statistics():
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(200.0), max_parallel=2)
+
+    def proc():
+        transfer = engine.start(1000.0)
+        yield transfer.event
+        return transfer.throughput
+
+    assert sim.run_process(proc()) == pytest.approx(200.0)
+    assert engine.bytes_completed == 1000.0
+    assert engine.transfers_completed == 1
+
+
+def test_many_transfers_with_fluctuating_bandwidth_complete():
+    sim = Simulator()
+    process = BandwidthProcess(
+        np.random.default_rng(0), mean_rate=1000.0, epoch=5.0
+    )
+    engine = TransferEngine(sim, process, max_parallel=3)
+    completed = []
+
+    def proc(i):
+        yield sim.timeout(i * 0.7)
+        transfer = engine.start(500.0 + 100 * i)
+        yield transfer.event
+        completed.append(i)
+
+    for i in range(20):
+        sim.process(proc(i))
+    sim.run()
+    assert sorted(completed) == list(range(20))
+    assert engine.active_count == 0

@@ -1,0 +1,190 @@
+"""Unit tests for Store, Resource and Gate."""
+
+import pytest
+
+from repro.simkernel import Gate, Resource, Simulator, Store
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store.put("a")
+    store.put("b")
+    store.put("c")
+    sim.run_process(consumer())
+    assert got == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer():
+        item = yield store.get()
+        return (sim.now, item)
+
+    def producer():
+        yield sim.timeout(4.0)
+        store.put("late")
+
+    p = sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert p.value == (4.0, "late")
+
+
+def test_store_waiting_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    order = []
+
+    def consumer(name):
+        item = yield store.get()
+        order.append((name, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+
+    def producer():
+        yield sim.timeout(1.0)
+        store.put(1)
+        store.put(2)
+
+    sim.process(producer())
+    sim.run()
+    assert order == [("first", 1), ("second", 2)]
+
+
+def test_store_put_front_preempts():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("normal")
+    store.put_front("urgent")
+    got = []
+
+    def consumer():
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    sim.run_process(consumer())
+    assert got == ["urgent", "normal"]
+
+
+def test_store_cancel_pending_get():
+    sim = Simulator()
+    store = Store(sim)
+    evt = store.get()
+    store.cancel(evt)
+    store.put("x")
+    # The cancelled getter must not consume the item.
+    assert len(store) == 1
+    assert not evt.triggered
+
+
+def test_store_len_and_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_resource_limits_concurrency():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    active = []
+    peak = []
+
+    def worker(name):
+        yield res.acquire()
+        active.append(name)
+        peak.append(len(active))
+        yield sim.timeout(1.0)
+        active.remove(name)
+        res.release()
+
+    for i in range(5):
+        sim.process(worker(i))
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == 3.0  # ceil(5/2) batches of 1s
+
+
+def test_resource_release_without_acquire_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_counters():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+
+    def proc():
+        yield res.acquire()
+        assert res.in_use == 1
+        assert res.available == 2
+        res.release()
+        assert res.in_use == 0
+
+    sim.run_process(proc())
+
+
+def test_gate_broadcast():
+    sim = Simulator()
+    gate = Gate(sim)
+    released = []
+
+    def waiter(name):
+        yield gate.wait()
+        released.append((name, sim.now))
+
+    sim.process(waiter("a"))
+    sim.process(waiter("b"))
+
+    def opener():
+        yield sim.timeout(2.0)
+        gate.open()
+
+    sim.process(opener())
+    sim.run()
+    assert released == [("a", 2.0), ("b", 2.0)]
+
+
+def test_open_gate_does_not_block():
+    sim = Simulator()
+    gate = Gate(sim)
+    gate.open()
+
+    def waiter():
+        yield gate.wait()
+        return sim.now
+
+    assert sim.run_process(waiter()) == 0.0
+
+
+def test_gate_close_reblocks():
+    sim = Simulator()
+    gate = Gate(sim)
+    gate.open()
+    gate.close()
+    assert not gate.is_open
+    evt = gate.wait()
+    assert not evt.triggered
+    gate.open()
+    assert evt.triggered

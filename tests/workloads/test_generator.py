@@ -1,0 +1,74 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    SIZE_BUCKETS,
+    TrialSizeMixture,
+    apply_edit,
+    bucket_of,
+    make_batch,
+    random_bytes,
+)
+
+
+def test_random_bytes_properties():
+    rng = np.random.default_rng(0)
+    data = random_bytes(rng, 10_000)
+    assert len(data) == 10_000
+    # Incompressible: byte histogram roughly uniform.
+    counts = np.bincount(np.frombuffer(data, dtype=np.uint8), minlength=256)
+    assert counts.max() < 3 * counts.mean()
+
+
+def test_random_bytes_negative_rejected():
+    with pytest.raises(ValueError):
+        random_bytes(np.random.default_rng(0), -1)
+
+
+def test_random_bytes_deterministic():
+    a = random_bytes(np.random.default_rng(7), 100)
+    b = random_bytes(np.random.default_rng(7), 100)
+    assert a == b
+
+
+def test_make_batch():
+    batch = make_batch(np.random.default_rng(1), count=5, size=1024)
+    assert len(batch) == 5
+    assert all(len(v) == 1024 for v in batch.values())
+    assert len(set(batch.values())) == 5  # all distinct content
+
+
+def test_apply_edit_changes_limited_region():
+    rng = np.random.default_rng(2)
+    original = random_bytes(rng, 100_000)
+    edited = apply_edit(np.random.default_rng(3), original, edit_size=4096)
+    assert len(edited) == len(original)
+    assert edited != original
+    differing = sum(a != b for a, b in zip(original, edited))
+    assert differing <= 4096
+
+
+def test_apply_edit_empty_content():
+    out = apply_edit(np.random.default_rng(4), b"", edit_size=128)
+    assert len(out) == 128
+
+
+def test_bucket_boundaries():
+    kb, mb = 1024, 1024 * 1024
+    assert bucket_of(0) == "<100KB"
+    assert bucket_of(100 * kb - 1) == "<100KB"
+    assert bucket_of(100 * kb) == "100KB-1MB"
+    assert bucket_of(mb) == "1-10MB"
+    assert bucket_of(50 * mb) == ">10MB"
+    assert len(SIZE_BUCKETS) == 4
+
+
+def test_trial_mixture_spans_buckets():
+    mixture = TrialSizeMixture(np.random.default_rng(5))
+    sizes = mixture.sample_many(2000)
+    assert all(256 <= s <= mixture.max_bytes for s in sizes)
+    buckets = {bucket_of(s) for s in sizes}
+    # The population must populate at least the three main buckets.
+    assert {"<100KB", "100KB-1MB", "1-10MB"} <= buckets

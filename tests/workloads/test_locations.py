@@ -1,0 +1,111 @@
+"""Tests for the vantage-point profile tables."""
+
+import pytest
+
+from repro.simkernel import Simulator
+from repro.workloads import (
+    CLOUD_IDS,
+    EC2_NODES,
+    PLANETLAB_NODES,
+    connect_location,
+    link_profile,
+    location_profiles,
+    make_clouds,
+)
+
+
+def test_node_counts_match_paper():
+    assert len(PLANETLAB_NODES) == 13  # 13 PlanetLab nodes (section 3.2)
+    assert len(EC2_NODES) == 7  # 7 EC2 instances (section 7)
+
+
+def test_every_location_covers_every_cloud():
+    for location in PLANETLAB_NODES + EC2_NODES:
+        profiles = location_profiles(location)
+        assert set(profiles) == set(CLOUD_IDS)
+        for profile in profiles.values():
+            assert profile.up_mbps > 0
+            assert profile.down_mbps > 0
+            assert 0 <= profile.failure_rate < 1
+
+
+def test_unknown_location_and_cloud():
+    with pytest.raises(KeyError):
+        location_profiles("atlantis")
+    with pytest.raises(KeyError):
+        link_profile("princeton", "icloud")
+
+
+def test_no_always_winner():
+    """Dropbox leads at Princeton; OneDrive leads at Beijing (paper)."""
+    princeton = location_profiles("princeton")
+    beijing = location_profiles("beijing")
+    assert princeton["dropbox"].up_mbps > princeton["onedrive"].up_mbps
+    assert beijing["onedrive"].up_mbps > beijing["dropbox"].up_mbps
+
+
+def test_spatial_disparity_is_large():
+    """Up to ~60x disparity among clouds at one location (section 3.2)."""
+    worst = 0.0
+    for location in PLANETLAB_NODES:
+        profiles = [
+            p for p in location_profiles(location).values() if p.accessible
+        ]
+        ups = [p.up_mbps for p in profiles]
+        worst = max(worst, max(ups) / min(ups))
+    assert worst > 20
+
+
+def test_china_clouds_fast_at_home_slow_abroad():
+    assert location_profiles("beijing")["baidupcs"].up_mbps > 10
+    assert location_profiles("princeton")["baidupcs"].up_mbps < 1
+    # US clouds degrade in China: ~90% success (10% failures).
+    assert location_profiles("beijing")["dropbox"].failure_rate >= 0.1
+
+
+def test_spatial_outage_exists():
+    capetown = location_profiles("capetown")
+    assert not capetown["baidupcs"].accessible
+    assert not capetown["dbank"].accessible
+
+
+def test_ec2_download_capped():
+    """The paper's VMs cap downloads at 40 Mbps (8 Mbps x 5 conns)."""
+    for node in EC2_NODES:
+        for profile in location_profiles(node).values():
+            assert profile.down_mbps <= 8.0
+
+
+def test_connect_location_builds_connections():
+    sim = Simulator()
+    clouds = make_clouds(sim)
+    conns = connect_location(sim, clouds, "virginia", seed=1)
+    assert [c.cloud_id for c in conns] == CLOUD_IDS
+    scaled = connect_location(sim, clouds, "virginia", seed=1,
+                              bandwidth_scale=0.5)
+    assert scaled[0].profile.up_mbps == conns[0].profile.up_mbps * 0.5
+
+
+def test_nic_cap_limits_aggregate_download():
+    """A 40 Mbps host NIC caps multi-cloud downloads (paper §7.2)."""
+    import numpy as np
+
+    from repro.core import ThroughputEstimator, UniDriveConfig, UniDriveTransfer
+    from repro.workloads import random_bytes
+
+    def measure(nic_mbps):
+        sim = Simulator()
+        clouds = make_clouds(sim, retain_content=True)
+        conns = connect_location(sim, clouds, "virginia", seed=9,
+                                 nic_down_mbps=nic_mbps)
+        client = UniDriveTransfer(sim, conns, UniDriveConfig(),
+                                  estimator=ThroughputEstimator())
+        content = random_bytes(np.random.default_rng(9), 8 << 20)
+        sim.run_process(client.upload("/f", content))
+        out = sim.run_process(client.download("/f", len(content)))
+        assert out.succeeded
+        return out.duration
+
+    capped = measure(10.0)
+    free = measure(None)
+    assert capped > 1.5 * free

@@ -1,0 +1,30 @@
+"""Sanity tests for the §3.1 survey data module."""
+
+from repro.workloads import SURVEY, survey_report
+from repro.workloads.survey import CCS_USERS, TOTAL_PARTICIPANTS
+
+
+def test_headline_statistics_match_paper():
+    adoption = {f.statement: f for f in SURVEY["adoption"]}
+    # ~80% of participants use CCSs; >70% of users hold multiple accounts.
+    assert 0.79 < adoption["participants who use CCSs"].fraction < 0.81
+    assert adoption["CCS users with multiple accounts"].fraction > 0.70
+
+
+def test_fractions_are_probabilities():
+    for findings in SURVEY.values():
+        for finding in findings:
+            assert 0.0 < finding.fraction <= 1.0
+
+
+def test_top_concern_is_speed():
+    concerns = sorted(SURVEY["concerns"], key=lambda f: -f.fraction)
+    assert "speed" in concerns[0].statement
+
+
+def test_report_renders():
+    text = survey_report()
+    assert str(TOTAL_PARTICIPANTS) in text
+    assert str(CCS_USERS) in text
+    assert "69.62%" in text
+    assert "vendor lock-in" in text
