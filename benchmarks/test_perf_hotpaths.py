@@ -1,0 +1,95 @@
+"""Hot-path microbenchmarks (GF matmul, codec, chunking, dispatch).
+
+Pytest wrapper around :mod:`tools.bench`: runs each section once under
+the pytest-benchmark timer, renders the before/after table, and asserts
+the overhaul's acceptance bars — >= 3x encode throughput on 4 MB
+segments with n >= 10, and dispatch scans per block flat (within 2x)
+from a 10-file to a 200-file batch.
+
+Run with ``BENCH_QUICK=1`` for the CI-sized variant.
+"""
+
+import os
+import sys
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools"
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import bench  # noqa: E402
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def test_gf_matmul_throughput(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_gf_matmul(QUICK))
+    report("GF(256) matmul throughput (MB/s)", [
+        f"{'product table':<16}{fmt_cell(result['table_mb_per_s'])}",
+        f"{'log/exp legacy':<16}{fmt_cell(result['logexp_mb_per_s'])}",
+        f"{'speedup':<16}{fmt_cell(result['speedup'])}x",
+    ])
+    assert result["speedup"] > 1.5
+
+
+def test_encode_decode_throughput(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_encode_decode(QUICK))
+    report(
+        f"RS({result['n']},{result['k']}) codec throughput, "
+        f"{result['segment_mb']:g} MB segments (MB/s)",
+        [
+            f"{'encode':<22}{fmt_cell(result['encode_mb_per_s'])}",
+            f"{'encode (legacy)':<22}"
+            f"{fmt_cell(result['encode_legacy_mb_per_s'])}",
+            f"{'blocks, cached':<22}"
+            f"{fmt_cell(result['encode_blocks_cached_mb_per_s'])}",
+            f"{'blocks, legacy':<22}"
+            f"{fmt_cell(result['encode_blocks_legacy_mb_per_s'])}",
+            f"{'decode':<22}{fmt_cell(result['decode_mb_per_s'])}",
+            f"{'encode speedup':<22}{fmt_cell(result['encode_speedup'])}x",
+        ],
+    )
+    # The 3x acceptance bar is defined on 4 MB segments; quick mode's
+    # smaller segments sit closer to the shard-build overhead.
+    assert result["encode_speedup"] >= (2.0 if QUICK else 3.0)
+
+
+def test_chunking_throughput(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_chunking(QUICK))
+    report("Chunking throughput (MB/s)", [
+        f"{'buzhash_all batch':<20}{fmt_cell(result['batch_mb_per_s'])}",
+        f"{'stream (ring)':<20}{fmt_cell(result['stream_ring_mb_per_s'])}",
+        f"{'stream (pop(0))':<20}{fmt_cell(result['stream_pop0_mb_per_s'])}",
+    ])
+    assert result["stream_speedup"] > 1.0
+
+
+def test_dispatch_scans_flat(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_dispatch(QUICK))
+    rows = []
+    for key in ("cursor_small", "cursor_large",
+                "reference_small", "reference_large"):
+        run = result[key]
+        rows.append(
+            f"{key:<18}{run['files']:>6} files"
+            f"{fmt_cell(run['scans_per_block'])} scans/block"
+            f"{fmt_cell(run['blocks_per_s'], 12, 0)} blocks/s"
+        )
+    rows.append(f"{'cursor flatness':<18}"
+                f"{fmt_cell(result['cursor_flatness'])}x")
+    rows.append(f"{'reference growth':<18}"
+                f"{fmt_cell(result['reference_growth'])}x")
+    report("Upload dispatch cost vs batch size", rows)
+    assert result["cursor_flatness"] < 2.0
+
+
+def test_end_to_end_sync(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_end_to_end(QUICK))
+    report("End-to-end batch sync", [
+        f"{'files':<16}{result['files']}",
+        f"{'payload MB':<16}{fmt_cell(result['payload_mb'])}",
+        f"{'sync MB/s':<16}{fmt_cell(result['payload_mb_per_s'])}",
+        f"{'file ops/s':<16}{fmt_cell(result['files_per_s'], 9, 0)}",
+    ])
+    assert result["payload_mb_per_s"] > 0

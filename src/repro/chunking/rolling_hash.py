@@ -55,8 +55,16 @@ class BuzHash:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
-        self._buffer = bytearray()
+        # Ring buffer: a fixed bytearray plus a cursor, so evicting the
+        # outgoing byte is O(1) instead of the O(window) memmove a
+        # ``pop(0)`` would cost on every streamed byte.
+        self._ring = bytearray(window)
+        self._cursor = 0
+        self._filled = 0
         self._hash = 0
+        # rotl(T[out], window) depends only on the outgoing byte value;
+        # precompute the 256 rotations once per hasher.
+        self._table_out = [_rotl(int(TABLE[b]), window) for b in range(256)]
 
     @property
     def value(self) -> int:
@@ -66,20 +74,25 @@ class BuzHash:
     @property
     def primed(self) -> bool:
         """True once a full window has been consumed."""
-        return len(self._buffer) >= self.window
+        return self._filled >= self.window
 
     def update(self, byte: int) -> int:
         """Slide the window one byte forward; returns the new hash."""
         self._hash = _rotl(self._hash, 1)
         self._hash ^= int(TABLE[byte])
-        self._buffer.append(byte)
-        if len(self._buffer) > self.window:
-            out = self._buffer.pop(0)
-            self._hash ^= _rotl(int(TABLE[out]), self.window)
+        if self._filled == self.window:
+            self._hash ^= self._table_out[self._ring[self._cursor]]
+        else:
+            self._filled += 1
+        self._ring[self._cursor] = byte
+        self._cursor += 1
+        if self._cursor == self.window:
+            self._cursor = 0
         return self._hash
 
     def reset(self) -> None:
-        self._buffer.clear()
+        self._cursor = 0
+        self._filled = 0
         self._hash = 0
 
 

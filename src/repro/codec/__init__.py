@@ -2,10 +2,11 @@
 
 from . import gf256
 from .matrix import SingularMatrixError, identity, invert, matmul, vandermonde
-from .reed_solomon import DecodeError, ReedSolomonCode
+from .reed_solomon import DecodeError, EncodeState, ReedSolomonCode
 
 __all__ = [
     "DecodeError",
+    "EncodeState",
     "ReedSolomonCode",
     "SingularMatrixError",
     "gf256",

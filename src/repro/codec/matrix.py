@@ -29,22 +29,44 @@ def identity(n: int) -> np.ndarray:
     return np.eye(n, dtype=np.uint8)
 
 
+# Column chunk of the matmul kernel: small enough that the gather
+# scratch and the output slice stay cache-resident between passes.
+_MATMUL_CHUNK = 1 << 16
+_SCRATCH = np.empty(_MATMUL_CHUNK, dtype=np.uint8)
+
+
 def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Matrix product over GF(256).
+    """Matrix product over GF(256), driven by the precomputed product table.
 
     ``b`` may be a matrix of row vectors of arbitrary width (e.g. data
-    shards), which is the encoding hot path.
+    shards), which is the encoding hot path.  Each output row is
+    ``XOR_j MUL_TABLE[a[i, j]][b[j]]`` — one single-row gather through
+    :data:`repro.codec.gf256.MUL_TABLE` per coefficient (no log/exp
+    double lookup, no zero-element fixup pass: the table maps zeros to
+    zeros), computed in cache-sized column chunks so the scratch buffer
+    never leaves L2.
     """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
     rows, inner = a.shape
-    out = np.zeros((rows, b.shape[1]), dtype=np.uint8)
+    width = b.shape[1]
+    out = np.zeros((rows, width), dtype=np.uint8)
+    if inner == 0 or width == 0 or rows == 0:
+        return out
+    mul = gf256.MUL_TABLE
     for i in range(rows):
-        acc = out[i]
-        for j in range(inner):
-            gf256.addmul_vec(acc, int(a[i, j]), b[j])
+        coeffs = a[i]
+        out_row = out[i]
+        for start in range(0, width, _MATMUL_CHUNK):
+            end = min(start + _MATMUL_CHUNK, width)
+            acc = out_row[start:end]
+            np.take(mul[coeffs[0]], b[0, start:end], out=acc)
+            scratch = _SCRATCH[: end - start]
+            for j in range(1, inner):
+                np.take(mul[coeffs[j]], b[j, start:end], out=scratch)
+                np.bitwise_xor(acc, scratch, out=acc)
     return out
 
 
@@ -54,7 +76,8 @@ def invert(matrix: np.ndarray) -> np.ndarray:
     n, m = matrix.shape
     if n != m:
         raise ValueError(f"cannot invert non-square matrix {matrix.shape}")
-    # Work in an augmented [A | I] array of Python ints for exactness.
+    # Work in an augmented [A | I] uint8 array; all row operations stay
+    # inside GF(256), so uint8 is exact.
     work = np.concatenate([matrix.copy(), identity(n)], axis=1)
     for col in range(n):
         pivot_row = None

@@ -17,11 +17,42 @@ import numpy as np
 
 from . import matrix as gfm
 
-__all__ = ["ReedSolomonCode", "DecodeError"]
+__all__ = ["ReedSolomonCode", "EncodeState", "DecodeError"]
 
 
 class DecodeError(ValueError):
     """Raised when the supplied shards cannot reconstruct the data."""
+
+
+class EncodeState:
+    """Reusable per-segment encoding state: the padded shard matrix.
+
+    Building the ``(k, shard_size)`` shard matrix costs a full pad +
+    reshape + copy of the segment.  :meth:`ReedSolomonCode.prepare`
+    performs it once; each subsequent :meth:`block` is then a single
+    cached row-matmul, so producing all ``n`` blocks of a segment costs
+    one preparation instead of ``n``.
+    """
+
+    __slots__ = ("code", "shards")
+
+    def __init__(self, code: "ReedSolomonCode", shards: np.ndarray):
+        self.code = code
+        self.shards = shards
+
+    def block(self, index: int) -> bytes:
+        """Block ``index`` from the cached shard matrix."""
+        if not 0 <= index < self.code.n:
+            raise ValueError(
+                f"block index {index} outside [0, {self.code.n})"
+            )
+        row = self.code._generator[index:index + 1]
+        return gfm.matmul(row, self.shards)[0].tobytes()
+
+    def blocks(self) -> List[bytes]:
+        """All ``n`` blocks (equivalent to :meth:`ReedSolomonCode.encode`)."""
+        encoded = gfm.matmul(self.code._generator, self.shards)
+        return [encoded[i].tobytes() for i in range(self.code.n)]
 
 
 class ReedSolomonCode:
@@ -68,6 +99,24 @@ class ReedSolomonCode:
             raise ValueError("data_length must be non-negative")
         return max(1, -(-data_length // self.k))
 
+    def _shard_matrix(self, data: bytes) -> np.ndarray:
+        """The padded ``(k, shard_size)`` shard matrix for ``data``."""
+        size = self.shard_size(len(data))
+        padded = np.zeros(size * self.k, dtype=np.uint8)
+        if data:
+            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        return padded.reshape(self.k, size)
+
+    def prepare(self, data: bytes) -> EncodeState:
+        """Build the shard matrix once for repeated block production.
+
+        Callers that emit several blocks of one segment (the schedulers'
+        on-demand path, rebalancing) should prepare once and call
+        :meth:`EncodeState.block` per index, instead of paying the full
+        pad + reshape + copy inside every :meth:`encode_block`.
+        """
+        return EncodeState(self, self._shard_matrix(data))
+
     def encode(self, data: bytes) -> List[bytes]:
         """Encode ``data`` into ``n`` equally-sized blocks.
 
@@ -75,13 +124,7 @@ class ReedSolomonCode:
         metadata (UniDrive stores it in the segment entry) and pass it
         back to :meth:`decode`.
         """
-        size = self.shard_size(len(data))
-        padded = np.zeros(size * self.k, dtype=np.uint8)
-        if data:
-            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
-        shards = padded.reshape(self.k, size)
-        encoded = gfm.matmul(self._generator, shards)
-        return [encoded[i].tobytes() for i in range(self.n)]
+        return self.prepare(data).blocks()
 
     def encode_block(self, data: bytes, index: int) -> bytes:
         """Produce only block ``index`` (on-demand over-provisioning).
@@ -89,17 +132,10 @@ class ReedSolomonCode:
         The paper notes over-provisioned parity blocks may be generated
         in advance (memory cost) or on demand (latency cost); the
         schedulers use this on-demand path so a large batch never holds
-        all ``n`` blocks of every segment in memory.
+        all ``n`` blocks of every segment in memory.  One-shot: for
+        repeated blocks of the same segment use :meth:`prepare`.
         """
-        if not 0 <= index < self.n:
-            raise ValueError(f"block index {index} outside [0, {self.n})")
-        size = self.shard_size(len(data))
-        padded = np.zeros(size * self.k, dtype=np.uint8)
-        if data:
-            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
-        shards = padded.reshape(self.k, size)
-        row = self._generator[index:index + 1]
-        return gfm.matmul(row, shards)[0].tobytes()
+        return self.prepare(data).block(index)
 
     def decode(self, blocks: Mapping[int, bytes], data_length: int) -> bytes:
         """Reconstruct the original data from any ``k`` blocks.
@@ -149,4 +185,4 @@ class ReedSolomonCode:
         (paper §6.2 "Adding or Removing CCSs").
         """
         data = self.decode(blocks, data_length)
-        return self.encode(data)[index]
+        return self.encode_block(data, index)

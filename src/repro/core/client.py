@@ -800,7 +800,7 @@ class UniDriveClient:
         for record, index, target in moves:
             blocks = yield from self._fetch_blocks(record, record.k, remaining)
             content = self.pipeline.decode_segment(record, blocks)
-            block = self.pipeline.code.encode_block(content, index)
+            block = self.pipeline.encode_block(record.segment_id, content, index)
             conn = self._connection(target)
             yield from conn.upload(self.pipeline.block_path(record, index), block)
         # Leave nothing behind on the departed provider (best effort):
@@ -844,8 +844,11 @@ class UniDriveClient:
                     record, record.k, self.connections
                 )
                 content = self.pipeline.decode_segment(record, blocks)
+                encode_state = self.pipeline.encode_state(
+                    record.segment_id, content
+                )
                 for index in adopted:
-                    block = self.pipeline.code.encode_block(content, index)
+                    block = encode_state.block(index)
                     yield from connection.upload(
                         self.pipeline.block_path(record, index), block
                     )

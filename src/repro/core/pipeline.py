@@ -12,21 +12,35 @@ segments concatenate (in snapshot order) back into the file.
 from __future__ import annotations
 
 import posixpath
+from collections import OrderedDict
 from typing import Dict, List
 
 from ..chunking import Segment, Segmenter
-from ..codec import ReedSolomonCode
+from ..codec import EncodeState, ReedSolomonCode
 from .config import UniDriveConfig
 from .metadata import SegmentRecord
 from .placement import max_block_count
 
 __all__ = ["BlockPipeline"]
 
+#: Segments whose padded shard matrices stay resident.  Each entry costs
+#: ~theta bytes (4 MB at the paper default); schedulers touch segments
+#: roughly in file order, so a handful of entries absorbs nearly every
+#: repeat encode of a batch.
+DEFAULT_ENCODE_CACHE_SEGMENTS = 8
+
 
 class BlockPipeline:
-    """Stateless transform between file bytes and cloud block files."""
+    """Transform between file bytes and cloud block files.
 
-    def __init__(self, config: UniDriveConfig, n_clouds: int):
+    Semantically a pure function of its inputs; internally it keeps a
+    small LRU of per-segment :class:`~repro.codec.EncodeState` objects
+    so that producing the i-th block of a segment does not re-pad and
+    re-copy the whole segment for every block (see :meth:`encode_block`).
+    """
+
+    def __init__(self, config: UniDriveConfig, n_clouds: int,
+                 encode_cache_segments: int = DEFAULT_ENCODE_CACHE_SEGMENTS):
         config.validate(n_clouds)
         self.config = config
         self.n_clouds = n_clouds
@@ -34,6 +48,8 @@ class BlockPipeline:
         self.n = max_block_count(config.k_blocks, config.k_security, n_clouds)
         self.k = config.k_blocks
         self.code = ReedSolomonCode(self.n, self.k, systematic=False)
+        self._encode_cache: "OrderedDict[str, EncodeState]" = OrderedDict()
+        self._encode_cache_segments = max(1, encode_cache_segments)
 
     # -- encode ------------------------------------------------------------
 
@@ -53,6 +69,31 @@ class BlockPipeline:
     def encode_segment(self, segment: Segment) -> List[bytes]:
         """All ``n`` parity blocks of a segment (immutable once created)."""
         return self.code.encode(segment.data)
+
+    def encode_state(self, segment_id: str, data: bytes) -> EncodeState:
+        """The cached per-segment encoding state, building it on a miss.
+
+        Segment content is immutable and content-addressed (the id is
+        the SHA-1 of the data), so cache entries can never go stale.
+        """
+        state = self._encode_cache.get(segment_id)
+        if state is None:
+            state = self.code.prepare(data)
+            self._encode_cache[segment_id] = state
+            while len(self._encode_cache) > self._encode_cache_segments:
+                self._encode_cache.popitem(last=False)
+        else:
+            self._encode_cache.move_to_end(segment_id)
+        return state
+
+    def encode_block(self, segment_id: str, data: bytes, index: int) -> bytes:
+        """Block ``index`` of a segment via the shard cache.
+
+        The hot path for the upload schedulers: the padded ``(k, size)``
+        shard matrix is built once per segment and every block is then a
+        single cached row-matmul.
+        """
+        return self.encode_state(segment_id, data).block(index)
 
     def block_path(self, record: SegmentRecord, index: int) -> str:
         """Cloud-side path of one block file."""

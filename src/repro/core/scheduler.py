@@ -168,6 +168,13 @@ class _SegmentUploadState:
                  cloud_ids: Sequence[str], config: UniDriveConfig):
         self.record = record
         self.data = data
+        # Position in the batch's flattened first-occurrence scan order;
+        # assigned by the scheduler, used by the cursor dispatcher.
+        self.position = 0
+        # Progress-counter bookkeeping (set once, when the transition
+        # is first observed after a completed block).
+        self.counted_available = False
+        self.counted_reliable = False
         self.k = record.k
         self.cap = max_blocks_per_cloud(record.k, config.k_security)
         share = fair_share(record.k, config.k_reliability)
@@ -318,6 +325,19 @@ class UploadScheduler:
         self._dead: Dict[str, int] = {}
         self._failed_requests = 0
         self._wake = None
+        # Cursor-dispatch structures (see _next_task): the flattened
+        # first-occurrence state order, a segment->files index, per-cloud
+        # phase cursors and incrementally-maintained per-file progress
+        # counters.
+        self._ordered: List[_SegmentUploadState] = []
+        self._state_files: Dict[str, List[str]] = {}
+        self._ptr_a: Dict[str, int] = {}
+        self._ptr_b: Dict[str, int] = {}
+        self._ptr_c: Dict[str, int] = {}
+        self._pending_available: Dict[str, int] = {}
+        self._pending_reliable: Dict[str, int] = {}
+        self._satisfied_flush: List[str] = []
+        self._dispatch_scans = 0  # state visits, for the perf harness
 
     # -- public API -------------------------------------------------------
 
@@ -332,6 +352,10 @@ class UploadScheduler:
         self._dead = {cid: 0 for cid in self.cloud_ids}
         self._failed_requests = 0
         self._wake = self.sim.event()
+        self._ordered = []
+        self._state_files = {}
+        self._satisfied_flush = []
+        self._dispatch_scans = 0
         for file in self._files:
             self._reports[file.path] = FileUploadReport(
                 path=file.path, size=file.size, started_at=self.sim.now,
@@ -344,9 +368,31 @@ class UploadScheduler:
                     state = _SegmentUploadState(
                         record, data, self.cloud_ids, self.config
                     )
+                    state.position = len(self._ordered)
                     self._states[record.segment_id] = state
+                    self._ordered.append(state)
+                    self._state_files[record.segment_id] = []
+                files_of = self._state_files[record.segment_id]
+                if file.path not in files_of:
+                    files_of.append(file.path)
                 states.append(state)
             self._file_segments[file.path] = states
+        self._ptr_a = {cid: 0 for cid in self.cloud_ids}
+        self._ptr_b = {cid: 0 for cid in self.cloud_ids}
+        self._ptr_c = {cid: 0 for cid in self.cloud_ids}
+        self._pending_available = {}
+        self._pending_reliable = {}
+        for file in self._files:
+            unique = {
+                id(s): s for s in self._file_segments[file.path]
+            }
+            self._pending_available[file.path] = len(unique)
+            self._pending_reliable[file.path] = len(unique)
+            if not unique:
+                # A zero-segment file is vacuously available *and*
+                # reliable; like the full-scan refresh, it is stamped at
+                # the first progress check (or the final one).
+                self._satisfied_flush.append(file.path)
         workers = []
         for conn in self.connections:
             for _slot in range(self.config.connections_per_cloud):
@@ -373,7 +419,9 @@ class UploadScheduler:
                 yield self._wake
                 continue
             state, index = task.state, task.index
-            block = self.pipeline.code.encode_block(state.data, index)
+            block = self.pipeline.encode_block(
+                state.record.segment_id, state.data, index
+            )
             path = self.pipeline.block_path(state.record, index)
             self._inflight_total += 1
             start = self.sim.now
@@ -385,6 +433,10 @@ class UploadScheduler:
                 self.estimator.record_failure(cloud_id, UPLOAD)
                 dead = self._note_failure(cloud_id)
                 state.fail(index, cloud_id, task.is_fair, cloud_dead=dead)
+                # A failure restores candidacy: the failed index went
+                # back to this cloud's fair queue or to the shared
+                # extras pool, and this cloud regained cap room.
+                self._rewind_cursors(state.position)
                 self._pulse()
                 continue
             self._inflight_total -= 1
@@ -393,11 +445,15 @@ class UploadScheduler:
                 cloud_id, UPLOAD, len(block), self.sim.now - start
             )
             state.complete(index, cloud_id, task.is_fair)
+            if task.is_fair:
+                # Completing a fair block may flip fair_done for this
+                # cloud, unlocking this segment's extras for it.
+                self._rewind_cursors(state.position, only_cloud=cloud_id)
             if self.on_block_uploaded is not None:
                 self.on_block_uploaded(
                     state.record.segment_id, index, cloud_id
                 )
-            self._refresh_file_reports()
+            self._note_block_completed(state)
             self._bump_block_count(state, cloud_id)
             self._pulse()
 
@@ -407,8 +463,126 @@ class UploadScheduler:
                    peek: bool = False) -> Optional[_UploadTask]:
         """Pick (and unless ``peek``, commit) the next block for a cloud.
 
-        The selection walks the same decision ladder in both modes, so a
+        Dynamic mode uses the amortized-O(1) cursor dispatcher below;
+        the static benchmark baseline keeps the reference decision
+        ladder (its file-gated order does not admit a prefix cursor).
+        Both walk the same ladder in peek and commit mode, so a
         successful peek guarantees the subsequent commit would succeed.
+        """
+        if not self.dynamic:
+            return self._next_task_reference(cloud_id, peek)
+        if self._is_dead(cloud_id):
+            return None
+        task = self._scan_phase_a(cloud_id, peek)
+        if task is None:
+            task = self._scan_phase_b(cloud_id, peek)
+        if task is None and self.over_provision:
+            task = self._scan_phase_c(cloud_id, peek)
+        return task
+
+    # The three phase scans share one structure: walk the flattened
+    # first-occurrence state order from this cloud's cursor, skipping
+    # states that cannot currently yield a task.  Every skip is
+    # *permanent* with respect to this cloud's own actions — a skipped
+    # state can only become dispatchable again through an event that
+    # calls _rewind_cursors (a failed request re-queues an index and
+    # frees cap room; a completed fair share unlocks extras; a dead
+    # cloud's abandoned fair queue refills the extras pool) — so the
+    # cursor never needs to revisit the prefix and dispatch cost is
+    # amortized O(1) per block instead of O(files x segments).
+
+    def _scan_phase_a(self, cloud_id: str,
+                      peek: bool) -> Optional[_UploadTask]:
+        """Availability-first: earliest file not yet available."""
+        ordered = self._ordered
+        count = len(ordered)
+        ptr = self._ptr_a[cloud_id]
+        while ptr < count:
+            state = ordered[ptr]
+            self._dispatch_scans += 1
+            if not state.available:
+                if state.fair_pending(cloud_id):
+                    if state.cap_room(cloud_id):
+                        self._ptr_a[cloud_id] = ptr
+                        if peek:
+                            return _UploadTask(state, -1, is_fair=True)
+                        return _UploadTask(
+                            state, state.take_fair(cloud_id), is_fair=True
+                        )
+                elif (self.over_provision and state.fair_done(cloud_id)
+                        and state.extras and state.cap_room(cloud_id)):
+                    self._ptr_a[cloud_id] = ptr
+                    if peek:
+                        return _UploadTask(state, -1, is_fair=False)
+                    return _UploadTask(
+                        state, state.take_extra(cloud_id), is_fair=False
+                    )
+            ptr += 1
+        self._ptr_a[cloud_id] = count
+        return None
+
+    def _scan_phase_b(self, cloud_id: str,
+                      peek: bool) -> Optional[_UploadTask]:
+        """Reliability-second: top up outstanding fair shares."""
+        ordered = self._ordered
+        count = len(ordered)
+        ptr = self._ptr_b[cloud_id]
+        while ptr < count:
+            state = ordered[ptr]
+            self._dispatch_scans += 1
+            if state.fair_pending(cloud_id) and state.cap_room(cloud_id):
+                self._ptr_b[cloud_id] = ptr
+                if peek:
+                    return _UploadTask(state, -1, is_fair=True)
+                return _UploadTask(
+                    state, state.take_fair(cloud_id), is_fair=True
+                )
+            ptr += 1
+        self._ptr_b[cloud_id] = count
+        return None
+
+    def _scan_phase_c(self, cloud_id: str,
+                      peek: bool) -> Optional[_UploadTask]:
+        """Over-provision while slower clouds still owe fair shares."""
+        ordered = self._ordered
+        count = len(ordered)
+        ptr = self._ptr_c[cloud_id]
+        while ptr < count:
+            state = ordered[ptr]
+            self._dispatch_scans += 1
+            if (state.fair_outstanding and state.fair_done(cloud_id)
+                    and state.extras and state.cap_room(cloud_id)):
+                self._ptr_c[cloud_id] = ptr
+                if peek:
+                    return _UploadTask(state, -1, is_fair=False)
+                return _UploadTask(
+                    state, state.take_extra(cloud_id), is_fair=False
+                )
+            ptr += 1
+        self._ptr_c[cloud_id] = count
+        return None
+
+    def _rewind_cursors(self, position: int,
+                        only_cloud: Optional[str] = None) -> None:
+        """Pull phase cursors back to ``position`` after an event that
+        may have restored a skipped state's candidacy."""
+        clouds = (only_cloud,) if only_cloud is not None else self.cloud_ids
+        for cid in clouds:
+            if self._ptr_a[cid] > position:
+                self._ptr_a[cid] = position
+            if self._ptr_b[cid] > position:
+                self._ptr_b[cid] = position
+            if self._ptr_c[cid] > position:
+                self._ptr_c[cid] = position
+
+    def _next_task_reference(self, cloud_id: str,
+                             peek: bool = False) -> Optional[_UploadTask]:
+        """The original O(files x segments) decision-ladder dispatcher.
+
+        Retained as the executable specification of the scheduling
+        policy: the cursor dispatcher above must pick byte-identical
+        blocks (the equivalence tests swap this in and compare batch
+        reports), and the static benchmark baseline still runs on it.
         """
         if self._is_dead(cloud_id):
             return None
@@ -439,6 +613,7 @@ class UploadScheduler:
         # parallel transfer, with fast clouds hedging via extras.
         for file in self._files:
             for state in self._file_segments[file.path]:
+                self._dispatch_scans += 1
                 if state.available:
                     continue
                 task = fair(state)
@@ -463,6 +638,7 @@ class UploadScheduler:
         # Phase B: reliability-second — top up outstanding fair shares.
         for file in self._files:
             for state in self._file_segments[file.path]:
+                self._dispatch_scans += 1
                 task = fair(state)
                 if task is not None:
                     return task
@@ -471,6 +647,7 @@ class UploadScheduler:
         if self.over_provision and self.dynamic:
             for file in self._files:
                 for state in self._file_segments[file.path]:
+                    self._dispatch_scans += 1
                     if not state.fair_outstanding:
                         continue
                     task = extra(state)
@@ -480,7 +657,44 @@ class UploadScheduler:
 
     # -- progress & termination -------------------------------------------
 
+    def _note_block_completed(self, state: _SegmentUploadState) -> None:
+        """Incremental progress accounting after one completed block.
+
+        Availability and reliability of a segment state are monotone
+        (blocks complete exactly once, and a reliable state has no fair
+        work left that could later mark it degraded), so per-file
+        countdowns stamped through the segment->files index replace the
+        full ``all(...)`` rescan of every file on every block.
+        """
+        now = self.sim.now
+        if self._satisfied_flush:
+            # Zero-segment files are vacuously satisfied; stamp them at
+            # the first progress check, as the full rescan used to.
+            for path in self._satisfied_flush:
+                report = self._reports[path]
+                report.available_at = now
+                report.reliable_at = now
+            self._satisfied_flush = []
+        if not state.counted_available and state.available:
+            state.counted_available = True
+            for path in self._state_files[state.record.segment_id]:
+                self._pending_available[path] -= 1
+                if self._pending_available[path] == 0:
+                    report = self._reports[path]
+                    if report.available_at is None:
+                        report.available_at = now
+        if not state.counted_reliable and state.reliable:
+            state.counted_reliable = True
+            for path in self._state_files[state.record.segment_id]:
+                self._pending_reliable[path] -= 1
+                if self._pending_reliable[path] == 0:
+                    report = self._reports[path]
+                    if report.reliable_at is None:
+                        report.reliable_at = now
+
     def _refresh_file_reports(self, final: bool = False) -> None:
+        """Full-scan progress stamping; now only the batch-final pass
+        (stragglers with no completed blocks, degraded flags)."""
         for file in self._files:
             report = self._reports[file.path]
             states = self._file_segments[file.path]
@@ -497,10 +711,9 @@ class UploadScheduler:
 
     def _bump_block_count(self, state: _SegmentUploadState,
                           cloud_id: str) -> None:
-        for file in self._files:
-            if state in self._file_segments[file.path]:
-                counts = self._reports[file.path].blocks_per_cloud
-                counts[cloud_id] = counts.get(cloud_id, 0) + 1
+        for path in self._state_files[state.record.segment_id]:
+            counts = self._reports[path].blocks_per_cloud
+            counts[cloud_id] = counts.get(cloud_id, 0) + 1
 
     def _note_failure(self, cloud_id: str) -> bool:
         """Count a failure; returns True once the cloud is declared dead."""
@@ -508,6 +721,9 @@ class UploadScheduler:
         if self._dead[cloud_id] == self.config.cloud_failure_threshold:
             for state in self._states.values():
                 state.abandon_cloud(cloud_id)
+            # Abandoned fair queues refilled the extras pool across the
+            # whole batch; every cursor must rescan from the start.
+            self._rewind_cursors(0)
             return True
         return self._is_dead(cloud_id)
 
@@ -540,6 +756,13 @@ class _SegmentDownloadState:
         self.blocks: Dict[int, bytes] = {}
         self.inflight: Dict[int, str] = {}
         self.exhausted: set = set()  # (index, cloud) pairs that failed
+        # Cursor-dispatch bookkeeping (see DownloadScheduler): position
+        # in the flattened scan order, the per-cloud block-index lists
+        # frozen at batch start (locations do not change mid-download),
+        # and the progress-counter flag.
+        self.position = 0
+        self.cloud_indices: Dict[str, List[int]] = {}
+        self.counted_complete = False
 
     @property
     def complete(self) -> bool:
@@ -558,6 +781,27 @@ class _SegmentDownloadState:
                 continue
             return index
         return None
+
+    def candidate_for(self, cloud_id: str) -> Tuple[Optional[int], bool]:
+        """Like :meth:`candidate_index`, plus permanence information.
+
+        Returns ``(index, exhausted)``: ``exhausted`` is True when every
+        block this cloud holds is already fetched or failed — a
+        *permanent* condition (both sets only grow), letting the
+        dispatch cursor skip this state forever.  An index blocked only
+        by an in-flight request is temporary (the cursor must not
+        advance past it): the flight resolves to fetched or failed
+        either way, but until then the state must stay scannable.
+        """
+        pending = False
+        for index in self.cloud_indices.get(cloud_id, ()):
+            if index in self.blocks or (index, cloud_id) in self.exhausted:
+                continue
+            if index in self.inflight:
+                pending = True
+                continue
+            return index, False
+        return None, not pending
 
 
 class DownloadScheduler:
@@ -588,6 +832,14 @@ class DownloadScheduler:
         self._dead: Dict[str, int] = {}
         self._failed_requests = 0
         self._wake = None
+        # Cursor-dispatch structures (see _next_request).
+        self._ordered: List[_SegmentDownloadState] = []
+        self._state_files: Dict[str, List[str]] = {}
+        self._cloud_states: Dict[str, List[_SegmentDownloadState]] = {}
+        self._cloud_ptr: Dict[str, int] = {}
+        self._pending_complete: Dict[str, int] = {}
+        self._complete_flush: List[str] = []
+        self._dispatch_scans = 0  # state visits, for the perf harness
 
     def run_batch(self, files: Sequence[FileDownload]):
         """Fetch a batch; generator returns a :class:`DownloadBatchReport`.
@@ -604,6 +856,13 @@ class DownloadScheduler:
         self._dead = {c.cloud_id: 0 for c in self.connections}
         self._failed_requests = 0
         self._wake = self.sim.event()
+        self._ordered = []
+        self._state_files = {}
+        self._complete_flush = []
+        self._dispatch_scans = 0
+        cloud_ids = [c.cloud_id for c in self.connections]
+        self._cloud_states = {cid: [] for cid in cloud_ids}
+        self._cloud_ptr = {cid: 0 for cid in cloud_ids}
         for file in self._files:
             self._reports[file.path] = FileDownloadReport(
                 path=file.path, size=file.size, started_at=self.sim.now
@@ -613,9 +872,26 @@ class DownloadScheduler:
                 state = self._states.get(record.segment_id)
                 if state is None:
                     state = _SegmentDownloadState(record)
+                    state.position = len(self._ordered)
                     self._states[record.segment_id] = state
+                    self._ordered.append(state)
+                    self._state_files[record.segment_id] = []
+                    for cid in cloud_ids:
+                        indices = record.blocks_on(cid)
+                        if indices:
+                            state.cloud_indices[cid] = indices
+                            self._cloud_states[cid].append(state)
+                files_of = self._state_files[record.segment_id]
+                if file.path not in files_of:
+                    files_of.append(file.path)
                 states.append(state)
             self._file_segments[file.path] = states
+        self._pending_complete = {}
+        for file in self._files:
+            unique = {id(s) for s in self._file_segments[file.path]}
+            self._pending_complete[file.path] = len(unique)
+            if not unique:
+                self._complete_flush.append(file.path)
         workers = []
         for conn in self._ranked_connections():
             for _slot in range(self.config.connections_per_cloud):
@@ -682,14 +958,62 @@ class DownloadScheduler:
             )
             state.inflight.pop(index, None)
             state.blocks[index] = block
-            self._mark_progress()
+            self._note_block_completed(state)
             self._pulse()
 
     def _next_request(self, cloud_id: str):
+        """Pick the next (state, block index) for an idle connection.
+
+        Dynamic mode walks this cloud's own candidate list (only the
+        segments it holds blocks of) from a cursor that permanently
+        skips the completed/exhausted prefix — amortized O(1) per block.
+        Temporarily blocked states (saturated by in-flight requests, or
+        deferred to faster clouds) do not advance the cursor, because
+        they can become requestable again.  The static baseline keeps
+        the reference file-gated scan.
+        """
+        if not self.dynamic:
+            return self._next_request_reference(cloud_id)
+        if self._dead.get(cloud_id, 0) >= self.config.cloud_failure_threshold:
+            return None
+        states = self._cloud_states[cloud_id]
+        count = len(states)
+        position = self._cloud_ptr[cloud_id]
+        advancing = True
+        while position < count:
+            state = states[position]
+            self._dispatch_scans += 1
+            position += 1
+            if state.complete:
+                if advancing:
+                    self._cloud_ptr[cloud_id] = position
+                continue
+            index, exhausted = state.candidate_for(cloud_id)
+            if index is None:
+                if exhausted:
+                    if advancing:
+                        self._cloud_ptr[cloud_id] = position
+                else:
+                    advancing = False
+                continue
+            if state.saturated:
+                advancing = False
+                continue
+            if self._defer_to_faster(state, cloud_id):
+                advancing = False
+                continue
+            return (state, index)
+        return None
+
+    def _next_request_reference(self, cloud_id: str):
+        """The original O(files x segments) scan — the executable
+        specification the cursor dispatcher must match (the equivalence
+        tests swap it in), and still the static baseline's path."""
         if self._dead.get(cloud_id, 0) >= self.config.cloud_failure_threshold:
             return None
         for file in self._files:
             for state in self._file_segments[file.path]:
+                self._dispatch_scans += 1
                 if state.saturated:
                     continue
                 index = state.candidate_index(cloud_id)
@@ -730,13 +1054,27 @@ class DownloadScheduler:
                 faster_supply += 1
         return faster_supply >= needed
 
-    def _mark_progress(self) -> None:
-        for file in self._files:
-            report = self._reports[file.path]
-            if report.completed_at is None and all(
-                s.complete for s in self._file_segments[file.path]
-            ):
-                report.completed_at = self.sim.now
+    def _note_block_completed(self, state: _SegmentDownloadState) -> None:
+        """Incremental completion stamping (replaces the per-block full
+        rescan): segment completion is monotone, so per-file countdowns
+        through the segment->files index suffice."""
+        now = self.sim.now
+        if self._complete_flush:
+            # Zero-segment files are vacuously complete; stamp them at
+            # the first progress check, as the full rescan used to.
+            for path in self._complete_flush:
+                report = self._reports[path]
+                if report.completed_at is None:
+                    report.completed_at = now
+            self._complete_flush = []
+        if not state.counted_complete and state.complete:
+            state.counted_complete = True
+            for path in self._state_files[state.record.segment_id]:
+                self._pending_complete[path] -= 1
+                if self._pending_complete[path] == 0:
+                    report = self._reports[path]
+                    if report.completed_at is None:
+                        report.completed_at = now
 
     def _done(self) -> bool:
         if self._inflight_total > 0:

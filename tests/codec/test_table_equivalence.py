@@ -1,0 +1,183 @@
+"""Property tests: table-driven GF(256) ops and cached encode paths.
+
+The hot paths (``MUL_TABLE`` gathers in ``mul_vec``/``addmul_vec``/
+``matmul``, the ``EncodeState`` shard cache) must be *bit-identical* to
+the scalar log/exp reference arithmetic — these properties pin that
+down, including the edge cases the table path no longer special-cases
+(zero elements, scalar 0/1, empty data).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import ReedSolomonCode, gf256, matmul
+from repro.core.config import UniDriveConfig
+from repro.core.pipeline import BlockPipeline
+
+# -- scalar log/exp reference implementations -------------------------------
+
+
+def mul_vec_reference(scalar, vec):
+    """The pre-table implementation: log/exp double gather + zero fixup."""
+    if scalar == 0:
+        return np.zeros_like(vec)
+    if scalar == 1:
+        return vec.copy()
+    log_s = gf256.LOG_TABLE[scalar]
+    out = gf256.EXP_TABLE[log_s + gf256.LOG_TABLE[vec]].astype(
+        np.uint8, copy=False
+    )
+    out[vec == 0] = 0
+    return out
+
+
+def matmul_reference(a, b):
+    """Scalar-multiplication matmul, one gf256.mul at a time."""
+    rows, inner = a.shape
+    width = b.shape[1]
+    out = np.zeros((rows, width), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(inner):
+            coeff = int(a[i, j])
+            for col in range(width):
+                out[i, col] ^= gf256.mul(coeff, int(b[j, col]))
+    return out
+
+
+# -- the product table itself -----------------------------------------------
+
+
+def test_mul_table_matches_scalar_mul_exhaustively():
+    for a in range(256):
+        row = gf256.MUL_TABLE[a]
+        for b in range(0, 256, 7):
+            assert int(row[b]) == gf256.mul(a, b)
+    # Full row/column structure: zeros and the identity row.
+    assert not gf256.MUL_TABLE[0].any()
+    assert not gf256.MUL_TABLE[:, 0].any()
+    assert (gf256.MUL_TABLE[1] == np.arange(256, dtype=np.uint8)).all()
+    # Commutativity of the field makes the table symmetric.
+    assert (gf256.MUL_TABLE == gf256.MUL_TABLE.T).all()
+
+
+@given(
+    scalar=st.integers(0, 255),
+    vec=st.binary(min_size=0, max_size=512),
+)
+def test_mul_vec_matches_logexp_reference(scalar, vec):
+    arr = np.frombuffer(vec, dtype=np.uint8)
+    expected = mul_vec_reference(scalar, arr)
+    got = gf256.mul_vec(scalar, arr)
+    assert got.dtype == np.uint8
+    assert (got == expected).all()
+
+
+@given(
+    scalar=st.integers(0, 255),
+    vec=st.binary(min_size=1, max_size=512),
+    acc_seed=st.integers(0, 2**32 - 1),
+)
+def test_addmul_vec_matches_logexp_reference(scalar, vec, acc_seed):
+    arr = np.frombuffer(vec, dtype=np.uint8)
+    acc = np.random.default_rng(acc_seed).integers(
+        0, 256, size=arr.size, dtype=np.uint8
+    )
+    expected = acc ^ mul_vec_reference(scalar, arr)
+    gf256.addmul_vec(acc, scalar, arr)
+    assert (acc == expected).all()
+
+
+@given(
+    rows=st.integers(1, 6),
+    inner=st.integers(1, 6),
+    width=st.integers(0, 40),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=50)
+def test_matmul_matches_scalar_reference(rows, inner, width, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, size=(rows, inner), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(inner, width), dtype=np.uint8)
+    assert (matmul(a, b) == matmul_reference(a, b)).all()
+
+
+def test_matmul_zero_rows_and_zero_width():
+    a = np.zeros((0, 3), dtype=np.uint8)
+    b = np.zeros((3, 5), dtype=np.uint8)
+    assert matmul(a, b).shape == (0, 5)
+    a = np.ones((2, 3), dtype=np.uint8)
+    b = np.zeros((3, 0), dtype=np.uint8)
+    assert matmul(a, b).shape == (2, 0)
+
+
+def test_matmul_chunk_boundary_widths():
+    from repro.codec.matrix import _MATMUL_CHUNK
+
+    rng = np.random.default_rng(0)
+    for width in (_MATMUL_CHUNK - 1, _MATMUL_CHUNK, _MATMUL_CHUNK + 1):
+        a = rng.integers(0, 256, size=(2, 3), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(3, width), dtype=np.uint8)
+        got = matmul(a, b)
+        # Row-by-row accumulation is the independent cross-check here.
+        expected = np.zeros_like(got)
+        for i in range(2):
+            for j in range(3):
+                gf256.addmul_vec(expected[i], int(a[i, j]), b[j])
+        assert (got == expected).all()
+
+
+# -- cached encode paths ----------------------------------------------------
+
+
+@given(
+    data=st.binary(min_size=0, max_size=4096),
+    n=st.integers(1, 12),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=50)
+def test_prepare_blocks_bit_identical_to_encode(data, n, seed):
+    k = np.random.default_rng(seed).integers(1, n + 1)
+    code = ReedSolomonCode(n, int(k))
+    full = code.encode(data)
+    state = code.prepare(data)
+    assert state.blocks() == full
+    for index in range(n):
+        assert state.block(index) == full[index]
+        assert code.encode_block(data, index) == full[index]
+
+
+@given(data=st.binary(min_size=0, max_size=4096))
+@settings(max_examples=25)
+def test_pipeline_cached_encode_block_bit_identical(data):
+    config = UniDriveConfig(theta=64 * 1024)
+    pipeline = BlockPipeline(config, 5, encode_cache_segments=2)
+    full = pipeline.code.encode(data)
+    # Hit the cache in a scattered order, twice, under eviction pressure.
+    for index in list(range(pipeline.n)) + [0, pipeline.n - 1]:
+        got = pipeline.encode_block("seg-a", data, index)
+        assert got == full[index]
+        pipeline.encode_block("seg-b", b"other " + data, 0)
+        pipeline.encode_block("seg-c", data + b" other", 0)
+
+
+def test_reencode_block_matches_single_block():
+    code = ReedSolomonCode(10, 3)
+    data = np.random.default_rng(7).integers(
+        0, 256, size=10_000, dtype=np.uint8
+    ).tobytes()
+    blocks = code.encode(data)
+    subset = {1: blocks[1], 4: blocks[4], 8: blocks[8]}
+    for index in range(code.n):
+        assert code.reencode_block(subset, index, len(data)) == blocks[index]
+
+
+def test_decode_roundtrip_after_table_rewrite():
+    code = ReedSolomonCode(10, 3)
+    for size in (0, 1, 2, 3, 1000):
+        data = np.random.default_rng(size).integers(
+            0, 256, size=size, dtype=np.uint8
+        ).tobytes()
+        blocks = code.encode(data)
+        assert code.decode({0: blocks[0], 5: blocks[5], 9: blocks[9]},
+                           len(data)) == data

@@ -1,0 +1,408 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmarks with before/after comparisons.
+
+Measures the paths the hot-path overhaul targeted, each against an
+in-file reimplementation of the *previous* algorithm:
+
+* ``gf_matmul``   — product-table matmul vs the log/exp + zero-fixup
+                    kernel it replaced.
+* ``encode``      — cached ``prepare()`` encode vs per-call shard
+                    rebuilding with the log/exp kernel (4 MB segments,
+                    n >= 10; the acceptance bar is >= 3x).
+* ``decode``      — decode throughput (table kernel; no legacy twin,
+                    reported for tracking).
+* ``chunking``    — batch ``buzhash_all`` and the streaming ring-buffer
+                    ``BuzHash`` vs the O(window) ``pop(0)`` variant.
+* ``dispatch``    — scheduler decision-ladder visits per uploaded block
+                    for a small vs a large batch, cursor dispatcher vs
+                    the retained reference ladder.  Flat (within 2x)
+                    across batch size is the acceptance bar.
+* ``end_to_end``  — full upload + download batch sync throughput.
+
+Writes ``benchmarks/results/BENCH_hotpaths.json``.  ``--quick`` shrinks
+sizes/rounds for CI smoke use (results still emitted, bars still
+checked).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.chunking.rolling_hash import (  # noqa: E402
+    DEFAULT_WINDOW, TABLE, BuzHash, _rotl, buzhash_all,
+)
+from repro.cloud import CloudConnection, SimulatedCloud  # noqa: E402
+from repro.codec import ReedSolomonCode, gf256  # noqa: E402
+from repro.codec import matrix as gfm  # noqa: E402
+from repro.core.config import UniDriveConfig  # noqa: E402
+from repro.core.pipeline import BlockPipeline  # noqa: E402
+from repro.core.probing import ThroughputEstimator  # noqa: E402
+from repro.core.scheduler import (  # noqa: E402
+    DownloadScheduler, FileDownload, FileUpload, UploadScheduler,
+)
+from repro.netsim import LinkProfile  # noqa: E402
+from repro.simkernel import Simulator  # noqa: E402
+
+_MB = 1024 * 1024
+RESULTS_PATH = os.path.join(_ROOT, "benchmarks", "results",
+                            "BENCH_hotpaths.json")
+
+
+def _best_of(fn, rounds):
+    """Best-of-N wall time in seconds (minimum is the stable estimator)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- legacy reimplementations (the "before" side) ---------------------------
+
+
+def matmul_logexp(a, b):
+    """The pre-overhaul matmul: log/exp double gather + zero fixup."""
+    rows, inner = a.shape
+    width = b.shape[1]
+    out = np.zeros((rows, width), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(inner):
+            coeff = int(a[i, j])
+            if coeff == 0:
+                continue
+            row = b[j]
+            if coeff == 1:
+                np.bitwise_xor(out[i], row, out=out[i])
+                continue
+            prod = gf256.EXP_TABLE[
+                int(gf256.LOG_TABLE[coeff]) + gf256.LOG_TABLE[row]
+            ].astype(np.uint8, copy=False)
+            prod[row == 0] = 0
+            np.bitwise_xor(out[i], prod, out=out[i])
+    return out
+
+
+def encode_legacy(code, data):
+    """Pre-overhaul encode: shard build + log/exp matmul."""
+    shards = code._shard_matrix(data)
+    encoded = matmul_logexp(code._generator, shards)
+    return [encoded[i].tobytes() for i in range(code.n)]
+
+
+def encode_block_legacy(code, data, index):
+    """Pre-overhaul per-block path: full shard rebuild on every call."""
+    shards = code._shard_matrix(data)
+    row = code._generator[index:index + 1]
+    return matmul_logexp(row, shards)[0].tobytes()
+
+
+class BuzHashPopZero:
+    """The pre-overhaul streaming hasher: list window + ``pop(0)``."""
+
+    def __init__(self, window=DEFAULT_WINDOW):
+        self.window = window
+        self._bytes = []
+        self._hash = 0
+
+    def update(self, byte):
+        self._hash = _rotl(self._hash, 1)
+        self._hash ^= int(TABLE[byte])
+        self._bytes.append(byte)
+        if len(self._bytes) > self.window:
+            evicted = self._bytes.pop(0)
+            self._hash ^= _rotl(int(TABLE[evicted]), self.window)
+        return self._hash
+
+
+# -- benchmark sections -----------------------------------------------------
+
+
+def bench_gf_matmul(quick):
+    width = (1 if quick else 4) * _MB
+    rounds = 2 if quick else 3
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, size=(10, 3), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(3, width), dtype=np.uint8)
+    out_mb = a.shape[0] * width / _MB
+    t_table = _best_of(lambda: gfm.matmul(a, b), rounds)
+    t_logexp = _best_of(lambda: matmul_logexp(a, b), rounds)
+    return {
+        "shape": [list(a.shape), list(b.shape)],
+        "table_mb_per_s": out_mb / t_table,
+        "logexp_mb_per_s": out_mb / t_logexp,
+        "speedup": t_logexp / t_table,
+    }
+
+
+def bench_encode_decode(quick):
+    seg = (1 if quick else 4) * _MB
+    rounds = 2 if quick else 3
+    code = ReedSolomonCode(10, 3)
+    data = np.random.default_rng(1).integers(
+        0, 256, size=seg, dtype=np.uint8
+    ).tobytes()
+
+    t_new = _best_of(lambda: code.encode(data), rounds)
+    t_old = _best_of(lambda: encode_legacy(code, data), rounds)
+
+    def cached_blocks():
+        state = code.prepare(data)
+        for index in range(code.n):
+            state.block(index)
+
+    def legacy_blocks():
+        for index in range(code.n):
+            encode_block_legacy(code, data, index)
+
+    t_blocks_new = _best_of(cached_blocks, rounds)
+    t_blocks_old = _best_of(legacy_blocks, rounds)
+
+    blocks = code.encode(data)
+    subset = {0: blocks[0], 4: blocks[4], 9: blocks[9]}
+    t_decode = _best_of(lambda: code.decode(subset, seg), rounds)
+
+    mb = seg / _MB
+    return {
+        "segment_mb": mb,
+        "n": code.n,
+        "k": code.k,
+        "encode_mb_per_s": mb / t_new,
+        "encode_legacy_mb_per_s": mb / t_old,
+        "encode_speedup": t_old / t_new,
+        "encode_blocks_cached_mb_per_s": mb / t_blocks_new,
+        "encode_blocks_legacy_mb_per_s": mb / t_blocks_old,
+        "encode_blocks_speedup": t_blocks_old / t_blocks_new,
+        "decode_mb_per_s": mb / t_decode,
+    }
+
+
+def bench_chunking(quick):
+    size = (2 if quick else 8) * _MB
+    rounds = 2 if quick else 3
+    data = np.random.default_rng(2).integers(
+        0, 256, size=size, dtype=np.uint8
+    ).tobytes()
+    t_batch = _best_of(lambda: buzhash_all(data), rounds)
+
+    stream_bytes = 64 * 1024 if quick else 256 * 1024
+    stream_data = data[:stream_bytes]
+
+    def stream_ring():
+        hasher = BuzHash()
+        for byte in stream_data:
+            hasher.update(byte)
+
+    def stream_pop0():
+        hasher = BuzHashPopZero()
+        for byte in stream_data:
+            hasher.update(byte)
+
+    t_ring = _best_of(stream_ring, rounds)
+    t_pop0 = _best_of(stream_pop0, rounds)
+    return {
+        "batch_mb_per_s": size / _MB / t_batch,
+        "stream_ring_mb_per_s": stream_bytes / _MB / t_ring,
+        "stream_pop0_mb_per_s": stream_bytes / _MB / t_pop0,
+        "stream_speedup": t_pop0 / t_ring,
+    }
+
+
+# -- scheduler + end-to-end -------------------------------------------------
+
+CONFIG = UniDriveConfig(theta=64 * 1024)
+N_CLOUDS = 5
+
+
+def _make_env(seed=0):
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"cloud{i}") for i in range(N_CLOUDS)]
+    profile = LinkProfile(
+        up_mbps=20.0, down_mbps=40.0, rtt_seconds=0.05, latency_jitter=0.0,
+        failure_rate=0.0, volatility=0.0, fade_probability=0.0,
+        diurnal_amplitude=0.0,
+    )
+    conns = [
+        CloudConnection(sim, cloud, profile, np.random.default_rng(seed + i))
+        for i, cloud in enumerate(clouds)
+    ]
+    pipeline = BlockPipeline(CONFIG, N_CLOUDS)
+    return sim, conns, pipeline
+
+
+def _make_files(pipeline, count, file_kb=96, seed=4):
+    rng = np.random.default_rng(seed)
+    files = []
+    for i in range(count):
+        content = rng.integers(
+            0, 256, size=file_kb * 1024, dtype=np.uint8
+        ).tobytes()
+        segments = [
+            (pipeline.make_record(segment), segment.data)
+            for segment in pipeline.segment_file(content)
+        ]
+        files.append(FileUpload(path=f"/f{i}", segments=segments))
+    return files
+
+
+def _run_upload(count, reference):
+    sim, conns, pipeline = _make_env()
+    scheduler = UploadScheduler(
+        sim, conns, pipeline, CONFIG, estimator=ThroughputEstimator()
+    )
+    if reference:
+        scheduler._next_task = scheduler._next_task_reference
+    files = _make_files(pipeline, count)
+    start = time.perf_counter()
+    batch = sim.run_process(scheduler.run_batch(files))
+    elapsed = time.perf_counter() - start
+    blocks = sum(
+        sum(r.blocks_per_cloud.values()) for r in batch.files
+    )
+    return {
+        "files": count,
+        "blocks": blocks,
+        "scans": scheduler._dispatch_scans,
+        "scans_per_block": scheduler._dispatch_scans / blocks,
+        "wall_seconds": elapsed,
+        "blocks_per_s": blocks / elapsed,
+    }
+
+
+def bench_dispatch(quick):
+    small, large = (10, 40) if quick else (10, 200)
+    out = {
+        "cursor_small": _run_upload(small, reference=False),
+        "cursor_large": _run_upload(large, reference=False),
+        "reference_small": _run_upload(small, reference=True),
+        "reference_large": _run_upload(large, reference=True),
+    }
+    out["cursor_flatness"] = (
+        out["cursor_large"]["scans_per_block"]
+        / out["cursor_small"]["scans_per_block"]
+    )
+    out["reference_growth"] = (
+        out["reference_large"]["scans_per_block"]
+        / out["reference_small"]["scans_per_block"]
+    )
+    out["scans_per_block_improvement_large"] = (
+        out["reference_large"]["scans_per_block"]
+        / out["cursor_large"]["scans_per_block"]
+    )
+    return out
+
+
+def bench_end_to_end(quick):
+    count = 20 if quick else 60
+    sim, conns, pipeline = _make_env(seed=9)
+    estimator = ThroughputEstimator()
+    up = UploadScheduler(sim, conns, pipeline, CONFIG, estimator=estimator)
+    files = _make_files(pipeline, count, seed=11)
+    payload_mb = sum(
+        len(data) for f in files for _, data in f.segments
+    ) / _MB
+
+    start = time.perf_counter()
+    sim.run_process(up.run_batch(files))
+    down = DownloadScheduler(sim, conns, pipeline, CONFIG,
+                             estimator=estimator)
+    requests = [
+        FileDownload(f.path, [record for record, _ in f.segments])
+        for f in files
+    ]
+    batch = sim.run_process(down.run_batch(requests))
+    elapsed = time.perf_counter() - start
+
+    assert all(r.content is not None for r in batch.files)
+    return {
+        "files": count,
+        "payload_mb": payload_mb,
+        "wall_seconds": elapsed,
+        "files_per_s": 2 * count / elapsed,  # one upload + one download each
+        "payload_mb_per_s": 2 * payload_mb / elapsed,
+    }
+
+
+def run_all(quick=False):
+    results = {
+        "quick": quick,
+        "gf_matmul": bench_gf_matmul(quick),
+        "codec": bench_encode_decode(quick),
+        "chunking": bench_chunking(quick),
+        "dispatch": bench_dispatch(quick),
+        "end_to_end": bench_end_to_end(quick),
+    }
+    # The 3x bar is defined on 4 MB segments; quick mode's 1 MB segments
+    # sit closer to the shard-build overhead, so it gets a looser bar.
+    checks = {
+        "encode_speedup_ge_3x":
+            results["codec"]["encode_speedup"] >= (2.0 if quick else 3.0),
+        "dispatch_flat_within_2x":
+            results["dispatch"]["cursor_flatness"] < 2.0,
+    }
+    results["checks"] = checks
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / few rounds, for CI smoke runs")
+    parser.add_argument("--out", default=RESULTS_PATH,
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick)
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+
+    codec = results["codec"]
+    dispatch = results["dispatch"]
+    print(f"gf_matmul:  {results['gf_matmul']['table_mb_per_s']:8.1f} MB/s "
+          f"(legacy {results['gf_matmul']['logexp_mb_per_s']:.1f}, "
+          f"{results['gf_matmul']['speedup']:.2f}x)")
+    print(f"encode:     {codec['encode_mb_per_s']:8.1f} MB/s "
+          f"(legacy {codec['encode_legacy_mb_per_s']:.1f}, "
+          f"{codec['encode_speedup']:.2f}x)")
+    print(f"blocks:     {codec['encode_blocks_cached_mb_per_s']:8.1f} MB/s "
+          f"cached (legacy {codec['encode_blocks_legacy_mb_per_s']:.1f}, "
+          f"{codec['encode_blocks_speedup']:.2f}x)")
+    print(f"decode:     {codec['decode_mb_per_s']:8.1f} MB/s")
+    print(f"chunk:      {results['chunking']['batch_mb_per_s']:8.1f} MB/s "
+          f"batch; stream ring "
+          f"{results['chunking']['stream_ring_mb_per_s']:.2f} MB/s "
+          f"({results['chunking']['stream_speedup']:.2f}x vs pop(0))")
+    print(f"dispatch:   {dispatch['cursor_small']['scans_per_block']:.2f} -> "
+          f"{dispatch['cursor_large']['scans_per_block']:.2f} scans/block "
+          f"({dispatch['cursor_small']['files']} -> "
+          f"{dispatch['cursor_large']['files']} files, "
+          f"flatness {dispatch['cursor_flatness']:.2f}x; reference grows "
+          f"{dispatch['reference_growth']:.2f}x)")
+    print(f"end-to-end: "
+          f"{results['end_to_end']['payload_mb_per_s']:8.1f} MB/s sync "
+          f"({results['end_to_end']['files_per_s']:.1f} file ops/s)")
+    print(f"wrote {args.out}")
+
+    failed = [name for name, ok in results["checks"].items() if not ok]
+    if failed:
+        print(f"ACCEPTANCE FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("acceptance checks: all passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
