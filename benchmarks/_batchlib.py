@@ -171,3 +171,37 @@ class TwoSiteBed:
 
 def batch_files(count: int, size: int, seed: int) -> dict:
     return make_batch(np.random.default_rng(seed), count, size)
+
+
+# -- parallel pair cells ------------------------------------------------------
+#
+# One (src, dst) route is an independent simulation: its own Simulator,
+# clouds and rngs, seeded explicitly.  Approaches within a route share
+# the bed (they run back to back in one virtual timeline, a paired
+# comparison), so the cell unit is the whole route, and routes fan out
+# across cores via the parallel campaign runner.
+
+
+def sync_pair_cell(src: str, dst: str, seed: int, approaches, count: int,
+                   size: int, file_seed: int, theta: int = 1024 * 1024):
+    """Run every approach's batch sync over one route; picklable cell.
+
+    Returns ``{approach: (end_to_end_seconds or None, timeline)}``.
+    """
+    bed = TwoSiteBed(src, dst, seed=seed,
+                     config=UniDriveConfig(theta=theta))
+    files = batch_files(count, size, seed=file_seed)
+    return {
+        approach: bed.sync_batch(approach, files)
+        for approach in approaches
+    }
+
+
+def run_sync_pairs(specs, max_workers=None):
+    """Fan :func:`sync_pair_cell` specs over cores, results in order."""
+    from repro.workloads import call_cell, run_cells
+
+    return run_cells(
+        [call_cell(sync_pair_cell, **spec) for spec in specs],
+        max_workers=max_workers,
+    )

@@ -50,11 +50,11 @@ def run_experiment():
         sim = Simulator()
         config = UniDriveConfig()
         clouds = make_clouds(sim, retain_content=False)
-        conns = connect_location(sim, clouds, LOCATION, seed=80)
+        conns = connect_location(sim, clouds, LOCATION, seed=81)
         estimator = ThroughputEstimator() if probing else None
         client = _Custom(sim, conns, config, over, dynamic,
                          estimator=estimator)
-        rng = np.random.default_rng(80)
+        rng = np.random.default_rng(81)
         ups, downs = [], []
         warm_path = None
         for round_index in range(REPEATS + 1):

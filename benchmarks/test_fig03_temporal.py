@@ -8,7 +8,7 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.workloads import MeasurementCampaign
+from repro.workloads import campaign_cell, run_cells
 
 SIZE = 8 * 1024 * 1024
 CLOUDS = ["dropbox", "onedrive", "gdrive"]
@@ -16,11 +16,12 @@ DAYS = 10
 
 
 def run_experiment():
-    campaign = MeasurementCampaign(
-        "princeton", sizes=[SIZE], interval=1800.0, duration_days=DAYS,
-        seed=3,
-    )
-    samples = campaign.run()
+    [samples] = run_cells([
+        campaign_cell(
+            "princeton", sizes=[SIZE], interval=1800.0,
+            duration_days=DAYS, seed=3,
+        )
+    ])
     series = defaultdict(list)  # cloud -> [(t, duration)]
     for sample in samples:
         if sample.direction == "up" and sample.succeeded:

@@ -6,18 +6,19 @@ share for larger transfers.
 
 from collections import Counter
 
-from repro.workloads import MeasurementCampaign
+from repro.workloads import campaign_cell, run_cells
 
 _KB, _MB = 1024, 1024 * 1024
 SIZES = [256 * _KB, 512 * _KB, 1 * _MB, 2 * _MB, 4 * _MB, 8 * _MB]
 
 
 def run_experiment():
-    campaign = MeasurementCampaign(
-        "princeton", sizes=SIZES, interval=3600.0, duration_days=4.0,
-        seed=4,
-    )
-    samples = campaign.run()
+    [samples] = run_cells([
+        campaign_cell(
+            "princeton", sizes=SIZES, interval=3600.0, duration_days=4.0,
+            seed=4,
+        )
+    ])
     attempts = Counter()
     failures = Counter()
     for sample in samples:

@@ -9,7 +9,7 @@ scaled batch (40 x 1 MB) over three uploader/downloader pairs.
 
 import numpy as np
 
-from _batchlib import APPROACHES, CCS, TwoSiteBed, batch_files
+from _batchlib import APPROACHES, CCS, run_sync_pairs
 
 _MB = 1024 * 1024
 PAIRS = [
@@ -21,12 +21,15 @@ COUNT = 40
 
 
 def run_experiment():
+    specs = [
+        dict(src=src, dst=dst, seed=20 + pair_index,
+             approaches=APPROACHES, count=COUNT, size=1 * _MB,
+             file_seed=pair_index)
+        for pair_index, (src, dst) in enumerate(PAIRS)
+    ]
     times = {}
-    for pair_index, (src, dst) in enumerate(PAIRS):
-        bed = TwoSiteBed(src, dst, seed=20 + pair_index)
-        files = batch_files(COUNT, 1 * _MB, seed=pair_index)
-        for approach in APPROACHES:
-            duration, _timeline = bed.sync_batch(approach, files)
+    for (src, _dst), by_approach in zip(PAIRS, run_sync_pairs(specs)):
+        for approach, (duration, _timeline) in by_approach.items():
             times[(src, approach)] = duration
     return times
 

@@ -8,7 +8,7 @@ slopes and may cross.
 
 import numpy as np
 
-from _batchlib import TwoSiteBed, batch_files
+from _batchlib import run_sync_pairs
 
 _MB = 1024 * 1024
 COUNT = 30
@@ -16,13 +16,14 @@ APPROACHES = ["gdrive", "intuitive", "benchmark", "unidrive"]
 
 
 def run_experiment():
-    bed = TwoSiteBed("oregon", "virginia", seed=30)
-    files = batch_files(COUNT, 1 * _MB, seed=7)
-    timelines = {}
-    for approach in APPROACHES:
-        _duration, timeline = bed.sync_batch(approach, files)
-        timelines[approach] = timeline
-    return timelines
+    [by_approach] = run_sync_pairs([
+        dict(src="oregon", dst="virginia", seed=30,
+             approaches=APPROACHES, count=COUNT, size=1 * _MB, file_seed=7)
+    ])
+    return {
+        approach: timeline
+        for approach, (_duration, timeline) in by_approach.items()
+    }
 
 
 def test_fig12_cumulative_synced_files(run_once, report):

@@ -1,0 +1,69 @@
+"""Simulation-substrate benchmarks (bandwidth epochs, kernel, campaign).
+
+Pytest wrapper around the ``substrate`` suite of :mod:`tools.bench`:
+runs each section once under the pytest-benchmark timer, renders the
+before/after table, and asserts the overhaul's acceptance bars —
+>= 5x epoch generation against the retained scalar sampler, >= 2x
+kernel events/sec against the retained allocation-heavy kernel, and
+parallel campaign results byte-identical to the serial runner (with
+the >= 3x wall-clock bar enforced only on 4+ cores, matching
+``tools/bench.py``).
+
+Run with ``BENCH_QUICK=1`` for the CI-sized variant.
+"""
+
+import os
+import sys
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools"
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import bench  # noqa: E402
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def test_bandwidth_epoch_generation(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_bandwidth_epochs(QUICK))
+    report("Bandwidth epoch generation (M epochs/s)", [
+        f"{'vectorized':<18}{fmt_cell(result['epochs_per_s'] / 1e6)}",
+        f"{'scalar legacy':<18}"
+        f"{fmt_cell(result['legacy_epochs_per_s'] / 1e6)}",
+        f"{'speedup':<18}{fmt_cell(result['speedup'])}x",
+        f"{'cached rate_at':<18}"
+        f"{fmt_cell(result['cached_rate_queries_per_s'] / 1e6)} M queries/s",
+    ])
+    assert result["speedup"] >= 5.0
+
+
+def test_kernel_event_throughput(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_kernel_events(QUICK))
+    report("Event-kernel throughput (k events/s)", [
+        f"{'slim kernel':<16}{fmt_cell(result['events_per_s'] / 1e3)}",
+        f"{'legacy kernel':<16}"
+        f"{fmt_cell(result['legacy_events_per_s'] / 1e3)}",
+        f"{'events':<16}{result['events_new']}",
+        f"{'speedup':<16}{fmt_cell(result['speedup'])}x",
+    ])
+    assert result["speedup"] >= 2.0
+
+
+def test_campaign_parallel_identity(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_campaign_parallel(QUICK))
+    report("Parallel campaign runner", [
+        f"{'cells':<18}{result['cells']}",
+        f"{'workers':<18}{result['workers']}",
+        f"{'serial wall s':<18}{fmt_cell(result['serial_wall_s'])}",
+        f"{'parallel wall s':<18}{fmt_cell(result['parallel_wall_s'])}",
+        f"{'speedup':<18}{fmt_cell(result['speedup'])}x",
+        f"{'identical':<18}{result['identical']}",
+    ])
+    assert result["identical"]
+    # The 3x wall-clock bar needs real parallelism: enforce it only on
+    # hosts with >= 4 cores and only for the full-sized campaign (quick
+    # cells are pool-startup dominated).
+    if result["speedup_enforced"] and not QUICK:
+        assert result["speedup"] >= 3.0

@@ -26,7 +26,7 @@ COUNT = 12
 def run_experiment():
     times = {a: [] for a in APPROACHES}
     for index, (src, dst) in enumerate(PAIRS):
-        bed = TwoSiteBed(src, dst, seed=40 + index)
+        bed = TwoSiteBed(src, dst, seed=46 + index)
         files = batch_files(COUNT, 1 * _MB, seed=index)
         for approach in APPROACHES:
             duration, _ = bed.sync_batch(approach, files)

@@ -11,6 +11,7 @@ A systematic variant is also provided; the RACS/DepSky-style
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List, Mapping
 
 import numpy as np
@@ -18,6 +19,12 @@ import numpy as np
 from . import matrix as gfm
 
 __all__ = ["ReedSolomonCode", "EncodeState", "DecodeError"]
+
+#: Decode matrices cached per surviving-cloud index set.  Recovery and
+#: rebalancing decode many segments against the *same* few index sets
+#: (whichever k clouds answered), so a small LRU removes almost every
+#: repeated ``gfm.invert`` — the decode-side mirror of ``prepare()``.
+_DECODE_CACHE_SIZE = 64
 
 
 class DecodeError(ValueError):
@@ -81,6 +88,7 @@ class ReedSolomonCode:
             top_inv = gfm.invert(generator[:k])
             generator = gfm.matmul(generator, top_inv)
         self._generator = generator
+        self._decode_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 
     def __repr__(self) -> str:
         kind = "systematic" if self.systematic else "non-systematic"
@@ -168,14 +176,25 @@ class ReedSolomonCode:
                     f"block {index} has size {len(content)}, expected {size}"
                 )
             stacked[row] = np.frombuffer(content, dtype=np.uint8)
-        submatrix = self._generator[indices]
-        try:
-            decode_matrix = gfm.invert(submatrix)
-        except gfm.SingularMatrixError as exc:  # pragma: no cover
-            raise DecodeError(f"singular decode submatrix: {exc}") from exc
-        data_shards = gfm.matmul(decode_matrix, stacked)
+        data_shards = gfm.matmul(self._decode_matrix(tuple(indices)), stacked)
         flat = data_shards.reshape(-1)[:data_length]
         return flat.tobytes()
+
+    def _decode_matrix(self, indices: tuple) -> np.ndarray:
+        """The inverse of the generator rows ``indices``, LRU-cached."""
+        cache = self._decode_cache
+        decode_matrix = cache.get(indices)
+        if decode_matrix is not None:
+            cache.move_to_end(indices)
+            return decode_matrix
+        try:
+            decode_matrix = gfm.invert(self._generator[list(indices)])
+        except gfm.SingularMatrixError as exc:  # pragma: no cover
+            raise DecodeError(f"singular decode submatrix: {exc}") from exc
+        cache[indices] = decode_matrix
+        if len(cache) > _DECODE_CACHE_SIZE:
+            cache.popitem(last=False)
+        return decode_matrix
 
     def reencode_block(self, blocks: Mapping[int, bytes], index: int,
                        data_length: int) -> bytes:

@@ -1,6 +1,11 @@
 """Network condition simulation: bandwidth, latency, failures, transfers."""
 
-from .bandwidth import MBPS, BandwidthProcess, ConstantBandwidth
+from .bandwidth import (
+    MBPS,
+    BandwidthProcess,
+    ConstantBandwidth,
+    ScalarBandwidthProcess,
+)
 from .failures import FailureModel, StressProcess, interval_failure_indicators
 from .latency import LatencyModel
 from .profiles import LinkConditions, LinkProfile
@@ -14,6 +19,7 @@ __all__ = [
     "LinkConditions",
     "LinkProfile",
     "MBPS",
+    "ScalarBandwidthProcess",
     "SharedNic",
     "StressProcess",
     "Transfer",

@@ -112,7 +112,14 @@ class TransferEngine:
         self.nic = None
         self._active: List[Transfer] = []
         self._last_update = sim.now
-        self._timer_version = 0
+        # Reusable timer: one bound callable for the engine's lifetime,
+        # scheduled directly via ``sim.call_later`` (no Timeout event,
+        # no per-decision lambda).  ``_timer_deadline`` is the virtual
+        # time the *live* timer is armed for; superseded heap entries
+        # fire at a different time and no-op.  NaN means "no live
+        # timer" (it compares unequal to every time).
+        self._fire = self._on_timer
+        self._timer_deadline = math.nan
         #: Per-connection rate in effect for the current interval;
         #: cached so progress accounting matches exactly what was
         #: planned, even when a shared NIC rescales rates mid-flight.
@@ -188,51 +195,103 @@ class TransferEngine:
         for transfer in self._active:
             transfer.remaining -= progressed
 
-    def _reschedule(self, notify_nic: bool = True) -> None:
-        """Complete finished transfers and arm the next wake-up timer."""
-        self._timer_version += 1
+    def _reschedule(self, notify_nic: bool = True,
+                    progressed: float = 0.0) -> None:
+        """Complete finished transfers and arm the next wake-up timer.
+
+        This is the substrate's single hottest function (one call per
+        decision point), so it trades a little readability for locals
+        and a fused scan: one pass over the active list applies the
+        elapsed progress (``progressed`` bytes, from the timer path),
+        classifies finished transfers *and* finds the shortest
+        survivor.
+        """
+        self._timer_deadline = math.nan  # invalidate any armed timer
+        active = self._active
+        if not active:
+            self._rate_in_effect = 0.0
+            return
+        sim = self.sim
+        now = sim.now
+        bandwidth = self.bandwidth
+        # Per-connection rate, inlined from per_connection_rate().
+        rate_now = bandwidth.rate_at(now)
+        n = len(active)
+        if n > self.max_parallel:
+            rate_now = rate_now * self.max_parallel / n
+        nic = self.nic
+        if nic is not None:
+            rate_now *= nic.scale()
         # A transfer whose remainder would complete in less than one
         # representable time step can never make progress (now + delay
         # rounds back to now), so treat it as done.  The threshold is
         # rate-aware: residual float dust scales with the link rate.
-        rate_now = self.per_connection_rate()
-        resolution = math.ulp(max(self.sim.now, 1.0))
-        threshold = max(_EPSILON_BYTES, rate_now * resolution * 8)
-        finished = [
-            t for t in self._active if t.remaining <= threshold
-        ]
+        resolution = math.ulp(now if now > 1.0 else 1.0)
+        threshold = rate_now * resolution * 8
+        if threshold < _EPSILON_BYTES:
+            threshold = _EPSILON_BYTES
+        finished = None
+        shortest = math.inf
+        for transfer in active:
+            remaining = transfer.remaining - progressed
+            transfer.remaining = remaining
+            if remaining <= threshold:
+                if finished is None:
+                    finished = [transfer]
+                else:
+                    finished.append(transfer)
+            elif remaining < shortest:
+                shortest = remaining
         if finished:
             for transfer in finished:
-                self._active.remove(transfer)
+                active.remove(transfer)
                 transfer.remaining = 0.0
-                transfer.finished_at = self.sim.now
+                transfer.finished_at = now
                 self.bytes_completed += transfer.nbytes
                 self.transfers_completed += 1
                 transfer.event.succeed(transfer)
-        if finished and notify_nic and self.nic is not None:
-            self.nic.poke(self)
-        if not self._active:
-            self._rate_in_effect = 0.0
-            return
-        rate = self.per_connection_rate()
+            if notify_nic and nic is not None:
+                nic.poke(self)
+            if not active:
+                self._rate_in_effect = 0.0
+                return
+            # Completions change this engine's parallelism (and, through
+            # a shared NIC, the whole host's demand); otherwise the rate
+            # computed for the threshold is still exact.
+            rate = self.per_connection_rate()
+        else:
+            rate = rate_now
         self._rate_in_effect = rate
-        shortest = min(t.remaining for t in self._active)
         completion_delay = shortest / rate if rate > 0 else math.inf
-        epoch_delay = self.bandwidth.next_change_after(self.sim.now) - self.sim.now
-        delay = min(completion_delay, epoch_delay)
+        epoch_delay = bandwidth.next_change_after(now) - now
+        delay = (
+            completion_delay if completion_delay < epoch_delay
+            else epoch_delay
+        )
         if not math.isfinite(delay):  # pragma: no cover - defensive
             raise RuntimeError("transfer can never complete (zero rate)")
         # Guarantee the timer lands strictly after `now` in float time.
-        delay = max(delay, resolution * 2)
-        version = self._timer_version
-        timer = self.sim.timeout(max(delay, 0.0))
-        timer.add_callback(lambda _evt: self._on_timer(version))
+        min_delay = resolution * 2
+        if delay < min_delay:
+            delay = min_delay
+        self._timer_deadline = sim.call_later(delay, self._fire)
 
-    def _on_timer(self, version: int) -> None:
-        if version != self._timer_version:
+    def _on_timer(self) -> None:
+        # Exactly one deadline is live at a time; a heap entry from a
+        # superseded decision point fires at some other instant (every
+        # re-arm lands strictly later than its decision point) and is
+        # dropped here.  NaN compares unequal to every ``now``.
+        now = self.sim.now
+        if now != self._timer_deadline:
             return  # superseded by a newer decision point
-        self._advance()
-        self._reschedule()
+        # _advance() folded in: progress is applied inside the
+        # _reschedule scan (same subtract-then-compare order).
+        elapsed = now - self._last_update
+        self._last_update = now
+        progressed = (
+            self._rate_in_effect * elapsed if elapsed > 0.0 else 0.0
+        )
+        self._reschedule(progressed=progressed)
 
 
 class TransferCancelled(Exception):

@@ -11,6 +11,14 @@ interrupts and the two combinators :class:`AllOf` / :class:`AnyOf`.
 Everything runs in *virtual* time, so a month-long measurement campaign
 completes in seconds of wall-clock time and is reproducible event for
 event.
+
+The hot loop is allocation-lean: every kernel class declares
+``__slots__``, an event defers allocating its callback list until a
+*second* waiter subscribes (the overwhelmingly common case is exactly
+one waiter — the process that yielded the event), and
+:meth:`Simulator.call_later` schedules a bare callable at a future time
+without building an :class:`Event` at all (the transfer engine's timer
+path).
 """
 
 from __future__ import annotations
@@ -58,11 +66,18 @@ class Event:
     An event starts *untriggered*; calling :meth:`succeed` or :meth:`fail`
     triggers it and schedules its callbacks to run at the current virtual
     time.  Processes wait on events by ``yield``-ing them.
+
+    Callbacks are stored in a compact tri-state slot: ``None`` (no
+    waiters yet), a single callable (one waiter — no list allocated), or
+    a list (two or more waiters).
     """
+
+    __slots__ = ("sim", "_cbs", "_processed", "_value", "_ok", "defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._cbs: Any = None
+        self._processed = False
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self.defused = False
@@ -81,7 +96,23 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the event's callbacks have been executed."""
-        return self.callbacks is None
+        return self._processed
+
+    @property
+    def callbacks(self) -> Optional[List[Callable[["Event"], None]]]:
+        """Snapshot of pending callbacks; ``None`` once processed.
+
+        Exposed for introspection only — register through
+        :meth:`add_callback`.
+        """
+        if self._processed:
+            return None
+        cbs = self._cbs
+        if cbs is None:
+            return []
+        if type(cbs) is list:
+            return list(cbs)
+        return [cbs]
 
     @property
     def ok(self) -> bool:
@@ -98,7 +129,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -109,7 +140,7 @@ class Event:
         """Trigger the event with ``exception`` as its outcome."""
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
@@ -122,19 +153,33 @@ class Event:
         Adding a callback to an already-processed event schedules an
         immediate re-delivery so late subscribers still observe it.
         """
-        if self.callbacks is not None:
-            self.callbacks.append(callback)
-        else:
+        if self._processed:
             # Already processed: deliver asynchronously at the current time.
-            self.sim._schedule_call(lambda: callback(self))
+            self.sim.call_later(0.0, lambda: callback(self))
+            return
+        cbs = self._cbs
+        if cbs is None:
+            self._cbs = callback
+        elif type(cbs) is list:
+            cbs.append(callback)
+        else:
+            self._cbs = [cbs, callback]
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
-        if self.callbacks is not None and callback in self.callbacks:
-            self.callbacks.remove(callback)
+        if self._processed:
+            return
+        cbs = self._cbs
+        if type(cbs) is list:
+            if callback in cbs:
+                cbs.remove(callback)
+        elif cbs is not None and cbs == callback:
+            self._cbs = None
 
 
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
@@ -161,6 +206,8 @@ class Process(Event):
     defused, since the process took responsibility for it).
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, sim: "Simulator", generator: Generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process() needs a generator, got {generator!r}")
@@ -170,7 +217,7 @@ class Process(Event):
         init = Event(sim)
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
+        init._cbs = self._resume
         sim._schedule(init)
 
     @property
@@ -190,7 +237,7 @@ class Process(Event):
         if self._target is not None:
             self._target.remove_callback(self._resume)
             self._target = None
-        poke.callbacks.append(self._resume)
+        poke._cbs = self._resume
         self.sim._schedule(poke)
 
     def _resume(self, event: Event) -> None:
@@ -226,7 +273,7 @@ class Process(Event):
                 except Exception as err:
                     self.fail(err)
                 return
-            if target.processed:
+            if target._processed:
                 # Yielded an already-processed event: continue immediately.
                 event = target
                 continue
@@ -237,6 +284,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Shared machinery for :class:`AllOf` and :class:`AnyOf`."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -264,6 +313,8 @@ class AllOf(_Condition):
     Fails fast if any constituent event fails.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -279,7 +330,11 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires when the *first* event fires; ``winner`` is that event."""
 
-    winner: Optional[Event] = None
+    __slots__ = ("winner",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        self.winner: Optional[Event] = None
+        super().__init__(sim, events)
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -301,15 +356,23 @@ class Simulator:
     fully deterministic.
     """
 
+    __slots__ = ("_now", "_queue", "_counter", "_steps")
+
     def __init__(self):
         self._now = 0.0
         self._queue: List = []
         self._counter = itertools.count()
+        self._steps = 0
 
     @property
     def now(self) -> float:
         """Current virtual time, in seconds."""
         return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of queue entries processed so far (events + calls)."""
+        return self._steps
 
     # -- event factories ------------------------------------------------
 
@@ -336,10 +399,20 @@ class Simulator:
             self._queue, (self._now + delay, next(self._counter), event, None)
         )
 
+    def call_later(self, delay: float, func: Callable[[], None]) -> float:
+        """Run bare ``func()`` at ``now + delay``; returns that time.
+
+        The allocation-lean timer path: no :class:`Event`, no callback
+        registration — just a heap entry.  Ordering relative to events
+        scheduled for the same instant follows insertion order, exactly
+        like event scheduling.
+        """
+        when = self._now + delay
+        heapq.heappush(self._queue, (when, next(self._counter), None, func))
+        return when
+
     def _schedule_call(self, func: Callable[[], None]) -> None:
-        heapq.heappush(
-            self._queue, (self._now, next(self._counter), None, func)
-        )
+        self.call_later(0.0, func)
 
     # -- execution ------------------------------------------------------
 
@@ -348,22 +421,56 @@ class Simulator:
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = when
+        self._steps += 1
         if func is not None:
             func()
             return
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        cbs = event._cbs
+        event._cbs = None
+        event._processed = True
+        if cbs is not None:
+            if type(cbs) is list:
+                for callback in cbs:
+                    callback(event)
+            else:
+                cbs(event)
         if not event._ok and not event.defused:
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or virtual time exceeds ``until``."""
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                return
-            self._step()
+        """Run until the queue drains or virtual time exceeds ``until``.
+
+        The :meth:`_step` body is inlined here with hoisted locals —
+        this loop executes once per simulated event, and the call plus
+        repeated attribute lookups are measurable at campaign scale.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        steps = self._steps
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self._now = until
+                    return
+                when, _, event, func = pop(queue)
+                self._now = when
+                steps += 1
+                if func is not None:
+                    func()
+                    continue
+                cbs = event._cbs
+                event._cbs = None
+                event._processed = True
+                if cbs is not None:
+                    if type(cbs) is list:
+                        for callback in cbs:
+                            callback(event)
+                    else:
+                        cbs(event)
+                if not event._ok and not event.defused:
+                    raise event._value
+        finally:
+            self._steps = steps
         if until is not None:
             self._now = max(self._now, until)
 

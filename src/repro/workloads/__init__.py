@@ -19,6 +19,15 @@ from .locations import (
     make_stress,
 )
 from .measurement import MeasurementCampaign, Sample, run_campaign, summarize
+from .parallel import (
+    Cell,
+    call_cell,
+    campaign_cell,
+    default_workers,
+    derive_seed,
+    run_cells,
+    transfers_cell,
+)
 from .survey import SURVEY, SurveyFinding, survey_report
 from .runner import (
     APPROACHES,
@@ -31,6 +40,7 @@ from .trial import TrialRecord, TrialResult, run_trial
 __all__ = [
     "APPROACHES",
     "CLOUD_IDS",
+    "Cell",
     "EC2_NODES",
     "MeasurementCampaign",
     "PLANETLAB_NODES",
@@ -45,7 +55,11 @@ __all__ = [
     "TrialSizeMixture",
     "apply_edit",
     "bucket_of",
+    "call_cell",
+    "campaign_cell",
     "connect_location",
+    "default_workers",
+    "derive_seed",
     "link_profile",
     "location_profiles",
     "make_batch",
@@ -54,7 +68,9 @@ __all__ = [
     "measure_single_transfers",
     "random_bytes",
     "run_campaign",
+    "run_cells",
     "run_trial",
+    "transfers_cell",
     "survey_report",
     "summarize",
 ]

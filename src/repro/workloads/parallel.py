@@ -1,0 +1,132 @@
+"""Parallel campaign runner: fan independent simulation cells over cores.
+
+Every §3.2/§7 experiment decomposes into *cells* — independent
+(location, seed, repeat) simulations with no shared state: each cell
+builds its own :class:`~repro.simkernel.Simulator`, clouds and rng from
+an explicit seed.  That makes campaigns embarrassingly parallel, and —
+because every cell's randomness is derived only from its own recorded
+seed — bit-reproducible regardless of scheduling: the merged output is
+*byte-identical* to serial execution.
+
+Three cell kinds cover the experiment harnesses:
+
+* ``campaign``  — :func:`repro.workloads.measurement.run_campaign`
+* ``transfers`` — :func:`repro.workloads.runner.measure_single_transfers`
+* ``call``      — any picklable top-level function (used by the
+  benchmark batch library for two-site sync grids)
+
+Results always come back in cell-submission order (ordered merge), so
+downstream aggregation never observes completion-order nondeterminism.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Cell",
+    "campaign_cell",
+    "transfers_cell",
+    "call_cell",
+    "run_cells",
+    "default_workers",
+    "derive_seed",
+    "WORKERS_ENV",
+]
+
+#: Environment knob for the benchmark suite and CLI: number of worker
+#: processes (0 or 1 disables the pool and runs inline).
+WORKERS_ENV = "REPRO_CAMPAIGN_WORKERS"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of simulation work.
+
+    ``kind`` selects the runner; ``args``/``kwargs`` are passed through
+    verbatim.  Cells must be picklable (they cross process boundaries),
+    which all campaign parameters are.
+    """
+
+    kind: str
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    fn: Optional[Callable] = None  # kind == "call" only
+
+
+def campaign_cell(location: str, sizes: Sequence[int], **kwargs) -> Cell:
+    """A :func:`run_campaign` cell (one vantage point, one seed)."""
+    return Cell("campaign", (location, list(sizes)), dict(kwargs))
+
+
+def transfers_cell(location: str, approaches: Sequence[str], size: int,
+                   **kwargs) -> Cell:
+    """A :func:`measure_single_transfers` cell."""
+    return Cell("transfers", (location, list(approaches), size),
+                dict(kwargs))
+
+
+def call_cell(fn: Callable, *args, **kwargs) -> Cell:
+    """A cell invoking any picklable top-level callable."""
+    return Cell("call", args, kwargs, fn=fn)
+
+
+def derive_seed(base: int, *coordinates) -> int:
+    """Stable per-cell seed from a base and arbitrary coordinates.
+
+    Uses crc32 over the repr (not ``hash()``, which is randomized per
+    process for strings) so the same cell gets the same seed in every
+    worker, interpreter and run.
+    """
+    text = repr((base,) + coordinates).encode()
+    return zlib.crc32(text) % (2**31)
+
+
+def default_workers(cells: Optional[int] = None) -> int:
+    """Worker count: ``REPRO_CAMPAIGN_WORKERS`` or all cores, capped at
+    the number of cells."""
+    env = os.environ.get(WORKERS_ENV, "")
+    workers = int(env) if env else (os.cpu_count() or 1)
+    if cells is not None:
+        workers = min(workers, cells)
+    return max(workers, 1)
+
+
+def _run_cell(cell: Cell):
+    """Execute one cell (top-level so it pickles into worker processes)."""
+    if cell.kind == "campaign":
+        from .measurement import run_campaign
+
+        return run_campaign(*cell.args, **cell.kwargs)
+    if cell.kind == "transfers":
+        from .runner import measure_single_transfers
+
+        return measure_single_transfers(*cell.args, **cell.kwargs)
+    if cell.kind == "call":
+        return cell.fn(*cell.args, **cell.kwargs)
+    raise ValueError(f"unknown cell kind {cell.kind!r}")
+
+
+def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
+              chunksize: int = 1) -> List[Any]:
+    """Run ``cells`` and return their results in submission order.
+
+    ``max_workers`` defaults to :func:`default_workers`.  With one
+    worker (or one cell) everything runs inline in this process — the
+    same code path the pool workers execute, so serial and parallel
+    runs produce byte-identical results for the same cells.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    workers = default_workers(len(cells)) if max_workers is None else min(
+        max(int(max_workers), 1), len(cells)
+    )
+    if workers <= 1:
+        return [_run_cell(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_cell, cells, chunksize=chunksize))

@@ -71,51 +71,62 @@ class Testbed:
         self.sim = Simulator()
         self.clouds = make_clouds(self.sim, CLOUD_IDS,
                                   retain_content=retain_content)
-        stress = make_stress(seed + 11) if with_stress else None
+        self._stress = make_stress(seed + 11) if with_stress else None
         # Separate connection sets per approach keep traffic metering
         # and probing state isolated, but every set shares one seed so
         # all approaches face the *same* bandwidth realizations — a
         # paired comparison, like measuring back to back on one host.
+        #
+        # Sets (and the clients on top of them) are built lazily, on
+        # first use of each approach: measuring two approaches pays for
+        # two connection sets, not all eight.  Laziness cannot change
+        # results — every set's rngs are seeded by (seed, cloud index)
+        # alone, independent of construction order, and construction
+        # schedules no simulator events.
         self._conn_sets: Dict[str, list] = {}
-        for name in APPROACHES:
-            # Native apps (and the intuitive solution built from them)
-            # sustain only their app-specific connection counts.
-            parallel = (
-                NATIVE_CONNECTIONS
-                if name in CLOUD_IDS or name == "intuitive"
-                else 5
-            )
-            self._conn_sets[name] = connect_location(
-                self.sim, self.clouds, location,
-                seed=seed * 100, stress=stress, max_parallel=parallel,
-            )
-        self.natives = {
-            cid: NativeClient(self.sim, conn)
-            for cid, conn in zip(
-                CLOUD_IDS,
-                [self._conn_sets[cid][i] for i, cid in enumerate(CLOUD_IDS)],
-            )
-        }
-        self.intuitive = IntuitiveMultiCloud(
-            self.sim,
-            [
-                NativeClient(self.sim, conn)
-                for conn in self._conn_sets["intuitive"]
-            ],
-        )
-        self.benchmark = MultiCloudBenchmark(
-            self.sim, self._conn_sets["benchmark"], self.config
-        )
+        self._clients: Dict[str, object] = {}
         self.estimator = ThroughputEstimator()
-        self.unidrive = UniDriveTransfer(
-            self.sim, self._conn_sets["unidrive"], self.config,
-            estimator=self.estimator,
-        )
         self._rng = np.random.default_rng(seed + 29)
         self._counter = 0
 
     def connections_for(self, approach: str) -> list:
-        return self._conn_sets[approach]
+        if approach not in APPROACHES:
+            raise KeyError(f"unknown approach {approach!r}")
+        connections = self._conn_sets.get(approach)
+        if connections is None:
+            # Native apps (and the intuitive solution built from them)
+            # sustain only their app-specific connection counts.
+            parallel = (
+                NATIVE_CONNECTIONS
+                if approach in CLOUD_IDS or approach == "intuitive"
+                else 5
+            )
+            connections = connect_location(
+                self.sim, self.clouds, self.location,
+                seed=self.seed * 100, stress=self._stress,
+                max_parallel=parallel,
+            )
+            self._conn_sets[approach] = connections
+        return connections
+
+    # -- lazily-built per-approach clients ----------------------------------
+
+    @property
+    def natives(self) -> Dict[str, NativeClient]:
+        """All five native clients (forces their connection sets)."""
+        return {cid: self._client(cid) for cid in CLOUD_IDS}
+
+    @property
+    def intuitive(self) -> IntuitiveMultiCloud:
+        return self._client("intuitive")
+
+    @property
+    def benchmark(self) -> MultiCloudBenchmark:
+        return self._client("benchmark")
+
+    @property
+    def unidrive(self) -> UniDriveTransfer:
+        return self._client("unidrive")
 
     # -- measurement primitives ---------------------------------------------
 
@@ -210,14 +221,30 @@ class Testbed:
     # -- internals -----------------------------------------------------------
 
     def _client(self, approach: str):
-        if approach in self.natives:
-            return self.natives[approach]
+        client = self._clients.get(approach)
+        if client is None:
+            client = self._build_client(approach)
+            self._clients[approach] = client
+        return client
+
+    def _build_client(self, approach: str):
+        connections = self.connections_for(approach)
+        if approach in CLOUD_IDS:
+            return NativeClient(
+                self.sim, connections[CLOUD_IDS.index(approach)]
+            )
         if approach == "intuitive":
-            return self.intuitive
+            return IntuitiveMultiCloud(
+                self.sim,
+                [NativeClient(self.sim, conn) for conn in connections],
+            )
         if approach == "benchmark":
-            return self.benchmark
+            return MultiCloudBenchmark(self.sim, connections, self.config)
         if approach == "unidrive":
-            return self.unidrive
+            return UniDriveTransfer(
+                self.sim, connections, self.config,
+                estimator=self.estimator,
+            )
         raise KeyError(f"unknown approach {approach!r}")
 
     def _fresh_path(self, approach: str) -> str:

@@ -1,0 +1,195 @@
+"""The reusable-timer TransferEngine matches the Timeout-per-decision one.
+
+The engine used to arm every decision point with a fresh ``Timeout``
+event plus a closure carrying a version counter; it now re-arms one
+bound callable through ``Simulator.call_later`` and drops superseded
+heap entries by deadline comparison.  ``LegacyTransferEngine`` below
+retains the old mechanism verbatim — randomized scenarios with
+cancellations, epoch boundaries and shared-NIC rebalances must produce
+bit-identical completion times on both, since only the timer plumbing
+differs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    BandwidthProcess,
+    ConstantBandwidth,
+    MBPS,
+    SharedNic,
+    TransferCancelled,
+    TransferEngine,
+)
+from repro.netsim.transfer import _EPSILON_BYTES
+from repro.simkernel import Simulator
+
+
+class LegacyTransferEngine(TransferEngine):
+    """The pre-overhaul timer: one Timeout + versioned lambda per
+    decision point (copied from the retained implementation)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._timer_version = 0
+
+    def _reschedule(self, notify_nic: bool = True) -> None:
+        self._timer_version += 1
+        rate_now = self.per_connection_rate()
+        resolution = math.ulp(max(self.sim.now, 1.0))
+        threshold = max(_EPSILON_BYTES, rate_now * resolution * 8)
+        finished = [t for t in self._active if t.remaining <= threshold]
+        if finished:
+            for transfer in finished:
+                self._active.remove(transfer)
+                transfer.remaining = 0.0
+                transfer.finished_at = self.sim.now
+                self.bytes_completed += transfer.nbytes
+                self.transfers_completed += 1
+                transfer.event.succeed(transfer)
+        if finished and notify_nic and self.nic is not None:
+            self.nic.poke(self)
+        if not self._active:
+            self._rate_in_effect = 0.0
+            return
+        rate = self.per_connection_rate()
+        self._rate_in_effect = rate
+        shortest = min(t.remaining for t in self._active)
+        completion_delay = shortest / rate if rate > 0 else math.inf
+        epoch_delay = (
+            self.bandwidth.next_change_after(self.sim.now) - self.sim.now
+        )
+        delay = min(completion_delay, epoch_delay)
+        if not math.isfinite(delay):  # pragma: no cover - defensive
+            raise RuntimeError("transfer can never complete (zero rate)")
+        delay = max(delay, resolution * 2)
+        version = self._timer_version
+        timer = self.sim.timeout(max(delay, 0.0))
+        timer.add_callback(lambda _evt: self._on_timer(version))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return
+        self._advance()
+        self._reschedule()
+
+
+def _make_script(seed, epoch=60.0):
+    """A randomized operation schedule exercising timer races.
+
+    Start times land both mid-epoch and *exactly on* epoch boundaries
+    (a boundary decision point supersedes the armed epoch timer at the
+    same instant the old entry fires); a subset of transfers is
+    cancelled mid-flight, some immediately followed by a new start at
+    the same instant.
+    """
+    rng = np.random.default_rng(seed)
+    ops = []
+    for key in range(12):
+        engine_index = int(rng.integers(0, 2))
+        if key % 3 == 0:
+            start = float(rng.integers(0, 8)) * epoch  # on a boundary
+        else:
+            start = float(rng.uniform(0.0, 8 * epoch))
+        size = float(rng.integers(64 * 1024, 4 * 1024 * 1024))
+        ops.append((start, "start", key, engine_index, size))
+        roll = rng.random()
+        if roll < 0.25:
+            cancel_at = start + float(rng.uniform(0.5, 90.0))
+            ops.append((cancel_at, "cancel", key, engine_index, 0.0))
+            if roll < 0.10:
+                # Cancel + immediate restart at the same instant: the
+                # classic stale-timer race.
+                ops.append(
+                    (cancel_at, "start", 100 + key, engine_index, size)
+                )
+    ops.sort(key=lambda op: (op[0], op[2]))
+    return ops
+
+
+def _run_scenario(engine_cls, seed, with_nic):
+    sim = Simulator()
+    rng = np.random.default_rng(1000 + seed)
+    bandwidths = [
+        BandwidthProcess(rng, mean_rate=6 * MBPS, epoch=60.0,
+                         fade_probability=0.1),
+        BandwidthProcess(rng, mean_rate=3 * MBPS, epoch=60.0,
+                         fade_probability=0.1),
+    ]
+    nic = SharedNic(7 * MBPS) if with_nic else None
+    engines = [
+        engine_cls(sim, bandwidth, max_parallel=3, nic=nic)
+        for bandwidth in bandwidths
+    ]
+    transfers = {}
+
+    def driver():
+        for when, op, key, engine_index, size in _make_script(seed):
+            if when > sim.now:
+                yield sim.timeout(when - sim.now)
+            if op == "start":
+                transfers[key] = engines[engine_index].start(size)
+            else:
+                engines[engine_index].cancel(transfers[key])
+                transfers[key].event.defused = True
+
+    sim.process(driver())
+    sim.run(until=86400.0)
+    outcome = {}
+    for key, transfer in sorted(transfers.items()):
+        outcome[key] = (transfer.finished_at, transfer.remaining)
+    totals = tuple(
+        (engine.bytes_completed, engine.transfers_completed)
+        for engine in engines
+    )
+    return outcome, totals
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("with_nic", [False, True])
+def test_reusable_timer_matches_legacy_engine(seed, with_nic):
+    new = _run_scenario(TransferEngine, seed, with_nic)
+    legacy = _run_scenario(LegacyTransferEngine, seed, with_nic)
+    assert new == legacy
+
+
+def test_stale_timer_after_cancel_and_restart():
+    """Cancelling the only transfer and starting a new one at the same
+    instant leaves a stale heap entry; it must not double-advance."""
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(100.0))
+
+    def driver():
+        first = engine.start(1000.0)
+        yield sim.timeout(3.0)
+        engine.cancel(first)
+        replacement = engine.start(500.0)
+        outcome = yield replacement.event
+        assert first.event.triggered
+        assert not first.event.ok
+        assert isinstance(first.event.value, TransferCancelled)
+        return outcome.finished_at
+
+    assert sim.run_process(driver()) == pytest.approx(8.0)
+
+
+def test_epoch_boundary_restart_is_not_superseded():
+    """A start landing exactly on an epoch boundary re-arms the timer
+    at the boundary instant; the old epoch timer must no-op and the
+    completion must still be exact."""
+    sim = Simulator()
+    bandwidth = BandwidthProcess(
+        np.random.default_rng(4), mean_rate=MBPS, epoch=60.0
+    )
+    engine = TransferEngine(sim, bandwidth)
+
+    def driver():
+        yield sim.timeout(60.0)  # exactly one epoch in
+        transfer = engine.start(1024.0)
+        outcome = yield transfer.event
+        return outcome.duration
+
+    duration = sim.run_process(driver())
+    assert duration == pytest.approx(1024.0 / bandwidth.rate_at(60.0))

@@ -96,7 +96,7 @@ def test_nic_cap_limits_aggregate_download():
     def measure(nic_mbps):
         sim = Simulator()
         clouds = make_clouds(sim, retain_content=True)
-        conns = connect_location(sim, clouds, "virginia", seed=9,
+        conns = connect_location(sim, clouds, "virginia", seed=11,
                                  nic_down_mbps=nic_mbps)
         client = UniDriveTransfer(sim, conns, UniDriveConfig(),
                                   estimator=ThroughputEstimator())

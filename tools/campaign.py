@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Run measurement campaigns in parallel across cores.
+
+Fans independent (location, seed, repeat) cells of the §3.2 probe
+campaign — or the §7 single-transfer comparison — over a process pool
+with deterministic per-cell seeding and ordered merge, then prints one
+summary row per cell.  The merged output is byte-identical to a serial
+run of the same cells (``--workers 1``).
+
+Examples::
+
+    # two-day probe campaigns at three vantage points, 4 workers
+    python tools/campaign.py campaign princeton beijing tokyo_pl \\
+        --size-mb 8 --days 2 --workers 4
+
+    # repeated 4 MB up/down comparison of the §7 approaches
+    python tools/campaign.py transfers virginia ireland \\
+        --approaches gdrive unidrive --size-mb 4 --repeats 3
+
+    # three seeds per location (replicated cells)
+    python tools/campaign.py campaign princeton --repeats 3 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import asdict
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.workloads import (  # noqa: E402
+    APPROACHES,
+    campaign_cell,
+    default_workers,
+    derive_seed,
+    run_cells,
+    transfers_cell,
+)
+
+_MB = 1024 * 1024
+
+
+def _build_cells(args):
+    cells, labels = [], []
+    for location in args.locations:
+        for repeat in range(args.repeats):
+            seed = (
+                args.seed
+                if args.seed is not None and args.repeats == 1
+                and len(args.locations) == 1
+                else derive_seed(args.seed or 0, location, repeat)
+            )
+            labels.append((location, repeat, seed))
+            if args.kind == "campaign":
+                cells.append(campaign_cell(
+                    location, sizes=[args.size_mb * _MB],
+                    interval=args.interval, duration_days=args.days,
+                    seed=seed,
+                ))
+            else:
+                cells.append(transfers_cell(
+                    location, args.approaches, args.size_mb * _MB,
+                    repeats=args.probe_rounds, seed=seed,
+                ))
+    return cells, labels
+
+
+def _summarize_campaign(samples):
+    ok = [s for s in samples if s.succeeded]
+    durations = [s.duration for s in ok]
+    return {
+        "samples": len(samples),
+        "success_rate": len(ok) / len(samples) if samples else 0.0,
+        "avg_duration_s": (
+            sum(durations) / len(durations) if durations else None
+        ),
+    }
+
+
+def _summarize_transfers(measurements):
+    ok = [m for m in measurements if m.succeeded]
+    return {
+        "samples": len(measurements),
+        "success_rate": (
+            len(ok) / len(measurements) if measurements else 0.0
+        ),
+        "avg_duration_s": (
+            sum(m.duration for m in ok) / len(ok) if ok else None
+        ),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="\n".join(__doc__.splitlines()[2:]),
+    )
+    parser.add_argument("kind", choices=["campaign", "transfers"],
+                        help="probe campaign (§3.2) or approach "
+                             "comparison (§7)")
+    parser.add_argument("locations", nargs="+",
+                        help="vantage points (PlanetLab or EC2 node names)")
+    parser.add_argument("--size-mb", type=int, default=8,
+                        help="probe size in MB (default 8)")
+    parser.add_argument("--days", type=float, default=2.0,
+                        help="campaign length in virtual days (default 2)")
+    parser.add_argument("--interval", type=float, default=7200.0,
+                        help="probe interval in virtual seconds")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="independent seeded cells per location")
+    parser.add_argument("--probe-rounds", type=int, default=5,
+                        help="transfers mode: measurement rounds per cell")
+    parser.add_argument("--approaches", nargs="+", default=APPROACHES,
+                        help="transfers mode: approaches to compare")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed for per-cell seed derivation")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: all cores, "
+                             "or $REPRO_CAMPAIGN_WORKERS)")
+    parser.add_argument("--json", default=None,
+                        help="write per-sample results to this JSON file")
+    args = parser.parse_args(argv)
+
+    cells, labels = _build_cells(args)
+    workers = (default_workers(len(cells)) if args.workers is None
+               else args.workers)
+    print(f"{len(cells)} cell(s) on {workers} worker(s)")
+    start = time.perf_counter()
+    results = run_cells(cells, max_workers=workers)
+    elapsed = time.perf_counter() - start
+
+    summarize = (_summarize_campaign if args.kind == "campaign"
+                 else _summarize_transfers)
+    print(f"{'location':<14}{'repeat':>7}{'seed':>12}{'samples':>9}"
+          f"{'success':>9}{'avg s':>9}")
+    for (location, repeat, seed), result in zip(labels, results):
+        s = summarize(result)
+        avg = f"{s['avg_duration_s']:.1f}" if s["avg_duration_s"] else "-"
+        print(f"{location:<14}{repeat:>7}{seed:>12}{s['samples']:>9}"
+              f"{s['success_rate']:>8.1%}{avg:>9}")
+    total = sum(len(r) for r in results)
+    print(f"{total} samples in {elapsed:.2f}s wall "
+          f"({total / elapsed:.0f} samples/s)")
+
+    if args.json:
+        payload = [
+            {
+                "location": location, "repeat": repeat, "seed": seed,
+                "samples": [asdict(s) for s in result],
+            }
+            for (location, repeat, seed), result in zip(labels, results)
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
