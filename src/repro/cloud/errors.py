@@ -3,6 +3,16 @@
 Mirrors what a third-party app sees from real CCS Web APIs: transient
 request failures, hard unavailability (outages / regional blocking),
 missing objects, and exhausted quota.
+
+Each class carries a ``retry_action`` attribute consumed by
+:class:`repro.core.retry.RetryPolicy` — the single place failure
+semantics are decided:
+
+* ``"retry"`` — transient; retrying with backoff may succeed.
+* ``"fail-fast"`` — the condition outlasts any reasonable backoff
+  (service outage); retrying only burns the unavailability timeout.
+* ``"give-up"`` — deterministic; retrying the same request can never
+  change the answer (missing object, exhausted quota, path conflict).
 """
 
 from __future__ import annotations
@@ -20,6 +30,9 @@ __all__ = [
 class CloudError(Exception):
     """Base class for every cloud-side error."""
 
+    #: Default classification; subclasses override (see module docstring).
+    retry_action = "retry"
+
     def __init__(self, cloud_id: str, message: str = ""):
         self.cloud_id = cloud_id
         super().__init__(f"[{cloud_id}] {message}" if message else cloud_id)
@@ -28,18 +41,28 @@ class CloudError(Exception):
 class RequestFailedError(CloudError):
     """A transient Web API failure; retrying may succeed."""
 
+    retry_action = "retry"
+
 
 class CloudUnavailableError(CloudError):
     """The service is unreachable (outage or regional block)."""
+
+    retry_action = "fail-fast"
 
 
 class NotFoundError(CloudError):
     """The requested path does not exist."""
 
+    retry_action = "give-up"
+
 
 class QuotaExceededError(CloudError):
     """The account's storage quota cannot hold the upload."""
 
+    retry_action = "give-up"
+
 
 class ConflictError(CloudError):
     """The operation conflicts with existing state (e.g. path is a folder)."""
+
+    retry_action = "give-up"

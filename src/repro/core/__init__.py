@@ -29,6 +29,7 @@ from .placement import (
     normal_block_count,
 )
 from .probing import DOWNLOAD, UPLOAD, ThroughputEstimator
+from .retry import FAIL_FAST, GIVE_UP, RETRY, RetryPolicy
 from .scheduler import (
     DownloadBatchReport,
     DownloadScheduler,
@@ -44,6 +45,10 @@ __all__ = [
     "BlockPipeline",
     "DOWNLOAD",
     "DeltaLog",
+    "FAIL_FAST",
+    "GIVE_UP",
+    "RETRY",
+    "RetryPolicy",
     "DownloadBatchReport",
     "DownloadScheduler",
     "FileDownload",

@@ -29,6 +29,7 @@ from .config import UniDriveConfig
 from .deltasync import (
     DeltaLog,
     op_add_segment,
+    op_base_version,
     op_delete_file,
     op_resolve_conflict,
     op_set_version,
@@ -46,6 +47,7 @@ from .metadata import (
 from .pipeline import BlockPipeline
 from .placement import fair_share, rebalance_on_add, rebalance_on_remove
 from .probing import ThroughputEstimator
+from .retry import RetryPolicy
 from .scheduler import (
     DownloadScheduler,
     FileDownload,
@@ -117,6 +119,8 @@ class UniDriveClient:
         self.config.validate(len(self.connections))
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.estimator = estimator or ThroughputEstimator()
+        #: Unified failure policy for every metadata-plane request.
+        self.retry = RetryPolicy.from_config(self.config)
         self.pipeline = BlockPipeline(self.config, len(self.connections))
         self.lock = QuorumLock(
             sim, self.connections, device, self.config, self.rng
@@ -130,6 +134,11 @@ class UniDriveClient:
         self._known_remote = VersionStamp(0, "")
         self._pending_changes: Dict[str, ChangeKind] = {}
         self._pending_fetch: set = set()
+        # Per-cloud version counters from the most recent poll
+        # (_check_cloud_update); _publish_delta consults them to pick a
+        # *fresh* cloud to extend the delta from.  None = unreachable or
+        # unparseable at poll time.
+        self._poll_counters: Dict[str, Optional[int]] = {}
         # Metadata traffic accounting (Table 3 experiments).
         self.metadata_bytes = 0
         self.block_bytes = 0
@@ -169,7 +178,7 @@ class UniDriveClient:
         else:
             remote = yield from self._check_cloud_update()
             if remote is not None:
-                yield from self._apply_cloud_only_update(report)
+                yield from self._apply_cloud_only_update(report, remote)
         if self._pending_fetch:
             yield from self._materialize(
                 self.image, sorted(self._pending_fetch), report
@@ -211,7 +220,7 @@ class UniDriveClient:
         remote = yield from self._check_cloud_update()
         if remote is None:
             return  # empty cloud: pending local files commit normally
-        cloud_image = yield from self._fetch_metadata()
+        cloud_image = yield from self._fetch_metadata(expect=remote.counter)
         self.image = cloud_image
         self._known_remote = VersionStamp(
             cloud_image.version.counter, cloud_image.version.device
@@ -254,7 +263,8 @@ class UniDriveClient:
         if uploads:
             scheduler = UploadScheduler(
                 self.sim, self.connections, self.pipeline, self.config,
-                estimator=self.estimator,
+                estimator=self.estimator, retry_policy=self.retry,
+                rng=self.rng,
             )
             upload_report = yield from scheduler.run_batch(uploads)
             report.upload_report = upload_report
@@ -272,7 +282,9 @@ class UniDriveClient:
         try:
             remote = yield from self._check_cloud_update()
             if remote is not None:
-                cloud_image = yield from self._fetch_metadata()
+                cloud_image = yield from self._fetch_metadata(
+                    expect=remote.counter
+                )
                 result = merge_images(self.image, local, cloud_image)
                 merged = result.image
                 report.conflicts.extend(result.conflicts)
@@ -370,7 +382,9 @@ class UniDriveClient:
             [conn.download(self._version_path) for conn in self.connections],
         )
         best: Optional[VersionStamp] = None
-        for ok, blob in outcomes:
+        poll: Dict[str, Optional[int]] = {}
+        for conn, (ok, blob) in zip(self.connections, outcomes):
+            poll[conn.cloud_id] = None
             if not ok:
                 continue
             try:
@@ -378,8 +392,10 @@ class UniDriveClient:
             except Exception:
                 continue
             self.metadata_bytes += len(blob)
+            poll[conn.cloud_id] = stamp.counter
             if best is None or stamp.counter > best.counter:
                 best = stamp
+        self._poll_counters = poll
         if best is None:
             return None
         # Commit counters strictly increase under the quorum lock, so a
@@ -388,8 +404,9 @@ class UniDriveClient:
             return best
         return None
 
-    def _apply_cloud_only_update(self, report: SyncReport):
-        cloud_image = yield from self._fetch_metadata()
+    def _apply_cloud_only_update(self, report: SyncReport,
+                                 remote: VersionStamp):
+        cloud_image = yield from self._fetch_metadata(expect=remote.counter)
         previous = self.image
         self.image = cloud_image
         self._known_remote = VersionStamp(
@@ -399,19 +416,38 @@ class UniDriveClient:
 
     # -- metadata transport -------------------------------------------------
 
-    def _fetch_metadata(self):
-        """Download base + delta from the freshest reachable cloud."""
-        last_error: Optional[Exception] = None
+    def _fetch_metadata(self, expect: Optional[int] = None):
+        """Download base + delta from a *fresh* reachable cloud.
+
+        ``expect`` is the version counter the caller just observed in
+        the version-file poll.  A reachable cloud can still be stale —
+        it may have missed the last commit entirely, or missed a fold
+        (old base) while receiving later delta appends (a *corrupt
+        pair*, detected via the :func:`op_base_version` marker).
+        Adopting such a replica would silently drop committed
+        operations, so stale and corrupt clouds are skipped; if no cloud
+        reconstructs at least ``expect``, the round fails with
+        :class:`SyncError` and retries later rather than regressing.
+        """
+        last_error: Optional[object] = None
         for conn in self.connections:
             try:
-                base_blob = yield from conn.download(self._base_path)
+                base_blob = yield from self.retry.run(
+                    self.sim,
+                    lambda c=conn: c.download(self._base_path),
+                    rng=self.rng,
+                )
             except CloudError as exc:
                 last_error = exc
                 continue
             image = deserialize_image(base_blob, self.config.metadata_key)
             self.metadata_bytes += len(base_blob)
             try:
-                delta_blob = yield from conn.download(self._delta_path)
+                delta_blob = yield from self.retry.run(
+                    self.sim,
+                    lambda c=conn: c.download(self._delta_path),
+                    rng=self.rng,
+                )
             except NotFoundError:
                 delta_blob = None
             except CloudError as exc:
@@ -422,15 +458,37 @@ class UniDriveClient:
                 delta = DeltaLog.from_bytes(
                     delta_blob, self.config.metadata_key
                 )
+                marker = delta.base_marker()
+                if marker >= 0 and marker != image.version.counter:
+                    last_error = (
+                        f"{conn.cloud_id}: base/delta pair mismatch "
+                        f"(base v{image.version.counter}, delta extends "
+                        f"v{marker})"
+                    )
+                    continue
                 delta.apply_to(image)
+            if expect is not None and image.version.counter < expect:
+                last_error = (
+                    f"{conn.cloud_id}: stale metadata "
+                    f"(v{image.version.counter} < expected v{expect})"
+                )
+                continue
             recompute_refcounts(image)
             return image
         raise SyncError(f"{self.device}: no cloud served metadata ({last_error})")
 
     def _publish_base(self, image: SyncFolderImage):
-        """Replicate a fresh base everywhere; clear the delta."""
+        """Replicate a fresh base everywhere; reset the delta.
+
+        The fresh delta is not empty: it opens with a base-version
+        marker so readers can detect a replica whose base missed this
+        fold but whose delta received later appends (see
+        :meth:`_fetch_metadata`).
+        """
         base_blob = serialize_image(image, self.config.metadata_key)
-        empty_delta = DeltaLog().to_bytes(self.config.metadata_key)
+        empty_delta = DeltaLog(
+            [op_base_version(image.version.counter)]
+        ).to_bytes(self.config.metadata_key)
         version_blob = serialize_version(image.version)
         yield from self._replicate(
             [
@@ -441,26 +499,67 @@ class UniDriveClient:
         )
 
     def _publish_delta(self, image: SyncFolderImage, ops: List[dict]):
-        """Append ops to the cloud delta, or fold into a new base at λ."""
-        existing = DeltaLog()
+        """Append ops to the cloud delta, or fold into a new base at λ.
+
+        ``image`` carries the *new* (already incremented) version, so
+        the delta being extended must reconstruct exactly
+        ``image.version.counter - 1``.  The donor cloud is chosen from
+        the version counters of the poll that ran moments ago under the
+        same lock hold (:meth:`_check_cloud_update`): only clouds whose
+        version file matched the previous commit are candidates.
+        Extending the first merely *reachable* cloud — the old behavior
+        — could pick a replica that missed earlier commits and silently
+        drop their operations from the log for every future reader.
+        When no reachable cloud holds a fresh pair, fall back to
+        folding: publishing a full base from our own image is always
+        safe and heals stale replicas.
+        """
+        expected = image.version.counter - 1
+        fresh = [
+            conn
+            for conn in self.connections
+            if self._poll_counters.get(conn.cloud_id) == expected
+        ]
+        existing: Optional[DeltaLog] = None
         base_size = 0
-        for conn in self.connections:
+        for conn in fresh:
             try:
-                blob = yield from conn.download(self._delta_path)
-                existing = DeltaLog.from_bytes(blob, self.config.metadata_key)
-                self.metadata_bytes += len(blob)
-                break
+                blob = yield from self.retry.run(
+                    self.sim,
+                    lambda c=conn: c.download(self._delta_path),
+                    rng=self.rng,
+                )
+                candidate = DeltaLog.from_bytes(
+                    blob, self.config.metadata_key
+                )
             except CloudError:
                 continue
-        for conn in self.connections:
+            # Defense in depth: the pair must actually reconstruct the
+            # previous commit (version files only witness the write).
+            reaches = max(
+                candidate.latest_version(), candidate.base_marker(), 0
+            )
+            if expected > 0 and reaches != expected:
+                continue
+            self.metadata_bytes += len(blob)
+            existing = candidate
             try:
-                entries = yield from conn.list_folder(self.config.meta_dir)
+                entries = yield from self.retry.run(
+                    self.sim,
+                    lambda c=conn: c.list_folder(self.config.meta_dir),
+                    rng=self.rng,
+                )
                 for entry in entries:
                     if entry.path == self._base_path:
                         base_size = entry.size
-                break
             except CloudError:
-                continue
+                pass  # fold-threshold input only; 0 forces a safe fold
+            break
+        if existing is None:
+            # No reachable cloud holds a fresh base/delta pair: rewrite
+            # everything from our authoritative image instead.
+            yield from self._publish_base(image)
+            return
         existing.extend(ops)
         delta_blob = existing.to_bytes(self.config.metadata_key)
         version_blob = serialize_version(image.version)
@@ -479,23 +578,23 @@ class UniDriveClient:
     def _replicate(self, payloads: List[Tuple[str, bytes]]):
         """Upload each (path, blob) to every cloud; need a write quorum.
 
-        Individual requests retry through transient failures — metadata
+        Individual requests run under the unified :class:`RetryPolicy`:
+        transient failures back off (with jitter) and retry — metadata
         files are small, so retries are cheap and the write quorum is
-        the real safety net.
+        the real safety net — while an *unavailable* cloud fails fast
+        after a single attempt.  Each probe of a down cloud burns the
+        full unavailability timeout, so hammering it ``max_retries``
+        times back-to-back only multiplied the stall; the quorum
+        tolerates the miss and a later round heals the replica.
         """
 
         def upload_all(conn):
             for path, blob in payloads:
-                failure: Optional[Exception] = None
-                for _attempt in range(self.config.max_retries):
-                    try:
-                        yield from conn.upload(path, blob)
-                        failure = None
-                        break
-                    except CloudError as exc:
-                        failure = exc
-                if failure is not None:
-                    raise failure
+                yield from self.retry.run(
+                    self.sim,
+                    lambda c=conn, p=path, b=blob: c.upload(p, b),
+                    rng=self.rng,
+                )
             return True
 
         outcomes = yield from gather_safe(
@@ -546,7 +645,8 @@ class UniDriveClient:
             return
         scheduler = DownloadScheduler(
             self.sim, self.connections, self.pipeline, self.config,
-            estimator=self.estimator,
+            estimator=self.estimator, retry_policy=self.retry,
+            rng=self.rng,
         )
         batch = yield from scheduler.run_batch(wants)
         report.download_report = batch
@@ -683,7 +783,7 @@ class UniDriveClient:
         try:
             remote = yield from self._check_cloud_update()
             image = (
-                (yield from self._fetch_metadata())
+                (yield from self._fetch_metadata(expect=remote.counter))
                 if remote is not None else self.image.copy()
             )
             entry = image.files.get(path)
@@ -701,7 +801,8 @@ class UniDriveClient:
                 ]
                 scheduler = DownloadScheduler(
                     self.sim, self.connections, self.pipeline, self.config,
-                    estimator=self.estimator,
+                    estimator=self.estimator, retry_policy=self.retry,
+                    rng=self.rng,
                 )
                 batch = yield from scheduler.run_batch(
                     [FileDownload(path=path, segments=records)]

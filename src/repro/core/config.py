@@ -47,6 +47,14 @@ class UniDriveConfig:
     metadata_key: bytes = b"UniDrive"
     #: Per-request retry budget for data-plane transfers.
     max_retries: int = 4
+    #: First retry backoff delay, virtual seconds (doubles per attempt).
+    retry_base_delay: float = 0.5
+    #: Retry backoff ceiling, virtual seconds.
+    retry_max_delay: float = 30.0
+    #: Exponential growth factor between consecutive retry backoffs.
+    retry_multiplier: float = 2.0
+    #: Jitter fraction of each backoff (delays land in [d*(1-j), d]).
+    retry_jitter: float = 0.5
     #: Consecutive failures after which a cloud is considered down for
     #: the remainder of a transfer job.
     cloud_failure_threshold: int = 3

@@ -30,6 +30,7 @@ __all__ = [
     "op_drop_segment",
     "op_resolve_conflict",
     "op_set_version",
+    "op_base_version",
     "should_merge",
 ]
 
@@ -65,6 +66,16 @@ def op_drop_segment(segment_id: str) -> dict:
 
 def op_set_version(counter: int, device: str) -> dict:
     return {"op": "set_version", "counter": counter, "device": device}
+
+
+def op_base_version(counter: int) -> dict:
+    """Marker stamped as a fresh delta's first op at fold time.
+
+    Records which base version the log extends, so a reader can detect
+    a *corrupt pair* — a cloud that missed a fold (stale base) but later
+    received replicated delta appends.  Applying the marker is a no-op.
+    """
+    return {"op": "base_version", "counter": counter}
 
 
 def op_resolve_conflict(path: str, keep_conflict_index=None) -> dict:
@@ -116,12 +127,41 @@ class DeltaLog:
             elif kind == "set_version":
                 image.version.counter = op["counter"]
                 image.version.device = op["device"]
+            elif kind == "base_version":
+                pass  # pair-consistency marker; carries no state
             elif kind == "resolve_conflict":
                 image.resolve_conflict(
                     op["path"], op.get("keep_conflict_index")
                 )
             else:
                 raise ValueError(f"unknown delta operation {kind!r}")
+
+    # -- version bookkeeping ----------------------------------------------
+
+    def latest_version(self) -> int:
+        """Counter of the last ``set_version`` op (0 for none).
+
+        Under the quorum lock every commit appends exactly one
+        ``set_version``, so this is the version a reader ends at after
+        replaying the log — the freshness criterion
+        :meth:`UniDriveClient._publish_delta` selects deltas by.
+        """
+        for op in reversed(self.ops):
+            if op["op"] == "set_version":
+                return int(op["counter"])
+        return 0
+
+    def base_marker(self) -> int:
+        """Base version this log extends (see :func:`op_base_version`).
+
+        Returns -1 when the log carries no marker (pre-marker logs and
+        the empty delta of a never-folded folder), meaning the pair
+        cannot be validated and is accepted as-is.
+        """
+        for op in self.ops:
+            if op["op"] == "base_version":
+                return int(op["counter"])
+        return -1
 
     # -- wire format -----------------------------------------------------
 

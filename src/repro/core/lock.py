@@ -28,6 +28,7 @@ import numpy as np
 from ..cloud import CloudAPI
 from ..simkernel import Interrupt, Simulator
 from .config import UniDriveConfig
+from .retry import RetryPolicy
 from .util import gather_safe
 
 __all__ = ["QuorumLock", "LockTimeout"]
@@ -58,7 +59,20 @@ class QuorumLock:
         self.held = False
         self._refresher = None
         # (cloud_id, file name, server mtime) -> local time first observed.
+        # Pruned against every successful listing (see _try_once): a key
+        # is only meaningful while its exact (name, mtime) pair is still
+        # present, and every lock refresh mints a new mtime, so keeping
+        # history forever would grow without bound.
         self._first_seen: Dict[Tuple[str, str, float], float] = {}
+        # Backoff schedule between acquisition rounds: same unified
+        # policy as the data plane, capped by the lock's own knob.
+        self._backoff = RetryPolicy(
+            max_attempts=2**30,  # acquire() is bounded by time, not count
+            base_delay=0.4,
+            max_delay=config.lock_backoff_max,
+            multiplier=1.6,
+            jitter=0.75,
+        )
 
     @property
     def lock_file_name(self) -> str:
@@ -98,10 +112,8 @@ class QuorumLock:
                     f"{self.device}: no quorum within "
                     f"{self.config.lock_acquire_timeout:.0f}s"
                 )
+            backoff = self._backoff.backoff(attempt, self._rng)
             attempt += 1
-            backoff = self._rng.uniform(
-                0.2, self.config.lock_backoff_max * (1 + attempt / 4)
-            )
             yield self.sim.timeout(backoff)
 
     def release(self):
@@ -129,9 +141,12 @@ class QuorumLock:
         )
         locked = 0
         breakers = []
+        present: set = set()
+        responded: set = set()
         for conn, (ok, entries) in zip(self.connections, listings):
             if not ok:
                 continue
+            responded.add(conn.cloud_id)
             mine = False
             contenders = 0
             for entry in entries:
@@ -141,6 +156,7 @@ class QuorumLock:
                     mine = True
                     continue
                 key = (conn.cloud_id, entry.name, entry.mtime)
+                present.add(key)
                 first = self._first_seen.setdefault(key, self.sim.now)
                 if self.sim.now - first > self.config.lock_stale_seconds:
                     # Obsolete lock from a crashed device: break it.
@@ -149,6 +165,17 @@ class QuorumLock:
                     contenders += 1
             if mine and contenders == 0:
                 locked += 1
+        # Prune observations whose (name, mtime) pair vanished from a
+        # cloud that answered this round — released locks and refreshed
+        # mtimes would otherwise accumulate forever.  Clouds that failed
+        # to list keep their history: a blip must not reset staleness
+        # clocks for locks we are waiting out.
+        if responded:
+            self._first_seen = {
+                key: first
+                for key, first in self._first_seen.items()
+                if key[0] not in responded or key in present
+            }
         if breakers:
             yield from gather_safe(self.sim, breakers)
         return locked

@@ -46,10 +46,28 @@ class ThroughputEstimator:
         self._samples[key] = self._samples.get(key, 0) + 1
 
     def record_failure(self, cloud_id: str, direction: str) -> None:
-        """Penalize a cloud whose request failed (wasted the channel)."""
+        """Penalize a cloud whose request failed (wasted the channel).
+
+        A cloud that has never completed a transfer gets a *seeded*
+        finite estimate on its first failure: left at ``+inf`` it would
+        keep winning :meth:`rank` forever, so an unreachable-but-
+        unprobed cloud would be explored first on every batch.  The seed
+        is one EWMA step below the slowest probed peer (or a floor of
+        1 B/s with no peers), so the failing cloud ranks behind every
+        probed cloud and behind still-unprobed ones, while a single
+        completed transfer pulls the estimate back up through the EWMA.
+        """
         key = (cloud_id, direction)
         current = self._estimates.get(key)
-        if current is not None:
+        if current is None:
+            peers = [
+                value
+                for (_cid, peer_direction), value in self._estimates.items()
+                if peer_direction == direction and math.isfinite(value)
+            ]
+            seed = min(peers) * (1 - self.alpha) if peers else 1.0
+            self._estimates[key] = seed
+        else:
             self._estimates[key] = current * (1 - self.alpha)
 
     def estimate(self, cloud_id: str, direction: str) -> float:

@@ -32,13 +32,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..cloud import CloudAPI, CloudError
+from ..cloud import CloudAPI, CloudError, NotFoundError
 from ..simkernel import AllOf, Simulator
 from .config import UniDriveConfig
 from .metadata import SegmentRecord
 from .pipeline import BlockPipeline
 from .placement import fair_share, fair_share_assignment, max_blocks_per_cloud
 from .probing import DOWNLOAD, UPLOAD, ThroughputEstimator
+from .retry import RETRY, RetryPolicy
 
 __all__ = [
     "UploadScheduler",
@@ -304,6 +305,8 @@ class UploadScheduler:
         over_provision: bool = True,
         dynamic: bool = True,
         on_block_uploaded: Optional[Callable[[str, int, str], None]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        rng=None,
     ):
         if not connections:
             raise ValueError("need at least one cloud connection")
@@ -316,6 +319,11 @@ class UploadScheduler:
         self.over_provision = over_provision
         self.dynamic = dynamic
         self.on_block_uploaded = on_block_uploaded
+        # Unified failure policy: classifies errors (fail-fast vs
+        # transient) and paces re-dispatch after transient failures.
+        # rng=None keeps the backoff schedule deterministic.
+        self.retry = retry_policy or RetryPolicy.from_config(config)
+        self.rng = rng
         # Per-batch state, reset in run_batch().
         self._files: List[FileUpload] = []
         self._reports: Dict[str, FileUploadReport] = {}
@@ -427,17 +435,29 @@ class UploadScheduler:
             start = self.sim.now
             try:
                 yield from conn.upload(path, block)
-            except CloudError:
+            except CloudError as exc:
                 self._inflight_total -= 1
                 self._failed_requests += 1
                 self.estimator.record_failure(cloud_id, UPLOAD)
-                dead = self._note_failure(cloud_id)
+                # Fail fast on non-transient errors: an unavailable (or
+                # quota-exhausted) cloud is declared dead for the batch
+                # immediately — re-probing it burns the unavailability
+                # timeout per attempt with no chance of success.
+                fatal = self.retry.classify(exc) is not RETRY
+                dead = self._note_failure(cloud_id, fatal=fatal)
                 state.fail(index, cloud_id, task.is_fair, cloud_dead=dead)
                 # A failure restores candidacy: the failed index went
                 # back to this cloud's fair queue or to the shared
                 # extras pool, and this cloud regained cap room.
                 self._rewind_cursors(state.position)
                 self._pulse()
+                if not dead:
+                    # Transient: pace this connection's next attempt.
+                    delay = self.retry.backoff(
+                        self._dead[cloud_id] - 1, self.rng
+                    )
+                    if delay > 0:
+                        yield self.sim.timeout(delay)
                 continue
             self._inflight_total -= 1
             self._dead[cloud_id] = 0
@@ -715,10 +735,21 @@ class UploadScheduler:
             counts = self._reports[path].blocks_per_cloud
             counts[cloud_id] = counts.get(cloud_id, 0) + 1
 
-    def _note_failure(self, cloud_id: str) -> bool:
-        """Count a failure; returns True once the cloud is declared dead."""
-        self._dead[cloud_id] += 1
-        if self._dead[cloud_id] == self.config.cloud_failure_threshold:
+    def _note_failure(self, cloud_id: str, fatal: bool = False) -> bool:
+        """Count a failure; returns True once the cloud is declared dead.
+
+        ``fatal`` failures (fail-fast / give-up classification) jump the
+        counter straight to the death threshold — the batch must not
+        keep probing a cloud whose errors cannot succeed on retry.
+        """
+        was_dead = self._is_dead(cloud_id)
+        if fatal:
+            self._dead[cloud_id] = max(
+                self._dead[cloud_id], self.config.cloud_failure_threshold
+            )
+        else:
+            self._dead[cloud_id] += 1
+        if not was_dead and self._is_dead(cloud_id):
             for state in self._states.values():
                 state.abandon_cloud(cloud_id)
             # Abandoned fair queues refilled the extras pool across the
@@ -815,6 +846,8 @@ class DownloadScheduler:
         config: UniDriveConfig,
         estimator: Optional[ThroughputEstimator] = None,
         dynamic: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        rng=None,
     ):
         if not connections:
             raise ValueError("need at least one cloud connection")
@@ -824,6 +857,8 @@ class DownloadScheduler:
         self.config = config
         self.estimator = estimator or ThroughputEstimator()
         self.dynamic = dynamic
+        self.retry = retry_policy or RetryPolicy.from_config(config)
+        self.rng = rng
         self._files: List[FileDownload] = []
         self._reports: Dict[str, FileDownloadReport] = {}
         self._states: Dict[str, _SegmentDownloadState] = {}
@@ -942,14 +977,33 @@ class DownloadScheduler:
             start = self.sim.now
             try:
                 block = yield from conn.download(path)
-            except CloudError:
+            except CloudError as exc:
                 self._inflight_total -= 1
                 self._failed_requests += 1
                 state.inflight.pop(index, None)
                 state.exhausted.add((index, cloud_id))
                 self.estimator.record_failure(cloud_id, DOWNLOAD)
-                self._dead[cloud_id] += 1
+                # Classification: an unavailable cloud is dead for the
+                # batch at once (fail fast); a missing block is a
+                # deterministic per-(index, cloud) miss, not evidence
+                # the cloud died; transients count toward the threshold
+                # and pace this connection's next attempt.
+                action = self.retry.classify(exc)
+                if action is not RETRY and not isinstance(exc, NotFoundError):
+                    self._dead[cloud_id] = max(
+                        self._dead[cloud_id],
+                        self.config.cloud_failure_threshold,
+                    )
+                else:
+                    self._dead[cloud_id] += 1
                 self._pulse()
+                if (action is RETRY and self._dead[cloud_id]
+                        < self.config.cloud_failure_threshold):
+                    delay = self.retry.backoff(
+                        self._dead[cloud_id] - 1, self.rng
+                    )
+                    if delay > 0:
+                        yield self.sim.timeout(delay)
                 continue
             self._inflight_total -= 1
             self._dead[cloud_id] = 0

@@ -1,0 +1,12 @@
+"""Deterministic fault injection for chaos-testing UniDrive.
+
+The harness perturbs a running simulation *from the outside* — outage
+windows on :class:`~repro.cloud.SimulatedCloud`, flaky-rate overrides
+and forced mid-transfer drops on :class:`~repro.cloud.CloudConnection`
+link state, stress-token pinning on the failure models — without
+touching any hot path in the cloud or network layers.
+"""
+
+from .injector import FaultInjector, ForcedFailures, PinnedStress
+
+__all__ = ["FaultInjector", "ForcedFailures", "PinnedStress"]

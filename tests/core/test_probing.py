@@ -49,9 +49,36 @@ def test_failure_penalty():
     estimator.record("c", UPLOAD, 1000, 1.0)
     estimator.record_failure("c", UPLOAD)
     assert estimator.estimate("c", UPLOAD) == 500.0
-    # Penalizing an unprobed cloud is a no-op.
+
+
+def test_failure_on_unprobed_cloud_seeds_finite_estimate():
+    """Regression: an unreachable-but-unprobed cloud must stop winning
+    rank() at +inf after its first failure."""
+    estimator = ThroughputEstimator(alpha=0.5)
+    estimator.record("healthy", UPLOAD, 1000, 1.0)
+    estimator.record_failure("broken", UPLOAD)
+    assert math.isfinite(estimator.estimate("broken", UPLOAD))
+    # The seeded estimate ranks behind every probed peer...
+    assert estimator.estimate("broken", UPLOAD) < estimator.estimate(
+        "healthy", UPLOAD
+    )
+    # ...and behind still-unprobed clouds (exploration stays cheap).
+    ranked = estimator.rank(["broken", "healthy", "fresh"], UPLOAD)
+    assert ranked == ["fresh", "healthy", "broken"]
+    # Repeated failures keep decaying; a success recovers via the EWMA.
+    first_seed = estimator.estimate("broken", UPLOAD)
+    estimator.record_failure("broken", UPLOAD)
+    assert estimator.estimate("broken", UPLOAD) < first_seed
+    estimator.record("broken", UPLOAD, 4000, 1.0)
+    assert estimator.estimate("broken", UPLOAD) > first_seed
+
+
+def test_failure_seed_without_peers_is_floor():
+    estimator = ThroughputEstimator()
     estimator.record_failure("x", UPLOAD)
-    assert estimator.estimate("x", UPLOAD) == math.inf
+    assert estimator.estimate("x", UPLOAD) == 1.0
+    # Direction isolation: the download side stays unprobed-optimistic.
+    assert estimator.estimate("x", DOWNLOAD) == math.inf
 
 
 def test_rank_orders_fastest_first():

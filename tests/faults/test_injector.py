@@ -1,0 +1,167 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CloudConnection,
+    CloudUnavailableError,
+    RequestFailedError,
+    SimulatedCloud,
+)
+from repro.faults import FaultInjector, ForcedFailures, PinnedStress
+from repro.netsim import LinkProfile
+from repro.simkernel import Simulator
+
+
+def make_conn(sim, cloud_id="c0", seed=0, failure_rate=0.0):
+    cloud = SimulatedCloud(sim, cloud_id)
+    profile = LinkProfile(
+        up_mbps=20.0, down_mbps=40.0, rtt_seconds=0.05, latency_jitter=0.0,
+        failure_rate=failure_rate, volatility=0.0, fade_probability=0.0,
+        diurnal_amplitude=0.0,
+    )
+    conn = CloudConnection(sim, cloud, profile,
+                           np.random.default_rng(seed))
+    return cloud, conn
+
+
+def test_outage_window_opens_and_closes():
+    sim = Simulator()
+    cloud, conn = make_conn(sim)
+    injector = FaultInjector(sim)
+    injector.outage(cloud, start=5.0, end=40.0)
+
+    results = []
+
+    def driver():
+        yield from conn.upload("/a", b"x")  # before the window
+        results.append("before-ok")
+        yield sim.timeout(10.0)
+        try:
+            yield from conn.upload("/b", b"x")
+        except CloudUnavailableError:
+            results.append("during-down")
+        yield sim.timeout(30.0)
+        yield from conn.upload("/c", b"x")
+        results.append("after-ok")
+
+    sim.run_process(driver())
+    assert results == ["before-ok", "during-down", "after-ok"]
+    assert injector.windows("outage", "c0") == [(5.0, 40.0)]
+
+
+def test_open_ended_outage_never_recovers():
+    sim = Simulator()
+    cloud, conn = make_conn(sim)
+    injector = FaultInjector(sim)
+    injector.outage(cloud, start=1.0)
+
+    def driver():
+        yield sim.timeout(500.0)
+        yield from conn.upload("/x", b"x")
+
+    with pytest.raises(CloudUnavailableError):
+        sim.run_process(driver())
+    assert injector.windows("outage", "c0") == [(1.0, None)]
+
+
+def test_flaky_override_and_restore():
+    sim = Simulator()
+    cloud, conn = make_conn(sim, failure_rate=0.01)
+    injector = FaultInjector(sim)
+    injector.flaky(conn, rate=0.75, start=2.0, end=10.0)
+
+    def driver():
+        yield sim.timeout(5.0)
+        mid = conn.conditions.failures.base_rate
+        yield sim.timeout(10.0)
+        return mid
+
+    mid_rate = sim.run_process(driver())
+    assert mid_rate == 0.75
+    assert conn.conditions.failures.base_rate == 0.01
+    assert injector.windows("flaky", "c0") == [(2.0, 10.0)]
+
+
+def test_flaky_rate_validation():
+    sim = Simulator()
+    injector = FaultInjector(sim)
+    with pytest.raises(ValueError):
+        injector.flaky(object(), rate=1.0)
+
+
+def test_force_drops_fails_exactly_n_payload_transfers():
+    sim = Simulator()
+    cloud, conn = make_conn(sim)
+    injector = FaultInjector(sim)
+    wrapper = injector.force_drops(conn, count=2)
+    assert isinstance(conn.conditions.failures, ForcedFailures)
+
+    def driver():
+        outcomes = []
+        for name in ("/a", "/b", "/c"):
+            try:
+                yield from conn.upload(name, b"payload")
+                outcomes.append("ok")
+            except RequestFailedError:
+                outcomes.append("dropped")
+        return outcomes
+
+    outcomes = sim.run_process(driver())
+    assert outcomes == ["dropped", "dropped", "ok"]
+    assert wrapper.remaining == 0
+    # Partial bytes were charged before each drop (mid-transfer).
+    assert conn.traffic.failed_requests == 2
+
+
+def test_force_drops_accumulates_on_rearm():
+    sim = Simulator()
+    cloud, conn = make_conn(sim)
+    injector = FaultInjector(sim)
+    first = injector.force_drops(conn, count=1)
+    second = injector.force_drops(conn, count=1)
+    assert first is second
+    assert second.remaining == 2
+
+
+def test_force_drops_spares_zero_byte_requests():
+    """Preamble checks and empty payloads must delegate, not consume."""
+    sim = Simulator()
+    cloud, conn = make_conn(sim)
+    injector = FaultInjector(sim)
+    wrapper = injector.force_drops(conn, count=1)
+
+    def driver():
+        yield from conn.delete("/nothing")  # zero-byte payload path
+        return True
+
+    assert sim.run_process(driver())
+    assert wrapper.remaining == 1
+
+
+def test_pin_stress_holds_elevated_failure_rate():
+    sim = Simulator()
+    cloud, conn = make_conn(sim, failure_rate=0.01)
+    original_stress = conn.conditions.failures.stress
+    injector = FaultInjector(sim)
+    injector.pin_stress([conn], "c0", start=0.0, end=100.0)
+
+    def driver():
+        yield sim.timeout(1.0)
+        pinned = conn.conditions.failures.failure_probability(sim.now, 0)
+        yield sim.timeout(200.0)
+        after = conn.conditions.failures.failure_probability(sim.now, 0)
+        return pinned, after
+
+    pinned, after = sim.run_process(driver())
+    assert pinned == pytest.approx(0.01 * 30.0)  # STRESS_FACTOR
+    assert after == pytest.approx(0.01)
+    assert conn.conditions.failures.stress is original_stress
+
+
+def test_pinned_stress_is_constant():
+    pin = PinnedStress("cloudX")
+    assert pin.stressed_cloud_at(0.0) == "cloudX"
+    assert pin.stressed_cloud_at(1e9) == "cloudX"
+    assert PinnedStress(None).stressed_cloud_at(5.0) is None

@@ -1,0 +1,119 @@
+"""Lock-crash scenarios: breaking a dead holder's lock, bounded state."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import SimulatedCloud, make_instant_connection
+from repro.core import UniDriveClient, UniDriveConfig
+from repro.fsmodel import VirtualFileSystem
+from repro.simkernel import Simulator
+
+#: Short ΔT so crashed-holder tests stay quick in virtual time.
+CONFIG = UniDriveConfig(
+    theta=64 * 1024, lock_stale_seconds=30.0, lock_acquire_timeout=900.0,
+)
+
+chaos_smoke = pytest.mark.chaos_smoke
+
+
+def make_client(sim, clouds, name, seed=0):
+    conns = [
+        make_instant_connection(sim, c, seed=seed + i)
+        for i, c in enumerate(clouds)
+    ]
+    return UniDriveClient(sim, name, VirtualFileSystem(), conns,
+                          config=CONFIG, rng=np.random.default_rng(seed))
+
+
+def payload(seed, size=64 * 1024):
+    return np.random.default_rng(seed).integers(
+        0, 256, size=size, dtype=np.uint8
+    ).tobytes()
+
+
+def wait(sim, seconds):
+    yield sim.timeout(seconds)
+
+
+@chaos_smoke
+def test_crashed_holder_lock_is_broken_and_sync_proceeds():
+    """End-to-end: the holder crashes (refresher dead, lock files left
+    behind), a contender waits out ΔT, breaks the stale lock, acquires,
+    and commits its pending change."""
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(5)]
+    crasher = make_client(sim, clouds, "crasher", seed=1)
+    sim.run_process(crasher.lock.acquire())
+    assert crasher.lock.held
+    # The crash: the refresher process dies with the lock files still in
+    # every cloud's lock directory — exactly what a killed device leaves.
+    crasher.lock._refresher.interrupt("crash")
+    contender = make_client(sim, clouds, "contender", seed=2)
+    contender.fs.write_file("/doc", payload(10), mtime=sim.now)
+    started = sim.now
+    report = sim.run_process(contender.sync())
+    elapsed = sim.now - started
+    # The commit happened, and only after the ΔT staleness window: the
+    # contender could not have stolen a *live* holder's lock early.
+    assert report.committed_version == 1
+    assert elapsed >= CONFIG.lock_stale_seconds
+    assert elapsed < CONFIG.lock_acquire_timeout
+    # The dead holder's lock files were actually broken (deleted).
+    for cloud in clouds:
+        names = [
+            entry.name
+            for entry in cloud.store.list_folder(CONFIG.lock_dir)
+        ]
+        assert "lock_crasher" not in names
+
+
+def test_live_holder_is_not_broken():
+    """Counterpart guarantee: a *refreshing* holder keeps the lock; the
+    contender times out instead of breaking it."""
+    from repro.core import LockTimeout
+
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(5)]
+    import dataclasses
+
+    short = dataclasses.replace(CONFIG, lock_acquire_timeout=120.0)
+    holder = make_client(sim, clouds, "holder", seed=3)
+    sim.run_process(holder.lock.acquire())
+    contender = UniDriveClient(
+        sim, "contender", VirtualFileSystem(),
+        [make_instant_connection(sim, c, seed=20 + i)
+         for i, c in enumerate(clouds)],
+        config=short, rng=np.random.default_rng(4),
+    )
+    with pytest.raises(LockTimeout):
+        sim.run_process(contender.lock.acquire())
+    assert holder.lock.held
+    for cloud in clouds:
+        names = [
+            entry.name for entry in cloud.store.list_folder(CONFIG.lock_dir)
+        ]
+        assert "lock_holder" in names
+
+
+def test_first_seen_observations_stay_bounded():
+    """Regression: a contender watching a long-held lock used to retain
+    one (cloud, name, mtime) key per observed refresh forever; the map
+    must stay bounded by the number of *live* lock files."""
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(5)]
+    holder = make_client(sim, clouds, "holder", seed=5)
+    sim.run_process(holder.lock.acquire())
+    contender = make_client(sim, clouds, "contender", seed=6)
+    period = CONFIG.lock_stale_seconds / 3.0
+    rounds = 12
+    for _ in range(rounds):
+        # Let the holder's refresher mint a fresh mtime, then have the
+        # contender observe the lock directory once.
+        sim.run_process(wait(sim, period))
+        locked = sim.run_process(contender.lock._try_once())
+        assert locked < contender.lock.quorum  # holder still wins
+    # One live (holder) lock file per cloud; stale observations from
+    # earlier refreshes must have been pruned.  Pre-fix this grows to
+    # ~rounds * len(clouds) entries.
+    assert len(contender.lock._first_seen) <= len(clouds)
+    assert holder.lock.held
