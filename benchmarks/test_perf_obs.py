@@ -1,0 +1,52 @@
+"""Observability-layer overhead benchmarks (tracing / metrics).
+
+Pytest wrapper around the ``obs`` suite of :mod:`tools.bench`: runs
+each section once under the pytest-benchmark timer, renders the table,
+and asserts the overhead contract — the end-to-end scheduler batch is
+byte-identical with tracing disabled vs enabled, and the estimated
+disabled-mode cost (instrumentation sites crossed x per-guard cost,
+over the disabled wall clock) stays <= 2%.
+
+Run with ``BENCH_QUICK=1`` for the CI-sized variant.
+"""
+
+import os
+import sys
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools"
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import bench  # noqa: E402
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def test_disabled_guard_cost(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_obs_guards(QUICK))
+    report("Disabled-mode instrumentation cost (ns/call)", [
+        f"{'enabled guard':<16}{fmt_cell(result['guard_ns'])}",
+        f"{'hub event call':<16}{fmt_cell(result['event_call_ns'])}",
+        f"{'metric inc':<16}{fmt_cell(result['metric_inc_ns'])}",
+    ])
+    # A disabled guard is one attribute read; if it costs more than a
+    # microsecond something is catastrophically wrong (e.g. a property
+    # or __getattr__ crept onto the hub's hot path).
+    assert result["guard_ns"] < 1000.0
+
+
+def test_disabled_overhead_le_2pct(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_obs_overhead(QUICK))
+    report("Tracing overhead (end-to-end scheduler batch)", [
+        f"{'files':<20}{result['files']}",
+        f"{'disabled wall s':<20}{fmt_cell(result['wall_disabled_s'])}",
+        f"{'enabled wall s':<20}{fmt_cell(result['wall_enabled_s'])}",
+        f"{'records enabled':<20}{result['records_enabled']}",
+        f"{'est disabled cost':<20}"
+        f"{result['disabled_overhead_estimate'] * 100:.4f}%",
+        f"{'identical':<20}{result['identical']}",
+    ])
+    assert result["identical"]
+    assert result["disabled_overhead_estimate"] <= 0.02

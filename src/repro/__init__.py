@@ -19,7 +19,9 @@ A from-scratch Python implementation of the system described in
   over-provisioning and in-channel probing, the client, and the
   baseline systems;
 * :mod:`repro.workloads` -- vantage-point profiles, workload
-  generators, and the experiment harness behind every figure/table.
+  generators, and the experiment harness behind every figure/table;
+* :mod:`repro.obs` -- sim-clock-aware tracing and metrics (spans,
+  counters, JSONL / Chrome-trace exporters), disabled by default.
 
 Quick start::
 
@@ -37,6 +39,7 @@ Quick start::
     report = sim.run_process(client.sync())
 """
 
+from . import obs
 from .cloud import CloudAPI, SimulatedCloud
 from .core import (
     SyncReport,
@@ -56,5 +59,6 @@ __all__ = [
     "UniDriveClient",
     "UniDriveConfig",
     "UniDriveTransfer",
+    "obs",
     "__version__",
 ]

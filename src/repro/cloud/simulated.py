@@ -99,10 +99,12 @@ class CloudConnection(CloudAPI):
         self.profile = profile
         self.conditions = LinkConditions(profile, cloud.cloud_id, rng, stress)
         self.uplink = TransferEngine(
-            sim, self.conditions.uplink, max_parallel, nic=up_nic
+            sim, self.conditions.uplink, max_parallel, nic=up_nic,
+            trace_track=cloud.cloud_id, trace_name="flow_up",
         )
         self.downlink = TransferEngine(
-            sim, self.conditions.downlink, max_parallel, nic=down_nic
+            sim, self.conditions.downlink, max_parallel, nic=down_nic,
+            trace_track=cloud.cloud_id, trace_name="flow_down",
         )
         self.traffic = TrafficMeter()
         self._rng = rng

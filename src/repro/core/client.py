@@ -24,6 +24,7 @@ import numpy as np
 
 from ..cloud import CloudAPI, CloudError, NotFoundError
 from ..fsmodel import ChangeKind, FolderWatcher
+from ..obs import METRICS, TRACE
 from ..simkernel import Simulator
 from .config import UniDriveConfig
 from .deltasync import (
@@ -170,6 +171,35 @@ class UniDriveClient:
     def sync(self):
         """One synchronization round (Algorithm 1); returns a SyncReport."""
         report = SyncReport(device=self.device, started_at=self.sim.now)
+        span = (
+            TRACE.begin("sync_round", t=self.sim.now, track=self.device)
+            if TRACE.enabled
+            else None
+        )
+        meta0, blocks0 = self.metadata_bytes, self.block_bytes
+        try:
+            yield from self._sync_round(report)
+        except BaseException as exc:
+            if span is not None:
+                TRACE.end(span, t=self.sim.now, error=type(exc).__name__)
+            self._account_round(meta0, blocks0)
+            raise
+        report.finished_at = self.sim.now
+        if span is not None:
+            TRACE.end(
+                span, t=self.sim.now,
+                uploaded=len(report.uploaded_files),
+                downloaded=len(report.downloaded_files),
+                deleted=len(report.deleted_files),
+                conflicts=len(report.conflicts),
+                version=report.committed_version,
+            )
+        self._account_round(meta0, blocks0)
+        return report
+
+    def _sync_round(self, report: SyncReport):
+        """The body of Algorithm 1 (split out so :meth:`sync` can close
+        the round's trace span on both the success and error paths)."""
         self._collect_local_changes()
         if self.image.version.counter == 0:
             yield from self._bootstrap(report)
@@ -185,8 +215,17 @@ class UniDriveClient:
             )
         if report.changed_anything or report.committed_version is not None:
             yield from self._publish_heartbeat()
-        report.finished_at = self.sim.now
-        return report
+
+    def _account_round(self, meta0: int, blocks0: int) -> None:
+        """Fold this round's byte-counter deltas into the metrics hub."""
+        if not METRICS.enabled:
+            return
+        if self.metadata_bytes > meta0:
+            METRICS.inc("metadata_bytes", self.metadata_bytes - meta0,
+                        device=self.device)
+        if self.block_bytes > blocks0:
+            METRICS.inc("block_bytes", self.block_bytes - blocks0,
+                        device=self.device)
 
     def run_forever(self):
         """Periodic sync loop (interval τ plus small jitter).
@@ -266,7 +305,21 @@ class UniDriveClient:
                 estimator=self.estimator, retry_policy=self.retry,
                 rng=self.rng,
             )
+            span = (
+                TRACE.begin(
+                    "upload_batch", t=self.sim.now, track=self.device,
+                    files=len(uploads),
+                    bytes=sum(u.size for u in uploads),
+                )
+                if TRACE.enabled
+                else None
+            )
             upload_report = yield from scheduler.run_batch(uploads)
+            if span is not None:
+                TRACE.end(
+                    span, t=self.sim.now,
+                    failed_requests=upload_report.failed_requests,
+                )
             report.upload_report = upload_report
             self.block_bytes += sum(
                 int(f.size) for f in upload_report.files
@@ -429,6 +482,14 @@ class UniDriveClient:
         reconstructs at least ``expect``, the round fails with
         :class:`SyncError` and retries later rather than regressing.
         """
+        span = (
+            TRACE.begin(
+                "metadata_fetch", t=self.sim.now, track=self.device,
+                expect=expect,
+            )
+            if TRACE.enabled
+            else None
+        )
         last_error: Optional[object] = None
         for conn in self.connections:
             try:
@@ -439,6 +500,11 @@ class UniDriveClient:
                 )
             except CloudError as exc:
                 last_error = exc
+                if TRACE.enabled:
+                    TRACE.event(
+                        "metadata_skip", t=self.sim.now,
+                        track=conn.cloud_id, reason=type(exc).__name__,
+                    )
                 continue
             image = deserialize_image(base_blob, self.config.metadata_key)
             self.metadata_bytes += len(base_blob)
@@ -452,6 +518,11 @@ class UniDriveClient:
                 delta_blob = None
             except CloudError as exc:
                 last_error = exc
+                if TRACE.enabled:
+                    TRACE.event(
+                        "metadata_skip", t=self.sim.now,
+                        track=conn.cloud_id, reason=type(exc).__name__,
+                    )
                 continue
             if delta_blob:
                 self.metadata_bytes += len(delta_blob)
@@ -465,6 +536,14 @@ class UniDriveClient:
                         f"(base v{image.version.counter}, delta extends "
                         f"v{marker})"
                     )
+                    if TRACE.enabled:
+                        TRACE.event(
+                            "metadata_skip", t=self.sim.now,
+                            track=conn.cloud_id, reason="corrupt-pair",
+                        )
+                    if METRICS.enabled:
+                        METRICS.inc("metadata_skips", cloud=conn.cloud_id,
+                                    reason="corrupt-pair")
                     continue
                 delta.apply_to(image)
             if expect is not None and image.version.counter < expect:
@@ -472,9 +551,22 @@ class UniDriveClient:
                     f"{conn.cloud_id}: stale metadata "
                     f"(v{image.version.counter} < expected v{expect})"
                 )
+                if TRACE.enabled:
+                    TRACE.event(
+                        "metadata_skip", t=self.sim.now,
+                        track=conn.cloud_id, reason="stale",
+                    )
+                if METRICS.enabled:
+                    METRICS.inc("metadata_skips", cloud=conn.cloud_id,
+                                reason="stale")
                 continue
             recompute_refcounts(image)
+            if span is not None:
+                TRACE.end(span, t=self.sim.now, served_by=conn.cloud_id,
+                          version=image.version.counter)
             return image
+        if span is not None:
+            TRACE.end(span, t=self.sim.now, error="SyncError")
         raise SyncError(f"{self.device}: no cloud served metadata ({last_error})")
 
     def _publish_base(self, image: SyncFolderImage):
@@ -648,7 +740,20 @@ class UniDriveClient:
             estimator=self.estimator, retry_policy=self.retry,
             rng=self.rng,
         )
+        span = (
+            TRACE.begin(
+                "download_batch", t=self.sim.now, track=self.device,
+                files=len(wants),
+            )
+            if TRACE.enabled
+            else None
+        )
         batch = yield from scheduler.run_batch(wants)
+        if span is not None:
+            TRACE.end(
+                span, t=self.sim.now,
+                failed_requests=batch.failed_requests,
+            )
         report.download_report = batch
         for file_report in batch.files:
             if file_report.content is None:

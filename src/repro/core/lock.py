@@ -26,6 +26,7 @@ from typing import Dict, Sequence, Tuple
 import numpy as np
 
 from ..cloud import CloudAPI
+from ..obs import METRICS, TRACE
 from ..simkernel import Interrupt, Simulator
 from .config import UniDriveConfig
 from .retry import RetryPolicy
@@ -99,15 +100,36 @@ class QuorumLock:
         if self.held:
             raise RuntimeError(f"{self.device} already holds the lock")
         deadline = self.sim.now + self.config.lock_acquire_timeout
+        span = (
+            TRACE.begin("lock_acquire", t=self.sim.now, track=self.device)
+            if TRACE.enabled
+            else None
+        )
         attempt = 0
         while True:
             locked = yield from self._try_once()
             if locked >= self.quorum:
                 self.held = True
                 self._refresher = self.sim.process(self._refresh_loop())
+                if span is not None:
+                    TRACE.end(span, t=self.sim.now,
+                              rounds=attempt + 1, locked=locked)
+                if METRICS.enabled:
+                    METRICS.inc("lock_acquired", device=self.device)
+                    if attempt:
+                        METRICS.inc("lock_contention_cycles", attempt,
+                                    device=self.device)
                 return
             yield from self._withdraw()
             if self.sim.now >= deadline:
+                if span is not None:
+                    TRACE.end(span, t=self.sim.now,
+                              rounds=attempt + 1, error="LockTimeout")
+                if METRICS.enabled:
+                    METRICS.inc("lock_timeouts", device=self.device)
+                    if attempt:
+                        METRICS.inc("lock_contention_cycles", attempt,
+                                    device=self.device)
                 raise LockTimeout(
                     f"{self.device}: no quorum within "
                     f"{self.config.lock_acquire_timeout:.0f}s"
@@ -161,6 +183,16 @@ class QuorumLock:
                 if self.sim.now - first > self.config.lock_stale_seconds:
                     # Obsolete lock from a crashed device: break it.
                     breakers.append(conn.delete(entry.path))
+                    if TRACE.enabled:
+                        TRACE.event(
+                            "lock_break",
+                            t=self.sim.now,
+                            track=conn.cloud_id,
+                            victim=entry.name,
+                            breaker=self.device,
+                        )
+                    if METRICS.enabled:
+                        METRICS.inc("lock_breaks", cloud=conn.cloud_id)
                 else:
                     contenders += 1
             if mine and contenders == 0:

@@ -12,11 +12,13 @@ segments concatenate (in snapshot order) back into the file.
 from __future__ import annotations
 
 import posixpath
+import time
 from collections import OrderedDict
 from typing import Dict, List
 
 from ..chunking import Segment, Segmenter
 from ..codec import EncodeState, ReedSolomonCode
+from ..obs import METRICS, TRACE
 from .config import UniDriveConfig
 from .metadata import SegmentRecord
 from .placement import max_block_count
@@ -78,11 +80,29 @@ class BlockPipeline:
         """
         state = self._encode_cache.get(segment_id)
         if state is None:
-            state = self.code.prepare(data)
+            if TRACE.enabled:
+                # Encoding is host CPU work, not simulated time: the span
+                # sits at the tracer clock (zero sim width) and carries
+                # the wall-clock cost as an attribute instead.
+                span = TRACE.begin(
+                    "encode", track="codec",
+                    seg=segment_id[:12], bytes=len(data),
+                )
+                wall = time.perf_counter()
+                state = self.code.prepare(data)
+                TRACE.end(
+                    span, wall_ms=(time.perf_counter() - wall) * 1e3
+                )
+            else:
+                state = self.code.prepare(data)
+            if METRICS.enabled:
+                METRICS.inc("encode_cache", result="miss")
             self._encode_cache[segment_id] = state
             while len(self._encode_cache) > self._encode_cache_segments:
                 self._encode_cache.popitem(last=False)
         else:
+            if METRICS.enabled:
+                METRICS.inc("encode_cache", result="hit")
             self._encode_cache.move_to_end(segment_id)
         return state
 

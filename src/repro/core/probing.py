@@ -11,7 +11,9 @@ sustain.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import TRACE
 
 __all__ = ["ThroughputEstimator", "UPLOAD", "DOWNLOAD"]
 
@@ -28,10 +30,16 @@ class ThroughputEstimator:
         self.alpha = alpha
         self._estimates: Dict[Tuple[str, str], float] = {}
         self._samples: Dict[Tuple[str, str], int] = {}
+        self._updated: Dict[Tuple[str, str], float] = {}
 
     def record(self, cloud_id: str, direction: str, nbytes: float,
-               duration: float) -> None:
-        """Feed one completed transfer as a probe."""
+               duration: float, now: Optional[float] = None) -> None:
+        """Feed one completed transfer as a probe.
+
+        ``now`` (sim time) stamps the update for :meth:`snapshot` and the
+        ``estimator_update`` trace event; callers without a clock may
+        omit it.
+        """
         if duration <= 0:
             return
         throughput = nbytes / duration
@@ -44,8 +52,21 @@ class ThroughputEstimator:
                 self.alpha * throughput + (1 - self.alpha) * current
             )
         self._samples[key] = self._samples.get(key, 0) + 1
+        if now is not None:
+            self._updated[key] = now
+        if TRACE.enabled:
+            TRACE.event(
+                "estimator_update",
+                t=now,
+                track=cloud_id,
+                direction=direction,
+                kind="sample",
+                estimate=self._estimates[key],
+                samples=self._samples[key],
+            )
 
-    def record_failure(self, cloud_id: str, direction: str) -> None:
+    def record_failure(self, cloud_id: str, direction: str,
+                       now: Optional[float] = None) -> None:
         """Penalize a cloud whose request failed (wasted the channel).
 
         A cloud that has never completed a transfer gets a *seeded*
@@ -69,6 +90,35 @@ class ThroughputEstimator:
             self._estimates[key] = seed
         else:
             self._estimates[key] = current * (1 - self.alpha)
+        if now is not None:
+            self._updated[key] = now
+        if TRACE.enabled:
+            TRACE.event(
+                "estimator_update",
+                t=now,
+                track=cloud_id,
+                direction=direction,
+                kind="failure",
+                estimate=self._estimates[key],
+                samples=self._samples.get(key, 0),
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Observable state: per ``cloud:direction`` channel, the current
+        estimate (bytes/s), sample count, and last-update sim time
+        (``None`` when the channel was never stamped with a clock).
+
+        The PR 3 ``record_failure`` seeding bug was invisible precisely
+        because this state had no read path besides :meth:`estimate`.
+        """
+        return {
+            f"{cloud_id}:{direction}": {
+                "estimate": value,
+                "samples": self._samples.get((cloud_id, direction), 0),
+                "updated_at": self._updated.get((cloud_id, direction)),
+            }
+            for (cloud_id, direction), value in sorted(self._estimates.items())
+        }
 
     def estimate(self, cloud_id: str, direction: str) -> float:
         """Estimated per-connection bytes/second.

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Generator, Optional, Tuple, Type
 
 from ..cloud import CloudError
+from ..obs import METRICS, TRACE
 
 __all__ = ["RetryPolicy", "RETRY", "FAIL_FAST", "GIVE_UP"]
 
@@ -126,13 +127,39 @@ class RetryPolicy:
             try:
                 value = yield from operation()
             except Exception as exc:
-                if self.classify(exc) is not RETRY or attempt >= self.max_attempts:
+                action = self.classify(exc)
+                if action is not RETRY or attempt >= self.max_attempts:
+                    if METRICS.enabled:
+                        METRICS.inc(
+                            "retry_outcome",
+                            outcome=action if action is not RETRY else "exhausted",
+                            error=type(exc).__name__,
+                        )
                     raise
+                if METRICS.enabled:
+                    METRICS.inc(
+                        "retry_outcome",
+                        outcome=RETRY,
+                        error=type(exc).__name__,
+                    )
                 if on_failure is not None:
                     on_failure(exc, attempt)
                 delay = self.backoff(attempt - 1, rng)
                 if delay > 0:
+                    span = (
+                        TRACE.begin(
+                            "retry_wait",
+                            t=sim.now,
+                            track="retry",
+                            attempt=attempt,
+                            error=type(exc).__name__,
+                        )
+                        if TRACE.enabled
+                        else None
+                    )
                     yield sim.timeout(delay)
+                    if span is not None:
+                        TRACE.end(span, t=sim.now)
                 attempt += 1
                 continue
             return value

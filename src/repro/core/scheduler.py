@@ -32,7 +32,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import math
+
 from ..cloud import CloudAPI, CloudError, NotFoundError
+from ..obs import METRICS, TRACE
 from ..simkernel import AllOf, Simulator
 from .config import UniDriveConfig
 from .metadata import SegmentRecord
@@ -51,6 +54,37 @@ __all__ = [
     "FileDownloadReport",
     "DownloadBatchReport",
 ]
+
+
+def _record_block_metrics(estimator, conn, cloud_id, direction, nbytes,
+                          is_fair, now):
+    """Per-completed-block metrics (callers guard on ``METRICS.enabled``).
+
+    ``estimator_rel_error`` compares the EWMA per-connection estimate
+    against the *raw* simulated link rate at completion time — a
+    diagnostic for estimator drift, not an exact residual, since the
+    true per-connection share also depends on concurrent transfer count.
+    """
+    METRICS.inc(
+        "bytes_up" if direction == UPLOAD else "bytes_down",
+        nbytes, cloud=cloud_id,
+    )
+    if direction == UPLOAD and not is_fair:
+        METRICS.inc("redundant_blocks", cloud=cloud_id)
+        METRICS.inc("redundant_bytes", nbytes, cloud=cloud_id)
+    engine = getattr(
+        conn, "uplink" if direction == UPLOAD else "downlink", None
+    )
+    bandwidth = getattr(engine, "bandwidth", None)
+    if bandwidth is not None:
+        true_rate = bandwidth.rate_at(now)
+        est = estimator.estimate(cloud_id, direction)
+        if true_rate > 0 and math.isfinite(est):
+            METRICS.observe(
+                "estimator_rel_error",
+                abs(est - true_rate) / true_rate,
+                direction=direction,
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -433,17 +467,40 @@ class UploadScheduler:
             path = self.pipeline.block_path(state.record, index)
             self._inflight_total += 1
             start = self.sim.now
+            span = (
+                TRACE.begin(
+                    "transfer", t=start, track=cloud_id,
+                    dir=UPLOAD, seg=state.record.segment_id[:12],
+                    block=index, bytes=len(block), fair=task.is_fair,
+                    attempt=self._dead[cloud_id] + 1,
+                )
+                if TRACE.enabled
+                else None
+            )
             try:
                 yield from conn.upload(path, block)
             except CloudError as exc:
                 self._inflight_total -= 1
                 self._failed_requests += 1
-                self.estimator.record_failure(cloud_id, UPLOAD)
+                self.estimator.record_failure(
+                    cloud_id, UPLOAD, now=self.sim.now
+                )
                 # Fail fast on non-transient errors: an unavailable (or
                 # quota-exhausted) cloud is declared dead for the batch
                 # immediately — re-probing it burns the unavailability
                 # timeout per attempt with no chance of success.
-                fatal = self.retry.classify(exc) is not RETRY
+                action = self.retry.classify(exc)
+                fatal = action is not RETRY
+                if span is not None:
+                    TRACE.end(
+                        span, t=self.sim.now,
+                        error=type(exc).__name__, retry_action=action,
+                    )
+                if METRICS.enabled:
+                    METRICS.inc(
+                        "scheduler_redispatch",
+                        cloud=cloud_id, direction=UPLOAD,
+                    )
                 dead = self._note_failure(cloud_id, fatal=fatal)
                 state.fail(index, cloud_id, task.is_fair, cloud_dead=dead)
                 # A failure restores candidacy: the failed index went
@@ -457,13 +514,32 @@ class UploadScheduler:
                         self._dead[cloud_id] - 1, self.rng
                     )
                     if delay > 0:
+                        wait = (
+                            TRACE.begin(
+                                "retry_wait", t=self.sim.now,
+                                track=cloud_id, dir=UPLOAD,
+                                attempt=self._dead[cloud_id],
+                            )
+                            if TRACE.enabled
+                            else None
+                        )
                         yield self.sim.timeout(delay)
+                        if wait is not None:
+                            TRACE.end(wait, t=self.sim.now)
                 continue
             self._inflight_total -= 1
             self._dead[cloud_id] = 0
             self.estimator.record(
-                cloud_id, UPLOAD, len(block), self.sim.now - start
+                cloud_id, UPLOAD, len(block), self.sim.now - start,
+                now=self.sim.now,
             )
+            if span is not None:
+                TRACE.end(span, t=self.sim.now)
+            if METRICS.enabled:
+                _record_block_metrics(
+                    self.estimator, conn, cloud_id, UPLOAD,
+                    len(block), task.is_fair, self.sim.now,
+                )
             state.complete(index, cloud_id, task.is_fair)
             if task.is_fair:
                 # Completing a fair block may flip fair_done for this
@@ -975,6 +1051,15 @@ class DownloadScheduler:
             self._inflight_total += 1
             path = self.pipeline.block_path(state.record, index)
             start = self.sim.now
+            span = (
+                TRACE.begin(
+                    "transfer", t=start, track=cloud_id,
+                    dir=DOWNLOAD, seg=state.record.segment_id[:12],
+                    block=index, attempt=self._dead[cloud_id] + 1,
+                )
+                if TRACE.enabled
+                else None
+            )
             try:
                 block = yield from conn.download(path)
             except CloudError as exc:
@@ -982,13 +1067,25 @@ class DownloadScheduler:
                 self._failed_requests += 1
                 state.inflight.pop(index, None)
                 state.exhausted.add((index, cloud_id))
-                self.estimator.record_failure(cloud_id, DOWNLOAD)
+                self.estimator.record_failure(
+                    cloud_id, DOWNLOAD, now=self.sim.now
+                )
                 # Classification: an unavailable cloud is dead for the
                 # batch at once (fail fast); a missing block is a
                 # deterministic per-(index, cloud) miss, not evidence
                 # the cloud died; transients count toward the threshold
                 # and pace this connection's next attempt.
                 action = self.retry.classify(exc)
+                if span is not None:
+                    TRACE.end(
+                        span, t=self.sim.now,
+                        error=type(exc).__name__, retry_action=action,
+                    )
+                if METRICS.enabled:
+                    METRICS.inc(
+                        "scheduler_redispatch",
+                        cloud=cloud_id, direction=DOWNLOAD,
+                    )
                 if action is not RETRY and not isinstance(exc, NotFoundError):
                     self._dead[cloud_id] = max(
                         self._dead[cloud_id],
@@ -1003,13 +1100,32 @@ class DownloadScheduler:
                         self._dead[cloud_id] - 1, self.rng
                     )
                     if delay > 0:
+                        wait = (
+                            TRACE.begin(
+                                "retry_wait", t=self.sim.now,
+                                track=cloud_id, dir=DOWNLOAD,
+                                attempt=self._dead[cloud_id],
+                            )
+                            if TRACE.enabled
+                            else None
+                        )
                         yield self.sim.timeout(delay)
+                        if wait is not None:
+                            TRACE.end(wait, t=self.sim.now)
                 continue
             self._inflight_total -= 1
             self._dead[cloud_id] = 0
             self.estimator.record(
-                cloud_id, DOWNLOAD, len(block), self.sim.now - start
+                cloud_id, DOWNLOAD, len(block), self.sim.now - start,
+                now=self.sim.now,
             )
+            if span is not None:
+                TRACE.end(span, t=self.sim.now, bytes=len(block))
+            if METRICS.enabled:
+                _record_block_metrics(
+                    self.estimator, conn, cloud_id, DOWNLOAD,
+                    len(block), True, self.sim.now,
+                )
             state.inflight.pop(index, None)
             state.blocks[index] = block
             self._note_block_completed(state)

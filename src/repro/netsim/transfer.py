@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
+from ..obs import TRACE
 from ..simkernel import Event, Simulator
 
 __all__ = ["TransferEngine", "Transfer", "SharedNic"]
@@ -29,7 +30,9 @@ _EPSILON_BYTES = 1e-6
 class Transfer:
     """One in-flight transfer: bookkeeping plus its completion event."""
 
-    __slots__ = ("nbytes", "remaining", "event", "started_at", "finished_at")
+    __slots__ = (
+        "nbytes", "remaining", "event", "started_at", "finished_at", "span",
+    )
 
     def __init__(self, sim: Simulator, nbytes: float):
         self.nbytes = float(nbytes)
@@ -37,6 +40,9 @@ class Transfer:
         self.event = Event(sim)
         self.started_at = sim.now
         self.finished_at: Optional[float] = None
+        # Trace span for this flow; None unless the owning engine is
+        # labelled with a trace track and tracing is enabled.
+        self.span = None
 
     @property
     def duration(self) -> float:
@@ -103,13 +109,19 @@ class TransferEngine:
     """Shares one link's capacity among concurrent transfers."""
 
     def __init__(self, sim: Simulator, bandwidth, max_parallel: int = 5,
-                 nic: "SharedNic" = None):
+                 nic: "SharedNic" = None, trace_track: Optional[str] = None,
+                 trace_name: str = "flow"):
         if max_parallel < 1:
             raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
         self.sim = sim
         self.bandwidth = bandwidth
         self.max_parallel = max_parallel
         self.nic = None
+        #: When set (e.g. to a cloud id), each transfer on this engine
+        #: records a ``trace_name`` span on that track while tracing is
+        #: enabled.  Unlabelled engines never touch the tracer.
+        self.trace_track = trace_track
+        self.trace_name = trace_name
         self._active: List[Transfer] = []
         self._last_update = sim.now
         # Reusable timer: one bound callable for the engine's lifetime,
@@ -158,6 +170,11 @@ class TransferEngine:
             transfer.finished_at = self.sim.now
             transfer.event.succeed(transfer)
             return transfer
+        if TRACE.enabled and self.trace_track is not None:
+            transfer.span = TRACE.begin(
+                self.trace_name, t=self.sim.now, track=self.trace_track,
+                bytes=transfer.nbytes,
+            )
         self._advance()
         self._active.append(transfer)
         self._reschedule()
@@ -170,6 +187,9 @@ class TransferEngine:
         if transfer in self._active:
             self._advance()
             self._active.remove(transfer)
+            if transfer.span is not None:
+                transfer.span.finish(self.sim.now, cancelled=True)
+                transfer.span = None
             transfer.event.fail(TransferCancelled())
             transfer.event.defused = True
             self._reschedule()
@@ -249,6 +269,9 @@ class TransferEngine:
                 transfer.finished_at = now
                 self.bytes_completed += transfer.nbytes
                 self.transfers_completed += 1
+                if transfer.span is not None:
+                    transfer.span.finish(now)
+                    transfer.span = None
                 transfer.event.succeed(transfer)
             if notify_nic and nic is not None:
                 nic.poke(self)

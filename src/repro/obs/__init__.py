@@ -1,0 +1,138 @@
+"""repro.obs — sim-clock-aware tracing and metrics for the sync stack.
+
+Typical use::
+
+    from repro import obs
+
+    sim = Simulator()
+    tracer, metrics = obs.configure(sim=sim)     # enable, clock = sim.now
+    ... run workload ...
+    obs.export.write_jsonl(tracer.records, "trace.jsonl",
+                           metrics=metrics.snapshot())
+    obs.export.write_chrome(tracer.records, "trace_chrome.json")
+    obs.disable()
+
+:func:`configure` is the **single** observability entry point: library
+code never calls ``logging.basicConfig`` (or touches the root logger) —
+an optional ``log_level`` here attaches one stream handler to the
+``"repro"`` logger for ad-hoc diagnostics, and everything structured
+flows through the tracer/metrics hubs instead.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from typing import Any, Callable, Optional, Tuple
+
+from . import export
+from .metrics import DEFAULT_BUCKETS, METRICS, Metrics, MetricsHub, merge_snapshots
+from .tracer import (
+    NULL_SPAN,
+    EventRecord,
+    SpanRecord,
+    TRACE,
+    TraceHub,
+    Tracer,
+)
+
+__all__ = [
+    "configure",
+    "disable",
+    "isolated",
+    "get_tracer",
+    "get_metrics",
+    "TRACE",
+    "METRICS",
+    "Tracer",
+    "Metrics",
+    "TraceHub",
+    "MetricsHub",
+    "SpanRecord",
+    "EventRecord",
+    "NULL_SPAN",
+    "DEFAULT_BUCKETS",
+    "merge_snapshots",
+    "export",
+]
+
+_LOG_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def _configure_logging(level: int) -> None:
+    """Attach (once) a stream handler to the ``repro`` logger only."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(getattr(h, _LOG_HANDLER_FLAG, False) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s %(message)s")
+        )
+        setattr(handler, _LOG_HANDLER_FLAG, True)
+        logger.addHandler(handler)
+    logger.propagate = False
+
+
+def configure(
+    enabled: bool = True,
+    sim: Optional[Any] = None,
+    clock: Optional[Callable[[], float]] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
+    log_level: Optional[int] = None,
+) -> Tuple[Optional[Tracer], Optional[Metrics]]:
+    """Install (or tear down) the process-global tracer and metrics.
+
+    ``sim`` binds the tracer clock to ``sim.now``; an explicit ``clock``
+    callable wins over ``sim``.  Returns ``(tracer, metrics)`` — the
+    installed instances — or ``(None, None)`` when ``enabled=False``.
+    """
+    if log_level is not None:
+        _configure_logging(log_level)
+    if not enabled:
+        TRACE.install(None)
+        METRICS.install(None)
+        return None, None
+    if clock is None and sim is not None:
+        clock = lambda: sim.now  # noqa: E731 - tiny closure over the sim
+    if tracer is None:
+        tracer = Tracer(clock) if clock is not None else Tracer()
+    elif clock is not None:
+        tracer.clock = clock
+    if metrics is None:
+        metrics = Metrics()
+    TRACE.install(tracer)
+    METRICS.install(metrics)
+    return tracer, metrics
+
+
+def disable() -> None:
+    """Uninstall tracer and metrics; hot-path guards go back to False."""
+    TRACE.install(None)
+    METRICS.install(None)
+
+
+def get_tracer() -> Optional[Tracer]:
+    return TRACE.tracer
+
+
+def get_metrics() -> Optional[Metrics]:
+    return METRICS.metrics
+
+
+@contextmanager
+def isolated(
+    sim: Optional[Any] = None,
+    clock: Optional[Callable[[], float]] = None,
+):
+    """Install a fresh tracer+metrics pair for the dynamic extent of the
+    block, restoring whatever was installed before.  Used by the parallel
+    campaign runner (each worker cell gets its own buffer) and by tests.
+    Yields ``(tracer, metrics)``."""
+    prev_tracer = TRACE.tracer
+    prev_metrics = METRICS.metrics
+    try:
+        yield configure(sim=sim, clock=clock)
+    finally:
+        TRACE.install(prev_tracer)
+        METRICS.install(prev_metrics)

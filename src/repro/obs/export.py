@@ -1,0 +1,325 @@
+"""Trace exporters: JSONL stream, Chrome/Perfetto trace-event JSON, and a
+plain-text per-round summary table.
+
+All exporters operate on the *portable* record form — the plain dicts
+produced by ``SpanRecord.to_json()`` / ``EventRecord.to_json()`` — so a
+trace can round-trip through JSONL and still be exported to Chrome
+format, and records merged across processes need no live tracer.
+
+Chrome trace-event mapping (the JSON understood by ``chrome://tracing``
+and https://ui.perfetto.dev):
+
+* each trace *track* (cloud id, device name, ...) becomes one **process**
+  (``pid``), named via ``process_name`` metadata events;
+* overlapping spans within a track are spread across **threads**
+  (``tid``) by greedy interval colouring, so concurrent transfers on the
+  same cloud render as stacked lanes instead of corrupting each other;
+* spans become ``"ph": "X"`` complete events with microsecond ``ts`` /
+  ``dur`` (sim seconds × 1e6 — one virtual second reads as one second);
+* point events become ``"ph": "i"`` instants on lane 0;
+* fault begin/end event pairs (from :class:`repro.faults.FaultInjector`)
+  are stitched into synthetic ``fault:<kind>`` spans so outage windows
+  are visible as bars on the affected cloud's track.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Union
+
+__all__ = [
+    "records_to_json",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome",
+    "summarize",
+]
+
+_US = 1_000_000.0  # sim seconds -> trace microseconds
+
+
+def records_to_json(records: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Normalise live records and/or already-portable dicts to dicts."""
+    out = []
+    for record in records:
+        out.append(record if isinstance(record, dict) else record.to_json())
+    return out
+
+
+# -- JSONL -----------------------------------------------------------------
+
+
+def write_jsonl(
+    records: Iterable[Any],
+    target: Union[str, IO[str]],
+    metrics: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write one JSON object per line; optionally append a final
+    ``{"type": "metrics", "data": ...}`` line.  Returns the line count."""
+    rows = records_to_json(records)
+    if metrics is not None:
+        rows = rows + [{"type": "metrics", "data": metrics}]
+
+    def _write(fp: IO[str]) -> int:
+        for row in rows:
+            fp.write(json.dumps(row, sort_keys=True))
+            fp.write("\n")
+        return len(rows)
+
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fp:
+            return _write(fp)
+    return _write(target)
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[Dict[str, Any]]:
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fp:
+            lines = fp.readlines()
+    else:
+        lines = source.readlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+# -- Chrome trace-event JSON ----------------------------------------------
+
+
+def _trace_end(rows: Sequence[Dict[str, Any]]) -> float:
+    end = 0.0
+    for row in rows:
+        if row["type"] == "span":
+            end = max(end, row["t0"], row["t1"] if row["t1"] is not None else 0.0)
+        elif row["type"] == "event":
+            end = max(end, row["t"])
+    return end
+
+
+def _stitch_fault_windows(
+    rows: Sequence[Dict[str, Any]], end_of_trace: float
+) -> List[Dict[str, Any]]:
+    """Pair ``fault`` events whose kind is ``<stem>-begin`` / ``<stem>-end``
+    into synthetic spans; one-shot kinds (e.g. ``drops-armed``) and
+    unmatched begins are left as-is / extended to the end of the trace."""
+    open_windows: Dict[tuple, List[Dict[str, Any]]] = {}
+    spans: List[Dict[str, Any]] = []
+    for row in rows:
+        if row["type"] != "event" or row["name"] != "fault":
+            continue
+        kind = row["attrs"].get("kind", "")
+        if kind.endswith("-begin"):
+            stem = kind[: -len("-begin")]
+            span = {
+                "type": "span",
+                "name": f"fault:{stem}",
+                "track": row["track"],
+                "t0": row["t"],
+                "t1": None,
+                "attrs": {"injected": True},
+            }
+            open_windows.setdefault((row["track"], stem), []).append(span)
+            spans.append(span)
+        elif kind.endswith("-end"):
+            stem = kind[: -len("-end")]
+            queue = open_windows.get((row["track"], stem))
+            if queue:
+                queue.pop(0)["t1"] = row["t"]
+    for span in spans:
+        if span["t1"] is None:
+            span["t1"] = end_of_trace
+    return spans
+
+
+def chrome_trace(records: Iterable[Any]) -> Dict[str, Any]:
+    """Convert records to a Chrome trace-event document."""
+    rows = records_to_json(records)
+    rows = [r for r in rows if r.get("type") in ("span", "event")]
+    end_of_trace = _trace_end(rows)
+    rows = rows + _stitch_fault_windows(rows, end_of_trace)
+
+    # Tracks in first-appearance order -> pids starting at 1.
+    pids: Dict[str, int] = {}
+    for row in rows:
+        pids.setdefault(row["track"], len(pids) + 1)
+
+    events: List[Dict[str, Any]] = []
+    for track, pid in pids.items():
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": track},
+        })
+        events.append({
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"sort_index": pid},
+        })
+
+    # Greedy interval colouring per track: overlapping spans get
+    # distinct lanes (tids >= 1); instants live on lane 0.
+    for track, pid in pids.items():
+        spans = [
+            r for r in rows
+            if r["type"] == "span" and r["track"] == track
+        ]
+        spans.sort(key=lambda r: r["t0"])
+        lane_free_at: List[float] = []
+        for span in spans:
+            t0 = span["t0"]
+            t1 = span["t1"] if span["t1"] is not None else end_of_trace
+            for lane, free_at in enumerate(lane_free_at):
+                if free_at <= t0:
+                    break
+            else:
+                lane = len(lane_free_at)
+                lane_free_at.append(0.0)
+            lane_free_at[lane] = t1
+            events.append({
+                "name": span["name"],
+                "cat": "fault" if span["name"].startswith("fault:") else "span",
+                "ph": "X",
+                "ts": t0 * _US,
+                "dur": max(0.0, (t1 - t0) * _US),
+                "pid": pid,
+                "tid": lane + 1,
+                "args": span["attrs"],
+            })
+
+    for row in rows:
+        if row["type"] != "event":
+            continue
+        # Paired fault begin/end events already render as stitched spans;
+        # one-shot fault kinds (e.g. drops-armed) stay instants.
+        if row["name"] == "fault" and row["attrs"].get("kind", "").endswith(
+            ("-begin", "-end")
+        ):
+            continue
+        events.append({
+            "name": row["name"],
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "ts": row["t"] * _US,
+            "pid": pids[row["track"]],
+            "tid": 0,
+            "args": row["attrs"],
+        })
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(
+    records: Iterable[Any],
+    target: Union[str, IO[str]],
+) -> Dict[str, Any]:
+    doc = chrome_trace(records)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fp:
+            json.dump(doc, fp)
+    else:
+        json.dump(doc, target)
+    return doc
+
+
+# -- plain-text summary ----------------------------------------------------
+
+
+def _fmt_table(header: Sequence[str], body: Sequence[Sequence[str]]) -> List[str]:
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return lines
+
+
+def summarize(records: Iterable[Any], metrics: Optional[Dict[str, Any]] = None) -> str:
+    """Render a per-round / per-track plain-text summary of a trace."""
+    rows = records_to_json(records)
+    if metrics is None:
+        for row in rows:
+            if row.get("type") == "metrics":
+                metrics = row["data"]
+    rows = [r for r in rows if r.get("type") in ("span", "event")]
+    lines: List[str] = []
+
+    rounds = [r for r in rows if r["type"] == "span" and r["name"] == "sync_round"]
+    if rounds:
+        body = []
+        for i, span in enumerate(rounds):
+            attrs = span["attrs"]
+            dur = "open" if span["t1"] is None else f"{span['t1'] - span['t0']:.2f}s"
+            body.append([
+                str(i),
+                span["track"],
+                f"{span['t0']:.2f}",
+                dur,
+                str(attrs.get("uploaded", "-")),
+                str(attrs.get("downloaded", "-")),
+                str(attrs.get("conflicts", "-")),
+                str(attrs.get("version", "-")),
+                str(attrs.get("error", "")),
+            ])
+        lines.append("sync rounds")
+        lines.extend(_fmt_table(
+            ["#", "device", "start", "dur", "up", "down", "conflicts",
+             "version", "error"],
+            body,
+        ))
+        lines.append("")
+
+    per_track: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        if row["type"] != "span" or row["name"] != "transfer":
+            continue
+        stats = per_track.setdefault(
+            row["track"], {"n": 0, "bytes": 0, "busy": 0.0, "failed": 0}
+        )
+        stats["n"] += 1
+        stats["bytes"] += row["attrs"].get("bytes", 0)
+        if row["t1"] is not None:
+            stats["busy"] += row["t1"] - row["t0"]
+        if "error" in row["attrs"]:
+            stats["failed"] += 1
+    if per_track:
+        body = [
+            [track, str(int(s["n"])), str(int(s["failed"])),
+             f"{s['bytes'] / 1e6:.2f}", f"{s['busy']:.2f}"]
+            for track, s in sorted(per_track.items())
+        ]
+        lines.append("transfers by cloud")
+        lines.extend(_fmt_table(
+            ["cloud", "spans", "failed", "MB", "busy-s"], body
+        ))
+        lines.append("")
+
+    faults = [r for r in rows if r["type"] == "event" and r["name"] == "fault"]
+    if faults:
+        body = [
+            [f"{e['t']:.2f}", e["track"], str(e["attrs"].get("kind", "?"))]
+            for e in faults
+        ]
+        lines.append("fault events")
+        lines.extend(_fmt_table(["t", "target", "kind"], body))
+        lines.append("")
+
+    if metrics:
+        counters = metrics.get("counters", {})
+        if counters:
+            lines.append("counters")
+            lines.extend(_fmt_table(
+                ["name", "value"],
+                [[k, f"{v:g}"] for k, v in counters.items()],
+            ))
+            lines.append("")
+
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines).rstrip() + "\n"

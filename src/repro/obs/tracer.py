@@ -1,0 +1,289 @@
+"""Sim-clock-aware tracing: nestable spans and structured events.
+
+The tracer records *what the simulated system did and when*, against the
+virtual clock (``Simulator.now``), so a multi-cloud sync round can be
+inspected as a timeline — which cloud stalled a batch, how long the
+quorum lock spun, where the fault injector opened an outage window.
+
+Design constraints (the "overhead contract", see DESIGN.md):
+
+* **Zero-overhead when disabled.**  All library instrumentation goes
+  through the process-global :data:`TRACE` hub and is guarded by a
+  single attribute read (``if TRACE.enabled:``).  When no tracer is
+  installed the guard is False and the hot path pays one dict-free
+  attribute load — nothing else.  Convenience entry points
+  (:meth:`TraceHub.event`, :meth:`TraceHub.span`) early-out to a shared
+  no-op span so un-guarded call sites still cost O(1) with no
+  allocation.
+* **No side effects on the simulation.**  Recording never draws
+  randomness, never schedules simulator events, and never mutates
+  domain state, so simulation outputs are byte-identical with tracing
+  enabled, disabled, or absent.
+* **Picklable records.**  Span/event records cross process boundaries
+  (the parallel campaign runner merges per-worker buffers), so they are
+  plain slotted objects with JSON-safe fields.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "SpanRecord",
+    "EventRecord",
+    "Tracer",
+    "TraceHub",
+    "TRACE",
+    "NULL_SPAN",
+]
+
+
+def _zero_clock() -> float:
+    """Fallback clock for tracers not bound to a simulator."""
+    return 0.0
+
+
+class SpanRecord:
+    """A named interval ``[t0, t1]`` on a track, with attributes.
+
+    ``t1 is None`` while the span is open.  Records are appended to the
+    tracer buffer at *begin* time, so the buffer order reflects start
+    order (deterministic under the event kernel: ties broken by
+    instrumentation call order).
+    """
+
+    __slots__ = ("name", "track", "t0", "t1", "attrs")
+    kind = "span"
+
+    def __init__(self, name: str, track: str, t0: float, attrs: Dict[str, Any]):
+        self.name = name
+        self.track = track
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.attrs = attrs
+
+    def finish(self, t: float, **attrs: Any) -> None:
+        """Close the span at ``t``; later calls only merge attributes."""
+        if self.t1 is None:
+            self.t1 = t
+        if attrs:
+            self.attrs.update(attrs)
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.t1 is None else self.t1 - self.t0
+
+    # Allow ``with tracer.begin(...)``-style use through the hub's
+    # context-manager helper; the null span mirrors this protocol.
+    def __enter__(self) -> "SpanRecord":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Closed by the owning _SpanContext (which knows the clock).
+        return False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "track": self.track,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, track={self.track!r}, "
+            f"t0={self.t0!r}, t1={self.t1!r}, attrs={self.attrs!r})"
+        )
+
+
+class EventRecord:
+    """A point-in-time structured event on a track."""
+
+    __slots__ = ("name", "track", "t", "attrs")
+    kind = "event"
+
+    def __init__(self, name: str, track: str, t: float, attrs: Dict[str, Any]):
+        self.name = name
+        self.track = track
+        self.t = t
+        self.attrs = attrs
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "event",
+            "name": self.name,
+            "track": self.track,
+            "t": self.t,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventRecord({self.name!r}, track={self.track!r}, "
+            f"t={self.t!r}, attrs={self.attrs!r})"
+        )
+
+
+Record = Union[SpanRecord, EventRecord]
+
+
+class _NullSpan:
+    """Shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def finish(self, t: float = 0.0, **attrs: Any) -> None:
+        pass
+
+    @property
+    def duration(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that closes a span on exit using a bound clock."""
+
+    __slots__ = ("_span", "_clock")
+
+    def __init__(self, span: SpanRecord, clock: Callable[[], float]):
+        self._span = span
+        self._clock = clock
+
+    def __enter__(self) -> SpanRecord:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._span.finish(self._clock())
+        else:
+            self._span.finish(self._clock(), error=exc_type.__name__)
+        return False
+
+
+class Tracer:
+    """An enabled trace buffer bound to a clock (usually ``sim.now``)."""
+
+    __slots__ = ("clock", "records")
+
+    def __init__(self, clock: Callable[[], float] = _zero_clock):
+        self.clock = clock
+        self.records: List[Record] = []
+
+    # -- spans -----------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        t: Optional[float] = None,
+        track: str = "client",
+        **attrs: Any,
+    ) -> SpanRecord:
+        """Open a span.  Pass ``t=sim.now`` explicitly on hot paths that
+        already hold the clock value; otherwise the tracer's clock is
+        consulted."""
+        span = SpanRecord(name, track, self.clock() if t is None else t, attrs)
+        self.records.append(span)
+        return span
+
+    def end(self, span, t: Optional[float] = None, **attrs: Any) -> None:
+        span.finish(self.clock() if t is None else t, **attrs)
+
+    def span(
+        self,
+        name: str,
+        t: Optional[float] = None,
+        track: str = "client",
+        clock: Optional[Callable[[], float]] = None,
+        **attrs: Any,
+    ) -> _SpanContext:
+        """Context-manager form; closes the span (stamping ``error`` on
+        exceptions) with ``clock`` (default: the tracer's clock)."""
+        clock = self.clock if clock is None else clock
+        record = SpanRecord(name, track, clock() if t is None else t, attrs)
+        self.records.append(record)
+        return _SpanContext(record, clock)
+
+    # -- events ----------------------------------------------------------
+
+    def event(
+        self,
+        name: str,
+        t: Optional[float] = None,
+        track: str = "client",
+        **attrs: Any,
+    ) -> EventRecord:
+        record = EventRecord(name, track, self.clock() if t is None else t, attrs)
+        self.records.append(record)
+        return record
+
+    # -- buffer management ----------------------------------------------
+
+    def drain(self) -> List[Record]:
+        """Detach and return the buffered records."""
+        records, self.records = self.records, []
+        return records
+
+
+class TraceHub:
+    """Process-global dispatch point for instrumentation.
+
+    ``enabled`` is the only attribute hot paths read; it is True iff a
+    :class:`Tracer` is installed.  All methods are safe to call while
+    disabled (they no-op / return :data:`NULL_SPAN`), but guarded call
+    sites should prefer ``if TRACE.enabled:`` to skip argument
+    evaluation entirely.
+    """
+
+    __slots__ = ("enabled", "tracer")
+
+    def __init__(self):
+        self.enabled = False
+        self.tracer: Optional[Tracer] = None
+
+    def install(self, tracer: Optional[Tracer]) -> None:
+        self.tracer = tracer
+        self.enabled = tracer is not None
+
+    # -- delegating API --------------------------------------------------
+
+    def begin(self, name: str, t: Optional[float] = None,
+              track: str = "client", **attrs: Any):
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.begin(name, t, track, **attrs)
+
+    def end(self, span, t: Optional[float] = None, **attrs: Any) -> None:
+        if span is NULL_SPAN:
+            return
+        tracer = self.tracer
+        clock = _zero_clock if tracer is None else tracer.clock
+        span.finish(clock() if t is None else t, **attrs)
+
+    def span(self, name: str, t: Optional[float] = None,
+             track: str = "client",
+             clock: Optional[Callable[[], float]] = None, **attrs: Any):
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, t, track, clock=clock, **attrs)
+
+    def event(self, name: str, t: Optional[float] = None,
+              track: str = "client", **attrs: Any) -> None:
+        if self.enabled:
+            self.tracer.event(name, t, track, **attrs)
+
+
+#: The process-global tracing hub.  Disabled (no-op) by default; install
+#: a tracer with :func:`repro.obs.configure`.
+TRACE = TraceHub()

@@ -392,6 +392,28 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    # -- observability helpers ------------------------------------------
+    #
+    # Convenience bridges to :mod:`repro.obs` with this simulator's
+    # clock.  The import is deferred so the kernel keeps zero import-time
+    # dependencies beyond the stdlib; both calls are no-ops (returning a
+    # shared null span) while tracing is disabled.
+
+    def span(self, name: str, track: str = "sim", **attrs: Any):
+        """Context manager tracing a section against ``self.now``."""
+        from ..obs.tracer import NULL_SPAN, TRACE
+
+        if not TRACE.enabled:
+            return NULL_SPAN
+        return TRACE.span(name, track=track, clock=lambda: self._now, **attrs)
+
+    def trace_event(self, name: str, track: str = "sim", **attrs: Any) -> None:
+        """Record a point event at the current virtual time."""
+        from ..obs.tracer import TRACE
+
+        if TRACE.enabled:
+            TRACE.event(name, t=self._now, track=track, **attrs)
+
     # -- scheduling -----------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:

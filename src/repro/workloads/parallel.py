@@ -111,22 +111,62 @@ def _run_cell(cell: Cell):
     raise ValueError(f"unknown cell kind {cell.kind!r}")
 
 
+def _run_cell_traced(cell: Cell):
+    """Execute one cell under a fresh per-process trace buffer.
+
+    Returns ``(result, records, metrics_snapshot)``.  Each cell gets its
+    own isolated tracer/metrics pair, so worker processes (and inline
+    runs) buffer identically; instrumented call sites stamp spans with
+    explicit sim times, so records carry each cell's own virtual clock.
+    """
+    from repro import obs
+
+    with obs.isolated() as (tracer, metrics):
+        result = _run_cell(cell)
+        return result, tracer.drain(), metrics.snapshot()
+
+
 def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
-              chunksize: int = 1) -> List[Any]:
+              chunksize: int = 1, collect_traces: bool = False):
     """Run ``cells`` and return their results in submission order.
 
     ``max_workers`` defaults to :func:`default_workers`.  With one
     worker (or one cell) everything runs inline in this process — the
     same code path the pool workers execute, so serial and parallel
     runs produce byte-identical results for the same cells.
+
+    With ``collect_traces=True`` every cell runs under its own isolated
+    tracer/metrics pair and the return value becomes
+    ``(results, records, metrics_snapshot)``: per-cell trace buffers
+    concatenated in submission order (each prefixed by a ``cell``
+    boundary event), plus the per-cell metrics snapshots merged in the
+    same order — deterministic regardless of worker scheduling.
     """
     cells = list(cells)
     if not cells:
-        return []
+        return ([], [], None) if collect_traces else []
     workers = default_workers(len(cells)) if max_workers is None else min(
         max(int(max_workers), 1), len(cells)
     )
+    runner = _run_cell_traced if collect_traces else _run_cell
     if workers <= 1:
-        return [_run_cell(cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_cell, cells, chunksize=chunksize))
+        outs = [runner(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outs = list(pool.map(runner, cells, chunksize=chunksize))
+    if not collect_traces:
+        return outs
+    from repro.obs import EventRecord, merge_snapshots
+
+    results: List[Any] = []
+    records: List[Any] = []
+    snapshots = []
+    for index, (result, cell_records, snapshot) in enumerate(outs):
+        results.append(result)
+        records.append(EventRecord(
+            "cell", "runner", 0.0,
+            {"index": index, "kind": cells[index].kind},
+        ))
+        records.extend(cell_records)
+        snapshots.append(snapshot)
+    return results, records, merge_snapshots(snapshots)

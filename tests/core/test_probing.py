@@ -97,3 +97,41 @@ def test_sample_count():
     estimator.record("c", UPLOAD, 10, 1.0)
     assert estimator.sample_count("c", UPLOAD) == 2
     assert estimator.sample_count("c", DOWNLOAD) == 0
+
+
+def test_snapshot_exposes_estimates_samples_and_sim_time():
+    estimator = ThroughputEstimator()
+    assert estimator.snapshot() == {}
+    estimator.record("c", UPLOAD, 1000, 2.0, now=12.5)
+    estimator.record_failure("d", DOWNLOAD, now=20.0)
+    estimator.record("c", DOWNLOAD, 500, 1.0)  # no clock: updated_at None
+    snap = estimator.snapshot()
+    assert sorted(snap) == ["c:down", "c:up", "d:down"]
+    assert snap["c:up"] == {
+        "estimate": 500.0, "samples": 1, "updated_at": 12.5,
+    }
+    assert snap["d:down"]["samples"] == 0
+    assert snap["d:down"]["updated_at"] == 20.0
+    assert snap["c:down"]["updated_at"] is None
+
+
+def test_estimator_update_events_emitted_when_traced():
+    from repro import obs
+
+    estimator = ThroughputEstimator()
+    with obs.isolated() as (tracer, _metrics):
+        estimator.record("c", UPLOAD, 1000, 2.0, now=3.0)
+        estimator.record_failure("c", UPLOAD, now=4.0)
+        events = tracer.drain()
+    assert [(e.name, e.t, e.attrs["kind"]) for e in events] == [
+        ("estimator_update", 3.0, "sample"),
+        ("estimator_update", 4.0, "failure"),
+    ]
+    sample, failure = events
+    assert sample.track == "c"
+    assert sample.attrs["estimate"] == 500.0
+    assert failure.attrs["estimate"] < 500.0
+
+    # And none when tracing is off (the default).
+    obs.disable()
+    estimator.record("c", UPLOAD, 1000, 2.0, now=5.0)

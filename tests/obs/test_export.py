@@ -1,0 +1,137 @@
+"""Exporter tests: JSONL round-trip, Chrome trace-event schema, lane
+assignment, fault-window stitching, and the plain-text summary."""
+
+import io
+import json
+
+from repro.obs import EventRecord, SpanRecord, export
+
+
+def _span(name, track, t0, t1, **attrs):
+    span = SpanRecord(name, track, t0, dict(attrs))
+    if t1 is not None:
+        span.finish(t1)
+    return span
+
+
+def test_jsonl_roundtrip_with_metrics_line():
+    records = [
+        _span("transfer", "gdrive", 1.0, 2.0, bytes=10),
+        EventRecord("fault", "gdrive", 1.5, {"kind": "outage-begin"}),
+    ]
+    buf = io.StringIO()
+    lines = export.write_jsonl(records, buf, metrics={"counters": {"n": 1}})
+    assert lines == 3
+    buf.seek(0)
+    rows = export.read_jsonl(buf)
+    assert [r["type"] for r in rows] == ["span", "event", "metrics"]
+    assert rows[0] == records[0].to_json()
+    assert rows[2]["data"] == {"counters": {"n": 1}}
+    # Lines are self-contained sorted-key JSON objects.
+    buf.seek(0)
+    for line in buf.read().splitlines():
+        obj = json.loads(line)
+        assert list(obj) == sorted(obj)
+
+
+def test_chrome_trace_schema():
+    records = [
+        _span("transfer", "gdrive", 1.0, 3.0, bytes=10),
+        _span("transfer", "onedrive", 0.0, 2.0),
+        EventRecord("estimator_update", "gdrive", 2.5, {"kind": "sample"}),
+    ]
+    doc = export.chrome_trace(records)
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+    assert all(e["ph"] in ("M", "X", "i") for e in events)
+
+    # One pid per track, first-appearance order, starting at 1.
+    names = {
+        e["pid"]: e["args"]["name"]
+        for e in events if e["name"] == "process_name"
+    }
+    assert names == {1: "gdrive", 2: "onedrive"}
+    sort_keys = [e for e in events if e["name"] == "process_sort_index"]
+    assert {e["pid"] for e in sort_keys} == {1, 2}
+
+    spans = [e for e in events if e["ph"] == "X"]
+    by_pid = {e["pid"]: e for e in spans}
+    assert by_pid[1]["ts"] == 1.0e6 and by_pid[1]["dur"] == 2.0e6
+    assert by_pid[1]["args"] == {"bytes": 10}
+
+    (instant,) = [e for e in events if e["ph"] == "i"]
+    assert instant["s"] == "t"
+    assert instant["tid"] == 0
+    assert instant["ts"] == 2.5e6
+    assert instant["pid"] == 1  # gdrive's track
+
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_overlapping_spans_get_distinct_lanes():
+    records = [
+        _span("transfer", "gdrive", 0.0, 10.0, block=0),
+        _span("transfer", "gdrive", 2.0, 6.0, block=1),
+        _span("transfer", "gdrive", 11.0, 12.0, block=2),
+    ]
+    spans = [
+        e for e in export.chrome_trace(records)["traceEvents"]
+        if e["ph"] == "X"
+    ]
+    tids = {e["args"]["block"]: e["tid"] for e in spans}
+    assert tids[0] != tids[1]          # overlap -> separate lanes
+    assert tids[2] == tids[0] == 1     # lane reused once free
+    assert all(tid >= 1 for tid in tids.values())
+
+
+def test_fault_windows_stitched_into_spans():
+    records = [
+        EventRecord("fault", "gdrive", 5.0, {"kind": "outage-begin"}),
+        EventRecord("fault", "gdrive", 60.0, {"kind": "outage-end"}),
+        EventRecord("fault", "onedrive", 10.0, {"kind": "throttle-begin"}),
+        EventRecord("fault", "baidupcs", 2.0, {"kind": "drops-armed"}),
+        _span("transfer", "gdrive", 0.0, 80.0),
+    ]
+    events = export.chrome_trace(records)["traceEvents"]
+
+    faults = [e for e in events if e.get("cat") == "fault"]
+    by_name = {(e["name"], e["pid"]): e for e in faults}
+    outage = by_name[("fault:outage", 1)]
+    assert outage["ts"] == 5.0e6 and outage["dur"] == 55.0e6
+
+    # Unmatched begin extends to the end of the trace (t=80).
+    throttle = next(e for e in faults if e["name"] == "fault:throttle")
+    assert throttle["ts"] == 10.0e6 and throttle["dur"] == 70.0e6
+
+    # One-shot kinds stay instants; paired begin/end instants are dropped.
+    instants = [e for e in events if e["ph"] == "i"]
+    assert [e["args"]["kind"] for e in instants] == ["drops-armed"]
+
+
+def test_summary_tables():
+    round_span = _span("sync_round", "writer", 0.0, 12.0,
+                       uploaded=3, downloaded=0, conflicts=0, version=1)
+    records = [
+        round_span,
+        _span("transfer", "gdrive", 1.0, 2.0, bytes=1_000_000),
+        _span("transfer", "gdrive", 2.0, 4.0, bytes=1_000_000,
+              error="CloudUnavailableError"),
+        EventRecord("fault", "gdrive", 1.5, {"kind": "outage-begin"}),
+    ]
+    text = export.summarize(records, metrics={"counters": {"bytes_up": 9}})
+    assert "sync rounds" in text
+    assert "writer" in text
+    assert "transfers by cloud" in text
+    assert "gdrive" in text
+    assert "fault events" in text
+    assert "outage-begin" in text
+    assert "counters" in text
+    assert "bytes_up" in text
+
+
+def test_summary_accepts_portable_rows_and_empty_trace():
+    assert export.summarize([]) == "(empty trace)"
+    rows = export.records_to_json(
+        [_span("sync_round", "w", 0.0, 1.0, uploaded=1)]
+    )
+    assert "sync rounds" in export.summarize(rows)

@@ -1,0 +1,109 @@
+"""The overhead contract's behavioural half: tracing must never perturb
+simulation results (enabled, disabled, or absent), and the parallel
+runner's merged trace must be deterministic across worker counts."""
+
+import numpy as np
+
+from repro import obs
+from repro.cloud import SimulatedCloud, make_instant_connection
+from repro.core.client import UniDriveClient
+from repro.core.config import UniDriveConfig
+from repro.fsmodel import VirtualFileSystem
+from repro.simkernel import Simulator
+from repro.workloads import run_cells, transfers_cell
+
+CONFIG = UniDriveConfig(theta=64 * 1024, lock_backoff_max=1.0)
+
+
+def _sync_digest():
+    """One writer-then-reader sync pair; returns a repr of every
+    externally-visible outcome."""
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"cloud{i}") for i in range(5)]
+    clients = []
+    for d in range(2):
+        conns = [
+            make_instant_connection(sim, cloud, seed=31 * d + i)
+            for i, cloud in enumerate(clouds)
+        ]
+        clients.append(UniDriveClient(
+            sim, f"device{d}", VirtualFileSystem(), conns, config=CONFIG,
+            rng=np.random.default_rng(d),
+        ))
+    writer, reader = clients
+    rng = np.random.default_rng(7)
+    for i in range(3):
+        writer.fs.write_file(f"/f{i}.bin", rng.bytes(96 * 1024), mtime=sim.now)
+    up = sim.run_process(writer.sync())
+    down = sim.run_process(reader.sync())
+    files = sorted(
+        (path, reader.fs.read_file(path)) for path in ("/f0.bin", "/f1.bin",
+                                                       "/f2.bin")
+    )
+    return repr((up, down, sim.now, files))
+
+
+def test_sync_identical_enabled_vs_disabled():
+    obs.disable()
+    before = _sync_digest()
+    with obs.isolated() as (tracer, metrics):
+        traced = _sync_digest()
+        # The traced run actually recorded something...
+        assert len(tracer.records) > 0
+        assert metrics.counter_value("bytes_up", cloud="cloud0") > 0
+    after = _sync_digest()
+    # ...without changing a single simulated outcome.
+    assert before == traced == after
+
+
+def _cells():
+    return [
+        transfers_cell("princeton", ["gdrive", "unidrive"], 512 * 1024,
+                       repeats=1, seed=3),
+        transfers_cell("tokyo_pl", ["gdrive", "unidrive"], 512 * 1024,
+                       repeats=1, seed=5),
+    ]
+
+
+def _portable(records):
+    """Stable cross-process record form, with host-dependent wall-clock
+    attributes (encode spans carry ``wall_ms``) stripped."""
+    rows = []
+    for record in records:
+        row = record.to_json()
+        row["attrs"].pop("wall_ms", None)
+        rows.append(row)
+    return rows
+
+
+def test_collect_traces_does_not_change_results():
+    obs.disable()
+    plain = run_cells(_cells(), max_workers=1)
+    traced, records, metrics = run_cells(
+        _cells(), max_workers=1, collect_traces=True
+    )
+    assert repr(plain) == repr(traced)
+    assert records and metrics["counters"]
+
+
+def test_parallel_trace_merge_matches_serial():
+    obs.disable()
+    serial_results, serial_records, serial_metrics = run_cells(
+        _cells(), max_workers=1, collect_traces=True
+    )
+    parallel_results, parallel_records, parallel_metrics = run_cells(
+        _cells(), max_workers=2, collect_traces=True
+    )
+    assert repr(serial_results) == repr(parallel_results)
+    assert _portable(serial_records) == _portable(parallel_records)
+    assert serial_metrics == parallel_metrics
+    # Cell boundary markers appear in submission order.
+    markers = [
+        r.attrs["index"] for r in serial_records
+        if r.kind == "event" and r.name == "cell"
+    ]
+    assert markers == [0, 1]
+
+
+def test_empty_cells_with_traces():
+    assert run_cells([], collect_traces=True) == ([], [], None)

@@ -1,0 +1,154 @@
+"""Tracer unit tests: span nesting/ordering under the event kernel and
+the disabled-mode no-op contract."""
+
+import pickle
+
+from repro import obs
+from repro.obs import NULL_SPAN, TRACE, EventRecord, SpanRecord, Tracer
+from repro.simkernel import Simulator
+
+
+def test_begin_end_with_explicit_times():
+    tracer = Tracer()
+    span = tracer.begin("upload", t=3.0, track="gdrive", bytes=100)
+    tracer.end(span, t=7.5, ok=True)
+    assert span.t0 == 3.0 and span.t1 == 7.5
+    assert span.duration == 4.5
+    assert span.attrs == {"bytes": 100, "ok": True}
+    assert tracer.records == [span]
+
+
+def test_finish_is_idempotent_but_merges_attrs():
+    span = SpanRecord("s", "t", 0.0, {})
+    span.finish(2.0, a=1)
+    span.finish(9.0, b=2)
+    assert span.t1 == 2.0  # first close wins
+    assert span.attrs == {"a": 1, "b": 2}
+
+
+def test_span_nesting_under_event_kernel():
+    sim = Simulator()
+    with obs.isolated(sim=sim) as (tracer, _metrics):
+
+        def worker():
+            with sim.span("outer", track="w"):
+                yield sim.timeout(5.0)
+                with sim.span("inner", track="w"):
+                    yield sim.timeout(2.0)
+                yield sim.timeout(1.0)
+
+        sim.run_process(worker())
+        records = tracer.drain()
+
+    assert [r.name for r in records] == ["outer", "inner"]
+    outer, inner = records
+    assert (outer.t0, outer.t1) == (0.0, 8.0)
+    assert (inner.t0, inner.t1) == (5.0, 7.0)
+    # Nesting holds on the virtual timeline.
+    assert outer.t0 <= inner.t0 and inner.t1 <= outer.t1
+
+
+def test_buffer_order_is_begin_order_across_processes():
+    sim = Simulator()
+    with obs.isolated(sim=sim) as (tracer, _metrics):
+
+        def worker(name, delay, hold):
+            yield sim.timeout(delay)
+            with sim.span("work", track=name):
+                yield sim.timeout(hold)
+
+        # b begins before a (t=1 vs t=2) despite being spawned second.
+        sim.process(worker("a", 2.0, 10.0))
+        sim.process(worker("b", 1.0, 1.0))
+        sim.run()
+        records = tracer.drain()
+
+    assert [(r.track, r.t0) for r in records] == [("b", 1.0), ("a", 2.0)]
+
+
+def test_span_context_stamps_error_on_exception():
+    sim = Simulator()
+    with obs.isolated(sim=sim) as (tracer, _metrics):
+        try:
+            with sim.span("doomed", track="w"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        (span,) = tracer.drain()
+    assert span.attrs["error"] == "RuntimeError"
+    assert span.t1 is not None
+
+
+def test_event_records_point_in_time():
+    sim = Simulator()
+    with obs.isolated(sim=sim) as (tracer, _metrics):
+
+        def worker():
+            yield sim.timeout(4.0)
+            sim.trace_event("fault", track="gdrive", kind="outage-begin")
+
+        sim.run_process(worker())
+        (event,) = tracer.drain()
+    assert isinstance(event, EventRecord)
+    assert event.t == 4.0
+    assert event.attrs == {"kind": "outage-begin"}
+
+
+def test_disabled_hub_is_noop():
+    obs.disable()
+    assert not TRACE.enabled
+    span = TRACE.begin("x", t=0.0)
+    assert span is NULL_SPAN
+    TRACE.end(span, t=1.0)  # must not raise
+    TRACE.event("x", t=0.0)
+    with TRACE.span("x", t=0.0) as inner:
+        assert inner is NULL_SPAN
+    sim = Simulator()
+    assert sim.span("x") is NULL_SPAN
+    sim.trace_event("x")
+
+
+def test_isolated_restores_previous_state():
+    obs.disable()
+    with obs.isolated() as (tracer, metrics):
+        assert TRACE.enabled
+        assert obs.get_tracer() is tracer
+        assert obs.get_metrics() is metrics
+        with obs.isolated() as (nested, _):
+            assert obs.get_tracer() is nested
+        assert obs.get_tracer() is tracer
+    assert not TRACE.enabled
+    assert obs.get_tracer() is None
+
+
+def test_drain_detaches_buffer():
+    tracer = Tracer()
+    tracer.event("e", t=0.0)
+    first = tracer.drain()
+    assert len(first) == 1
+    assert tracer.records == []
+    assert tracer.drain() == []
+
+
+def test_records_pickle_roundtrip():
+    span = SpanRecord("transfer", "gdrive", 1.0, {"bytes": 42})
+    span.finish(2.0)
+    event = EventRecord("fault", "gdrive", 1.5, {"kind": "outage-begin"})
+    for record in (span, event):
+        clone = pickle.loads(pickle.dumps(record))
+        assert clone.to_json() == record.to_json()
+
+
+def test_configure_binds_sim_clock():
+    sim = Simulator()
+    tracer, _ = obs.configure(sim=sim)
+    try:
+        def worker():
+            yield sim.timeout(3.0)
+            TRACE.event("tick")  # no explicit t: tracer clock used
+
+        sim.run_process(worker())
+        (event,) = tracer.drain()
+        assert event.t == 3.0
+    finally:
+        obs.disable()

@@ -33,6 +33,17 @@ the simulation-substrate overhaul:
                            wall-clock enforced on hosts with >= 4
                            cores.
 
+The ``obs`` suite (results in ``BENCH_obs.json``) guards the tracing /
+metrics layer's overhead contract:
+
+* ``guards``   — per-call cost of the disabled-mode instrumentation
+                 (the ``if TRACE.enabled:`` attribute read and the
+                 early-out hub methods), measured against an empty loop.
+* ``overhead`` — the end-to-end scheduler batch with tracing disabled
+                 vs enabled: results must be byte-identical, and the
+                 *estimated* disabled-mode overhead (guard sites hit x
+                 per-guard cost / wall) must stay <= 2%.
+
 ``--quick`` shrinks sizes/rounds for CI smoke use (results still
 emitted, bars still checked); ``--budget-seconds`` fails the run when
 the wall clock exceeds the CI smoke budget.
@@ -72,6 +83,7 @@ _MB = 1024 * 1024
 RESULTS_DIR = os.path.join(_ROOT, "benchmarks", "results")
 RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_hotpaths.json")
 SUBSTRATE_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_substrate.json")
+OBS_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
 
 
 def _best_of(fn, rounds):
@@ -806,6 +818,159 @@ def bench_campaign_parallel(quick):
     }
 
 
+# -- obs suite: tracing/metrics overhead contract ---------------------------
+
+
+def bench_obs_guards(quick):
+    """Per-call cost of the disabled-mode instrumentation paths.
+
+    Measures, against an empty loop over the same range, the three
+    shapes library code uses: the guarded hot-path form
+    (``if TRACE.enabled: ...`` — one attribute read when disabled), the
+    unguarded hub event call (early-out inside the method), and the
+    unguarded counter increment.
+    """
+    from repro import obs
+    from repro.obs import METRICS, TRACE
+
+    obs.disable()
+    n = 200_000 if quick else 1_000_000
+    rounds = 3 if quick else 5
+    span = range(n)
+
+    def loop_empty():
+        for _ in span:
+            pass
+
+    def loop_guard():
+        trace = TRACE
+        for _ in span:
+            if trace.enabled:
+                trace.event("bench", t=0.0)
+
+    def loop_event():
+        trace = TRACE
+        for _ in span:
+            trace.event("bench", t=0.0)
+
+    def loop_inc():
+        metrics = METRICS
+        for _ in span:
+            metrics.inc("bench")
+
+    base = _best_of(loop_empty, rounds)
+
+    def per_call_ns(total):
+        return max(total - base, 0.0) / n * 1e9
+
+    return {
+        "calls": n,
+        "baseline_loop_s": base,
+        "guard_ns": per_call_ns(_best_of(loop_guard, rounds)),
+        "event_call_ns": per_call_ns(_best_of(loop_event, rounds)),
+        "metric_inc_ns": per_call_ns(_best_of(loop_inc, rounds)),
+    }
+
+
+def _obs_batch(count, enabled):
+    """One scheduler upload+download batch; returns
+    ``(digest, wall_seconds, records, snapshot)``.
+
+    The digest covers every simulated outcome (completion times, block
+    placement, payload sizes), so equal digests mean tracing did not
+    perturb the simulation.
+    """
+    from repro import obs
+
+    def scenario():
+        sim, conns, pipeline = _make_env(seed=21)
+        estimator = ThroughputEstimator()
+        up = UploadScheduler(sim, conns, pipeline, CONFIG,
+                             estimator=estimator)
+        files = _make_files(pipeline, count, seed=23)
+        start = time.perf_counter()
+        up_batch = sim.run_process(up.run_batch(files))
+        down = DownloadScheduler(sim, conns, pipeline, CONFIG,
+                                 estimator=estimator)
+        requests = [
+            FileDownload(f.path, [record for record, _ in f.segments])
+            for f in files
+        ]
+        down_batch = sim.run_process(down.run_batch(requests))
+        wall = time.perf_counter() - start
+        digest = repr(
+            [
+                (r.path, r.available_at, r.reliable_at,
+                 sorted(r.blocks_per_cloud.items()))
+                for r in up_batch.files
+            ]
+            + [
+                (r.path, r.completed_at, len(r.content or b""))
+                for r in down_batch.files
+            ]
+        )
+        return digest, wall
+
+    if enabled:
+        with obs.isolated() as (tracer, metrics):
+            digest, wall = scenario()
+            return digest, wall, len(tracer.records), metrics.snapshot()
+    obs.disable()
+    digest, wall = scenario()
+    return digest, wall, 0, None
+
+
+def bench_obs_overhead(quick, guards=None):
+    """Disabled-vs-enabled end-to-end batch, plus the overhead estimate.
+
+    The ``<= 2%`` contract is about what *disabled* tracing costs a
+    library that never asked for it.  A before/after binary comparison
+    is impossible in-tree (the guards are compiled in), so the estimate
+    is analytic: the number of instrumentation sites a run crosses is
+    bounded by the records an *enabled* run emits (times two: span
+    begin + end), each costing one disabled guard read as measured by
+    :func:`bench_obs_guards`.
+    """
+    guards = guards or bench_obs_guards(quick)
+    count = 12 if quick else 40
+
+    digest_off, wall_off_a, _, _ = _obs_batch(count, enabled=False)
+    digest_on, wall_on, records, snapshot = _obs_batch(count, enabled=True)
+    digest_off_b, wall_off_b, _, _ = _obs_batch(count, enabled=False)
+    wall_off = min(wall_off_a, wall_off_b)
+
+    guard_sites = 2 * records
+    est_overhead = guard_sites * guards["guard_ns"] * 1e-9 / wall_off
+    counters = (snapshot or {}).get("counters", {})
+    return {
+        "files": count,
+        "wall_disabled_s": wall_off,
+        "wall_enabled_s": wall_on,
+        "enabled_slowdown": wall_on / wall_off,
+        "records_enabled": records,
+        "metric_series": len(counters),
+        "guard_sites_estimate": guard_sites,
+        "disabled_overhead_estimate": est_overhead,
+        "identical": digest_off == digest_on == digest_off_b,
+    }
+
+
+def run_obs(quick=False):
+    guards = bench_obs_guards(quick)
+    overhead = bench_obs_overhead(quick, guards=guards)
+    results = {
+        "quick": quick,
+        "guards": guards,
+        "overhead": overhead,
+    }
+    results["checks"] = {
+        "obs_disabled_identical": overhead["identical"],
+        "obs_disabled_overhead_le_2pct":
+            overhead["disabled_overhead_estimate"] <= 0.02,
+    }
+    return results
+
+
 def run_substrate(quick=False):
     results = {
         "quick": quick,
@@ -905,9 +1070,24 @@ def _print_substrate(results):
           f"{campaign['identical']}){enforced}")
 
 
+def _print_obs(results):
+    guards = results["guards"]
+    overhead = results["overhead"]
+    print(f"guards:     {guards['guard_ns']:8.1f} ns/guard disabled "
+          f"(event call {guards['event_call_ns']:.1f} ns, "
+          f"inc {guards['metric_inc_ns']:.1f} ns)")
+    print(f"overhead:   {overhead['wall_disabled_s']:8.2f}s disabled vs "
+          f"{overhead['wall_enabled_s']:.2f}s enabled "
+          f"({overhead['records_enabled']} records, "
+          f"{overhead['enabled_slowdown']:.2f}x); est disabled cost "
+          f"{overhead['disabled_overhead_estimate']:.4%} "
+          f"(identical={overhead['identical']})")
+
+
 _SUITES = {
     "hotpaths": (run_all, RESULTS_PATH, _print_hotpaths),
     "substrate": (run_substrate, SUBSTRATE_RESULTS_PATH, _print_substrate),
+    "obs": (run_obs, OBS_RESULTS_PATH, _print_obs),
 }
 
 
@@ -915,7 +1095,8 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small sizes / few rounds, for CI smoke runs")
-    parser.add_argument("--suite", choices=["hotpaths", "substrate", "all"],
+    parser.add_argument("--suite",
+                        choices=["hotpaths", "substrate", "obs", "all"],
                         default="all", help="which suite(s) to run")
     parser.add_argument("--out", default=None,
                         help="output JSON path (single-suite runs only)")

@@ -127,6 +127,10 @@ def main(argv=None):
                              "or $REPRO_CAMPAIGN_WORKERS)")
     parser.add_argument("--json", default=None,
                         help="write per-sample results to this JSON file")
+    parser.add_argument("--trace", default=None, metavar="JSONL",
+                        help="record per-cell traces (merged in submission "
+                             "order) to this JSONL file; convert with "
+                             "tools/trace.py export --format=chrome")
     args = parser.parse_args(argv)
 
     cells, labels = _build_cells(args)
@@ -134,8 +138,19 @@ def main(argv=None):
                else args.workers)
     print(f"{len(cells)} cell(s) on {workers} worker(s)")
     start = time.perf_counter()
-    results = run_cells(cells, max_workers=workers)
+    if args.trace:
+        results, records, metrics = run_cells(
+            cells, max_workers=workers, collect_traces=True
+        )
+    else:
+        results = run_cells(cells, max_workers=workers)
     elapsed = time.perf_counter() - start
+
+    if args.trace:
+        from repro.obs import export as obs_export
+
+        lines = obs_export.write_jsonl(records, args.trace, metrics=metrics)
+        print(f"wrote {args.trace} ({lines} trace lines)")
 
     summarize = (_summarize_campaign if args.kind == "campaign"
                  else _summarize_transfers)

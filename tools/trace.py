@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Record, summarize, and export sync-pipeline traces.
+
+Subcommands::
+
+    # run a fig11-style two-device batch sync with tracing enabled;
+    # write the JSONL event stream and/or a Chrome/Perfetto trace
+    python tools/trace.py record --files 12 --size-kb 256 \\
+        --outage gdrive:40:180 --jsonl out.jsonl --trace out.json
+
+    # per-round / per-cloud plain-text tables from a recorded JSONL
+    python tools/trace.py summarize out.jsonl
+
+    # convert a JSONL stream (e.g. from campaign.py --trace) to other formats
+    python tools/trace.py export out.jsonl --format=chrome -o out.json
+
+Load the Chrome trace at https://ui.perfetto.dev (or chrome://tracing):
+each cloud and device is a track; concurrent block transfers stack as
+lanes, quorum-lock spans sit on the device track, and injected fault
+windows render as ``fault:outage`` bars on the affected cloud.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import obs  # noqa: E402
+from repro.obs import export  # noqa: E402
+
+_KB = 1024
+
+
+def _parse_outage(spec: str):
+    """``cloud:start:end`` -> (cloud_id, float, float)."""
+    try:
+        cloud, start, end = spec.split(":")
+        return cloud, float(start), float(end)
+    except ValueError:
+        raise SystemExit(
+            f"bad --outage {spec!r}; expected cloud:start:end "
+            f"(e.g. gdrive:40:180)"
+        )
+
+
+def record(args) -> int:
+    """Run a traced two-device batch sync (the fig11 shape: one device
+    commits a batch of fresh files, the second fetches them)."""
+    import numpy as np
+
+    from repro.core import UniDriveClient, UniDriveConfig
+    from repro.faults import FaultInjector
+    from repro.fsmodel import VirtualFileSystem
+    from repro.simkernel import Simulator
+    from repro.workloads.locations import (
+        CLOUD_IDS,
+        connect_location,
+        make_clouds,
+        make_stress,
+    )
+
+    sim = Simulator()
+    tracer, metrics = obs.configure(sim=sim)
+    clouds = make_clouds(sim, CLOUD_IDS)
+    injector = FaultInjector(sim)
+    for spec in args.outage or []:
+        cloud_id, start, end = _parse_outage(spec)
+        target = next((c for c in clouds if c.cloud_id == cloud_id), None)
+        if target is None:
+            raise SystemExit(f"unknown cloud {cloud_id!r}; known: {CLOUD_IDS}")
+        injector.outage(target, start=start, end=end)
+
+    stress = make_stress(args.seed + 11)
+    config = UniDriveConfig(theta=args.theta_kb * _KB)
+    devices = []
+    for index, (name, location) in enumerate(
+        [("writer", args.src), ("reader", args.dst)]
+    ):
+        conns = connect_location(
+            sim, clouds, location, seed=args.seed + 100 * index,
+            stress=stress,
+        )
+        devices.append(UniDriveClient(
+            sim, name, VirtualFileSystem(), conns, config,
+            rng=np.random.default_rng(args.seed + 17 + index),
+        ))
+    writer, reader = devices
+
+    rng = np.random.default_rng(args.seed)
+    for i in range(args.files):
+        writer.fs.write_file(
+            f"/batch/file{i:03d}.bin", rng.bytes(args.size_kb * _KB),
+            mtime=sim.now,
+        )
+    up = sim.run_process(writer.sync())
+    down = sim.run_process(reader.sync())
+    print(
+        f"writer committed v{up.committed_version} "
+        f"({len(up.uploaded_files)} files) at t={up.finished_at:.1f}s; "
+        f"reader fetched {len(down.downloaded_files)} files "
+        f"by t={down.finished_at:.1f}s"
+    )
+
+    records = tracer.drain()
+    snapshot = metrics.snapshot()
+    obs.disable()
+    if args.jsonl:
+        lines = export.write_jsonl(records, args.jsonl, metrics=snapshot)
+        print(f"wrote {args.jsonl} ({lines} lines)")
+    if args.trace:
+        doc = export.write_chrome(records, args.trace)
+        print(f"wrote {args.trace} ({len(doc['traceEvents'])} trace events)")
+    if args.summary or not (args.jsonl or args.trace):
+        print()
+        print(export.summarize(records, metrics=snapshot), end="")
+    return 0
+
+
+def summarize(args) -> int:
+    rows = export.read_jsonl(args.input)
+    print(export.summarize(rows), end="")
+    return 0
+
+
+def export_cmd(args) -> int:
+    rows = export.read_jsonl(args.input)
+    if args.format == "chrome":
+        out = args.output or (os.path.splitext(args.input)[0] + "_chrome.json")
+        doc = export.write_chrome(rows, out)
+        print(f"wrote {out} ({len(doc['traceEvents'])} trace events)")
+        return 0
+    # format == "summary"
+    text = export.summarize(rows)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fp:
+            fp.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="\n".join(__doc__.splitlines()[2:]),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run a traced batch sync")
+    rec.add_argument("--files", type=int, default=12,
+                     help="files in the batch (default 12)")
+    rec.add_argument("--size-kb", type=int, default=256,
+                     help="file size in KB (default 256)")
+    rec.add_argument("--theta-kb", type=int, default=64,
+                     help="segment size theta in KB (default 64)")
+    rec.add_argument("--src", default="princeton",
+                     help="writer vantage point (default princeton)")
+    rec.add_argument("--dst", default="tokyo_pl",
+                     help="reader vantage point (default tokyo_pl)")
+    rec.add_argument("--seed", type=int, default=0)
+    rec.add_argument("--outage", action="append", metavar="CLOUD:START:END",
+                     help="inject an outage window (repeatable), e.g. "
+                          "gdrive:40:180")
+    rec.add_argument("--jsonl", default=None,
+                     help="write the JSONL event stream here")
+    rec.add_argument("--trace", "--chrome", dest="trace", default=None,
+                     help="write a Chrome/Perfetto trace-event JSON here")
+    rec.add_argument("--summary", action="store_true",
+                     help="also print the plain-text summary")
+    rec.set_defaults(func=record)
+
+    summ = sub.add_parser("summarize", help="plain-text tables from a JSONL")
+    summ.add_argument("input", help="a JSONL trace file")
+    summ.set_defaults(func=summarize)
+
+    exp = sub.add_parser("export", help="convert a JSONL trace")
+    exp.add_argument("input", help="a JSONL trace file")
+    exp.add_argument("--format", choices=["chrome", "summary"],
+                     default="chrome")
+    exp.add_argument("-o", "--output", default=None)
+    exp.set_defaults(func=export_cmd)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
