@@ -1,0 +1,65 @@
+"""Durability-layer performance benchmarks (hash verify + scrub).
+
+Pytest wrapper around the ``durability`` suite of :mod:`tools.bench`:
+runs each section once under the pytest-benchmark timer, renders the
+table, and asserts the durability contracts — the download batch is
+byte-identical with per-block verification active vs stripped, the
+estimated verify cost (fetched blocks x measured per-hash cost, over
+the plain download wall) stays <= 3%, and one scrub round brings a
+damaged folder back to a clean deep audit.
+
+Run with ``BENCH_QUICK=1`` for the CI-sized variant.
+"""
+
+import os
+import sys
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools"
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import bench  # noqa: E402
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def test_hash_verify_overhead_le_3pct(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_hash_verify(QUICK))
+    report("Per-block hash verification (download batch)", [
+        f"{'files':<20}{result['files']}",
+        f"{'blocks fetched':<20}{result['blocks_fetched']}",
+        f"{'plain wall s':<20}{fmt_cell(result['wall_plain_s'])}",
+        f"{'verified wall s':<20}{fmt_cell(result['wall_verified_s'])}",
+        f"{'hash GB/s':<20}{fmt_cell(result['hash_gb_per_s'])}",
+        f"{'est verify cost':<20}"
+        f"{result['verify_overhead_estimate'] * 100:.4f}%",
+        f"{'measured delta':<20}"
+        f"{result['verify_overhead_measured'] * 100:+.2f}%",
+        f"{'identical':<20}{result['identical']}",
+    ])
+    assert result["identical"]
+    assert result["verify_overhead_estimate"] <= 0.03
+
+
+def test_scrub_heals_damaged_folder(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_scrub(QUICK))
+    report("Scrub engine (deep audit + damage round)", [
+        f"{'blocks':<20}{result['blocks']}",
+        f"{'audit blocks/s':<20}{fmt_cell(result['audit_blocks_per_s'])}",
+        f"{'damaged blocks':<20}{result['damaged_blocks']}",
+        f"{'blocks repaired':<20}{result['blocks_repaired']}",
+        f"{'heal wall s':<20}{fmt_cell(result['heal_wall_s'])}",
+        f"{'healed clean':<20}{result['healed_clean']}",
+    ])
+    assert (
+        result["found_missing"] + result["found_corrupt"]
+        == result["damaged_blocks"]
+    )
+    assert result["blocks_repaired"] == result["damaged_blocks"]
+    assert result["healed_clean"]
+    # Deep audit is a read-and-checksum sweep; if it can't sustain at
+    # least a thousand blocks per second the scrub loop has regressed
+    # into something that can never finish a real folder.
+    assert result["audit_blocks_per_s"] > 1000.0

@@ -41,6 +41,12 @@ class CloudAPI(abc.ABC):
     #: Identifier used in metadata Cloud-ID fields and lock file names.
     cloud_id: str
 
+    #: Whether downloads return the bytes that were uploaded.  Size-only
+    #: campaign stores (``retain_content=False``) serve placeholder
+    #: zeros, so integrity verification must short-circuit for them —
+    #: every fingerprint would "mismatch" by construction.
+    retains_content: bool = True
+
     @abc.abstractmethod
     def upload(self, path: str, content: bytes) -> Generator:
         """Store ``content`` at ``path``, overwriting any existing file."""

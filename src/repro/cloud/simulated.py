@@ -109,6 +109,10 @@ class CloudConnection(CloudAPI):
         self.traffic = TrafficMeter()
         self._rng = rng
 
+    @property
+    def retains_content(self) -> bool:
+        return self.cloud.store.retain_content
+
     # -- the five RESTful operations -------------------------------------
 
     def upload(self, path: str, content: bytes) -> Generator:

@@ -142,6 +142,38 @@ class ObjectStore:
                 f for f in self._folders if f != path and not f.startswith(prefix)
             }
 
+    # -- fault seams ------------------------------------------------------
+
+    def corrupt(self, path: str) -> None:
+        """Silently flip bits in a stored file (bit rot / torn write).
+
+        Size and mtime are preserved — nothing short of reading the
+        content back can tell; exactly the failure an integrity scrub
+        must catch.  Requires ``retain_content`` (a size-only store has
+        no bytes to rot).  Raises :class:`NotFoundError` on a missing
+        file so fault scripts target real objects.
+        """
+        path = normalize(path)
+        record = self._files.get(path)
+        if record is None:
+            raise NotFoundError(self.cloud_id, f"no such file: {path}")
+        if not self.retain_content:
+            raise RuntimeError(
+                f"{self.cloud_id}: cannot corrupt with retain_content=False"
+            )
+        content = bytearray(record.content)
+        if not content:
+            return  # empty object: nothing to rot
+        content[0] ^= 0xFF
+        content[-1] ^= 0xFF
+        record.content = bytes(content)
+
+    def wipe(self) -> None:
+        """Destroy every object and folder (permanent provider loss)."""
+        self._files = {}
+        self._folders = {"/"}
+        self.used_bytes = 0
+
     # -- internals ------------------------------------------------------
 
     def _ensure_parents(self, path: str) -> None:

@@ -11,6 +11,7 @@ from .baselines import (
 from .client import SyncError, SyncReport, UniDriveClient
 from .config import UniDriveConfig
 from .deltasync import DeltaLog, should_merge
+from .journal import SyncJournal
 from .lock import LockTimeout, QuorumLock
 from .merge import MergeResult, diff_images, merge_images
 from .metadata import (
@@ -20,14 +21,17 @@ from .metadata import (
     SyncFolderImage,
     VersionStamp,
 )
-from .pipeline import BlockPipeline
+from .pipeline import BlockPipeline, block_hash
 from .placement import (
     fair_share,
     fair_share_assignment,
     max_block_count,
     max_blocks_per_cloud,
     normal_block_count,
+    rebalance_on_add,
+    rebalance_on_remove,
 )
+from .scrub import RepairReport, ScrubReport, Scrubber
 from .probing import DOWNLOAD, UPLOAD, ThroughputEstimator
 from .retry import FAIL_FAST, GIVE_UP, RETRY, RetryPolicy
 from .scheduler import (
@@ -64,9 +68,13 @@ __all__ = [
     "NATIVE_OVERHEAD",
     "NativeClient",
     "QuorumLock",
+    "RepairReport",
+    "ScrubReport",
+    "Scrubber",
     "SegmentRecord",
     "SyncError",
     "SyncFolderImage",
+    "SyncJournal",
     "SyncReport",
     "ThroughputEstimator",
     "TransferOutcome",
@@ -77,6 +85,7 @@ __all__ = [
     "UploadBatchReport",
     "UploadScheduler",
     "VersionStamp",
+    "block_hash",
     "diff_images",
     "fair_share",
     "fair_share_assignment",
@@ -84,5 +93,7 @@ __all__ = [
     "max_blocks_per_cloud",
     "merge_images",
     "normal_block_count",
+    "rebalance_on_add",
+    "rebalance_on_remove",
     "should_merge",
 ]

@@ -37,6 +37,7 @@ from .deltasync import (
     op_upsert_file,
     should_merge,
 )
+from .journal import SyncJournal
 from .lock import QuorumLock
 from .merge import diff_images, merge_images, recompute_refcounts
 from .metadata import (
@@ -45,8 +46,8 @@ from .metadata import (
     SyncFolderImage,
     VersionStamp,
 )
-from .pipeline import BlockPipeline
-from .placement import fair_share, rebalance_on_add, rebalance_on_remove
+from .pipeline import BlockPipeline, block_hash
+from .placement import fair_share
 from .probing import ThroughputEstimator
 from .retry import RetryPolicy
 from .scheduler import (
@@ -111,6 +112,7 @@ class UniDriveClient:
         config: Optional[UniDriveConfig] = None,
         rng: Optional[np.random.Generator] = None,
         estimator: Optional[ThroughputEstimator] = None,
+        journal: Optional[SyncJournal] = None,
     ):
         self.sim = sim
         self.device = device
@@ -140,6 +142,12 @@ class UniDriveClient:
         # *fresh* cloud to extend the delta from.  None = unreachable or
         # unparseable at poll time.
         self._poll_counters: Dict[str, Optional[int]] = {}
+        #: Crash-resume journal.  Pass a restored journal (see
+        #: SyncJournal.from_bytes) to resume a round a previous
+        #: incarnation of this device died in the middle of.
+        self.journal = journal if journal is not None else SyncJournal()
+        #: The upload scheduler of the round in flight (crash modelling).
+        self._active_upload = None
         # Metadata traffic accounting (Table 3 experiments).
         self.metadata_bytes = 0
         self.block_bytes = 0
@@ -200,6 +208,12 @@ class UniDriveClient:
     def _sync_round(self, report: SyncReport):
         """The body of Algorithm 1 (split out so :meth:`sync` can close
         the round's trace span on both the success and error paths)."""
+        if self.journal.active and self.journal.lock_pending:
+            # A previous incarnation of this device died while its lock
+            # files might exist on clouds: withdraw them now instead of
+            # making peers wait out the ΔT staleness break.
+            yield from self.lock.cleanup()
+            self.journal.mark_lock(False)
         self._collect_local_changes()
         if self.image.version.counter == 0:
             yield from self._bootstrap(report)
@@ -209,6 +223,11 @@ class UniDriveClient:
             remote = yield from self._check_cloud_update()
             if remote is not None:
                 yield from self._apply_cloud_only_update(report, remote)
+        if self.journal.active and not self._pending_changes:
+            # Crash leftovers with no round to fold them into (the file
+            # vanished before resume): every journaled block is an
+            # orphan against the current image — sweep and retire.
+            yield from self._journal_sweep()
         if self._pending_fetch:
             yield from self._materialize(
                 self.image, sorted(self._pending_fetch), report
@@ -298,13 +317,22 @@ class UniDriveClient:
         committed_paths = set(self._pending_changes)
         plan = self._build_local_image(local, report)
         uploads = plan["uploads"]
+        # Write-ahead: the resume map is captured from the journal a
+        # crashed incarnation left behind (empty on a normal round),
+        # then the round's planned segments are journaled before any
+        # block travels.
+        resume = self.journal.resume_map()
+        self.journal.begin(self.image.version.counter, plan["new_records"])
         # Data blocks travel before any metadata becomes visible.
         if uploads:
             scheduler = UploadScheduler(
                 self.sim, self.connections, self.pipeline, self.config,
                 estimator=self.estimator, retry_policy=self.retry,
                 rng=self.rng,
+                on_block_uploaded=self.journal.record_block,
+                resume=resume,
             )
+            self._active_upload = scheduler
             span = (
                 TRACE.begin(
                     "upload_batch", t=self.sim.now, track=self.device,
@@ -315,6 +343,7 @@ class UniDriveClient:
                 else None
             )
             upload_report = yield from scheduler.run_batch(uploads)
+            self._active_upload = None
             if span is not None:
                 TRACE.end(
                     span, t=self.sim.now,
@@ -331,7 +360,16 @@ class UniDriveClient:
                 raise SyncError(
                     f"{self.device}: blocks unavailable for {unavailable}"
                 )
-        yield from self.lock.acquire()
+        self.journal.mark_lock(True)
+        try:
+            yield from self.lock.acquire()
+        except Exception:
+            # acquire() withdrew its lock files before propagating, so
+            # a resumed device need not clean up after this failure.  (A
+            # hard kill skips both the withdraw and this line — then the
+            # flag stays set and resume withdraws, as it must.)
+            self.journal.mark_lock(False)
+            raise
         try:
             remote = yield from self._check_cloud_update()
             if remote is not None:
@@ -370,9 +408,11 @@ class UniDriveClient:
             report.committed_version = self.image.version.counter
         finally:
             yield from self.lock.release()
+            self.journal.mark_lock(False)
         for path in committed_paths:
             self._pending_changes.pop(path, None)
         self._collect_garbage()
+        yield from self._journal_sweep()
 
     def _build_local_image(
         self, local: SyncFolderImage, report: SyncReport
@@ -933,6 +973,56 @@ class UniDriveClient:
             yield from self.lock.release()
         self._collect_garbage()
 
+    # -- crash modelling & journal sweep --------------------------------------
+
+    def crash(self) -> None:
+        """Model abrupt device death (power loss) for chaos tests.
+
+        Hard-stops the transfer workers of the round in flight and the
+        quorum-lock refresher — none of their cleanup runs, so cloud
+        state is left exactly as the dead process left it (landed
+        blocks, possibly stale lock files).  The caller also kills the
+        sync process itself (see ``FaultInjector.client_crash``); the
+        journal is the only state the device carries into its next
+        incarnation.
+        """
+        if self._active_upload is not None:
+            self._active_upload.kill_workers()
+            self._active_upload = None
+        refresher = self.lock._refresher
+        if refresher is not None and refresher.is_alive:
+            refresher.kill()
+        self.lock._refresher = None
+        self.lock.held = False
+
+    def _journal_sweep(self):
+        """Delete journaled blocks the committed image does not
+        reference, then retire the journal (the round is accounted
+        for — every acknowledged block is either in the image or
+        gone)."""
+        orphans = self.journal.orphan_blocks(self.image)
+        deletions = []
+        swept = 0
+        for segment_id, placed in sorted(orphans.items()):
+            for index, cloud_id in sorted(placed.items()):
+                conn = self._connection(cloud_id)
+                if conn is None:
+                    continue
+                path = posixpath.join(
+                    self.config.blocks_dir, f"{segment_id}.{index}"
+                )
+                deletions.append(conn.delete(path))
+                swept += 1
+        if deletions:
+            yield from gather_safe(self.sim, deletions)
+        if swept:
+            if METRICS.enabled:
+                METRICS.inc("orphans_swept", swept, device=self.device)
+            if TRACE.enabled:
+                TRACE.event("journal_sweep", t=self.sim.now,
+                            track=self.device, orphans=swept)
+        self.journal.commit()
+
     # -- garbage collection --------------------------------------------------
 
     def _collect_garbage(self) -> None:
@@ -979,97 +1069,24 @@ class UniDriveClient:
     # -- cloud membership -----------------------------------------------------
 
     def remove_cloud(self, cloud_id: str):
-        """Drop a CCS: redistribute its fair share, then forget it."""
-        remaining = [
-            c for c in self.connections if c.cloud_id != cloud_id
-        ]
-        if not remaining:
-            raise ValueError("cannot remove the last cloud")
-        self.config.validate(len(remaining))
-        # Only the fair share needs redistributing (paper §6.2); trim
-        # over-provisioned extras first so the survivors have cap room.
-        yield from self.gc_over_provisioned()
-        moves = []  # (record, index, target_cloud)
-        for record in self.image.segments.values():
-            new_locations = rebalance_on_remove(
-                record.locations,
-                cloud_id,
-                [c.cloud_id for c in remaining],
-                record.k,
-                self.config.k_reliability,
-                self.config.k_security,
-            )
-            for index, target in new_locations.items():
-                if record.locations.get(index) != target:
-                    moves.append((record, index, target))
-            record.locations = new_locations
-        for record, index, target in moves:
-            blocks = yield from self._fetch_blocks(record, record.k, remaining)
-            content = self.pipeline.decode_segment(record, blocks)
-            block = self.pipeline.encode_block(record.segment_id, content, index)
-            conn = self._connection(target)
-            yield from conn.upload(self.pipeline.block_path(record, index), block)
-        # Leave nothing behind on the departed provider (best effort):
-        # its blocks, metadata replica and lock directory all go.
-        departed = self._connection(cloud_id)
-        if departed is not None:
-            yield from gather_safe(
-                self.sim,
-                [
-                    departed.delete(self.config.blocks_dir),
-                    departed.delete(self.config.meta_dir),
-                    departed.delete(self.config.lock_dir),
-                ],
-            )
-        self.connections = remaining
-        self.lock = QuorumLock(
-            self.sim, self.connections, self.device, self.config, self.rng
-        )
-        yield from self._commit_rebalanced_image()
+        """Drop a CCS: redistribute its fair share, then forget it.
+
+        Delegates to the durability subsystem's decommission plan
+        (``wipe=True``: the departing provider is still reachable, so
+        its blocks, metadata replica and lock directory are scrubbed on
+        the way out).  For a provider that is *gone* — permanently
+        unreachable, data lost — use ``Scrubber.decommission`` with
+        ``wipe=False`` instead.
+        """
+        from .scrub import Scrubber
+
+        yield from Scrubber(self).decommission(cloud_id, wipe=True)
 
     def add_cloud(self, connection: CloudAPI):
         """Enroll a new CCS: it adopts its fair share from loaded clouds."""
-        all_connections = self.connections + [connection]
-        self.config.validate(len(all_connections))
-        for record in self.image.segments.values():
-            old_locations = dict(record.locations)
-            new_locations = rebalance_on_add(
-                record.locations,
-                connection.cloud_id,
-                [c.cloud_id for c in all_connections],
-                record.k,
-                self.config.k_reliability,
-            )
-            adopted = [
-                idx for idx, cloud in new_locations.items()
-                if cloud == connection.cloud_id
-                and old_locations.get(idx) != connection.cloud_id
-            ]
-            if adopted:
-                blocks = yield from self._fetch_blocks(
-                    record, record.k, self.connections
-                )
-                content = self.pipeline.decode_segment(record, blocks)
-                encode_state = self.pipeline.encode_state(
-                    record.segment_id, content
-                )
-                for index in adopted:
-                    block = encode_state.block(index)
-                    yield from connection.upload(
-                        self.pipeline.block_path(record, index), block
-                    )
-                    donor = old_locations.get(index)
-                    donor_conn = self._connection(donor)
-                    if donor_conn is not None:
-                        yield from donor_conn.delete(
-                            self.pipeline.block_path(record, index)
-                        )
-            record.locations = new_locations
-        self.connections = all_connections
-        self.lock = QuorumLock(
-            self.sim, self.connections, self.device, self.config, self.rng
-        )
-        yield from self._commit_rebalanced_image()
+        from .scrub import Scrubber
+
+        yield from Scrubber(self).integrate(connection)
 
     def _commit_rebalanced_image(self):
         """Publish the rebalanced block map so other devices see it.
@@ -1090,8 +1107,15 @@ class UniDriveClient:
             yield from self.lock.release()
 
     def _fetch_blocks(self, record: SegmentRecord, count: int,
-                      connections: Sequence[CloudAPI]):
-        """Fetch any ``count`` blocks of a segment from given clouds."""
+                      connections: Sequence[CloudAPI],
+                      verify: bool = True):
+        """Fetch any ``count`` blocks of a segment from given clouds.
+
+        With ``verify`` (the default), a fetched block whose bytes do
+        not match the recorded integrity hash counts as unreachable —
+        feeding rotten shards into a repair decode would propagate the
+        corruption into freshly minted blocks.
+        """
         by_id = {c.cloud_id: c for c in connections}
         blocks: Dict[int, bytes] = {}
         for index, cloud_id in sorted(record.locations.items()):
@@ -1101,11 +1125,23 @@ class UniDriveClient:
             if conn is None:
                 continue
             try:
-                blocks[index] = yield from conn.download(
+                block = yield from conn.download(
                     self.pipeline.block_path(record, index)
                 )
             except CloudError:
                 continue
+            if verify and getattr(conn, "retains_content", True):
+                expected = record.block_hashes.get(index)
+                if expected is not None and block_hash(block) != expected:
+                    if METRICS.enabled:
+                        METRICS.inc("corrupt_detected", cloud=cloud_id)
+                    if TRACE.enabled:
+                        TRACE.event(
+                            "corrupt_block", t=self.sim.now, track=cloud_id,
+                            seg=record.segment_id[:12], block=index,
+                        )
+                    continue
+            blocks[index] = block
         if len(blocks) < count:
             raise SyncError(
                 f"{self.device}: only {len(blocks)}/{count} blocks of "

@@ -106,37 +106,53 @@ class QuorumLock:
             else None
         )
         attempt = 0
-        while True:
-            locked = yield from self._try_once()
-            if locked >= self.quorum:
-                self.held = True
-                self._refresher = self.sim.process(self._refresh_loop())
-                if span is not None:
-                    TRACE.end(span, t=self.sim.now,
-                              rounds=attempt + 1, locked=locked)
-                if METRICS.enabled:
-                    METRICS.inc("lock_acquired", device=self.device)
-                    if attempt:
-                        METRICS.inc("lock_contention_cycles", attempt,
-                                    device=self.device)
-                return
+        try:
+            while True:
+                locked = yield from self._try_once()
+                if locked >= self.quorum:
+                    self.held = True
+                    self._refresher = self.sim.process(self._refresh_loop())
+                    if span is not None:
+                        TRACE.end(span, t=self.sim.now,
+                                  rounds=attempt + 1, locked=locked)
+                    if METRICS.enabled:
+                        METRICS.inc("lock_acquired", device=self.device)
+                        if attempt:
+                            METRICS.inc("lock_contention_cycles", attempt,
+                                        device=self.device)
+                    return
+                yield from self._withdraw()
+                if self.sim.now >= deadline:
+                    if span is not None:
+                        TRACE.end(span, t=self.sim.now,
+                                  rounds=attempt + 1, error="LockTimeout")
+                    if METRICS.enabled:
+                        METRICS.inc("lock_timeouts", device=self.device)
+                        if attempt:
+                            METRICS.inc("lock_contention_cycles", attempt,
+                                        device=self.device)
+                    raise LockTimeout(
+                        f"{self.device}: no quorum within "
+                        f"{self.config.lock_acquire_timeout:.0f}s"
+                    )
+                backoff = self._backoff.backoff(attempt, self._rng)
+                attempt += 1
+                yield self.sim.timeout(backoff)
+        except LockTimeout:
+            raise
+        except Exception:
+            # Interrupted (or otherwise aborted) mid-round: _try_once
+            # may already have uploaded our lock files.  Leaving them
+            # behind would make every peer wait out the ΔT staleness
+            # window before breaking them — withdraw before
+            # propagating.  (A hard process kill skips this cleanup,
+            # exactly like a real crash; the journal's lock_pending
+            # flag lets the owner clean up on resume.)
+            if span is not None:
+                TRACE.end(span, t=self.sim.now,
+                          rounds=attempt + 1, error="aborted")
             yield from self._withdraw()
-            if self.sim.now >= deadline:
-                if span is not None:
-                    TRACE.end(span, t=self.sim.now,
-                              rounds=attempt + 1, error="LockTimeout")
-                if METRICS.enabled:
-                    METRICS.inc("lock_timeouts", device=self.device)
-                    if attempt:
-                        METRICS.inc("lock_contention_cycles", attempt,
-                                    device=self.device)
-                raise LockTimeout(
-                    f"{self.device}: no quorum within "
-                    f"{self.config.lock_acquire_timeout:.0f}s"
-                )
-            backoff = self._backoff.backoff(attempt, self._rng)
-            attempt += 1
-            yield self.sim.timeout(backoff)
+            raise
 
     def release(self):
         """Release by deleting our lock files everywhere (best effort)."""
@@ -144,6 +160,19 @@ class QuorumLock:
             self._refresher.interrupt("released")
         self._refresher = None
         self.held = False
+        yield from self._withdraw()
+
+    def cleanup(self):
+        """Withdraw any lock files this *device* left on the clouds.
+
+        Used on crash recovery: a device that died between uploading
+        lock files and releasing them finds ``lock_pending`` in its
+        journal and deletes its own stale files instead of making peers
+        wait out the ΔT staleness break.  Safe to call when no files
+        exist (deletes are best-effort).
+        """
+        if self.held:
+            raise RuntimeError(f"{self.device} holds the lock; release it")
         yield from self._withdraw()
 
     # -- internals -------------------------------------------------------

@@ -75,6 +75,7 @@ def merge_images(
     for segment_id, record in local.segments.items():
         if segment_id in merged.segments:
             merged.segments[segment_id].locations.update(record.locations)
+            merged.segments[segment_id].block_hashes.update(record.block_hashes)
         else:
             merged.add_segment(record.__class__.from_dict(record.to_dict()))
 

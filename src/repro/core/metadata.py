@@ -93,6 +93,12 @@ class SegmentRecord:
     k: int  # blocks needed to decode
     locations: Dict[int, str] = field(default_factory=dict)  # index -> cloud
     refcount: int = 0
+    #: index -> SHA-1 hex of the block's bytes, recorded at encode time.
+    #: Blocks are deterministic functions of the segment content (the
+    #: generator matrix is fixed by (n, k)), so every device derives the
+    #: same hash for the same index — the map merges trivially.  Absent
+    #: entries (pre-durability metadata) simply skip verification.
+    block_hashes: Dict[int, str] = field(default_factory=dict)
 
     def clouds_holding(self) -> List[str]:
         return sorted(set(self.locations.values()))
@@ -114,6 +120,9 @@ class SegmentRecord:
             "k": self.k,
             "locations": {str(i): c for i, c in sorted(self.locations.items())},
             "refcount": self.refcount,
+            "block_hashes": {
+                str(i): h for i, h in sorted(self.block_hashes.items())
+            },
         }
 
     @staticmethod
@@ -125,6 +134,10 @@ class SegmentRecord:
             k=data["k"],
             locations={int(i): c for i, c in data["locations"].items()},
             refcount=data["refcount"],
+            block_hashes={
+                int(i): h
+                for i, h in data.get("block_hashes", {}).items()
+            },
         )
 
 
@@ -216,6 +229,7 @@ class SyncFolderImage:
         else:
             # Same content chunked twice: merge placements conservatively.
             existing.locations.update(record.locations)
+            existing.block_hashes.update(record.block_hashes)
 
     def set_block_location(self, segment_id: str, index: int, cloud_id: str) -> None:
         """The asynchronous Cloud-ID callback after a block upload."""

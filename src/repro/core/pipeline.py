@@ -16,6 +16,8 @@ import time
 from collections import OrderedDict
 from typing import Dict, List
 
+import numpy as np
+
 from ..chunking import Segment, Segmenter
 from ..codec import EncodeState, ReedSolomonCode
 from ..obs import METRICS, TRACE
@@ -23,7 +25,33 @@ from .config import UniDriveConfig
 from .metadata import SegmentRecord
 from .placement import max_block_count
 
-__all__ = ["BlockPipeline"]
+__all__ = ["BlockPipeline", "block_hash"]
+
+
+def block_hash(block: bytes) -> str:
+    """Wrapping 64-bit lane sum plus length — the integrity fingerprint.
+
+    The adversary here is bit rot, not forgery (the same stance ZFS
+    takes with its default non-cryptographic scrub checksum), so the
+    fingerprint trades collision resistance for memory-bandwidth
+    speed: every block rides the download hot path and every one is
+    verified, which caps the affordable cost at a few percent of the
+    decode wall clock (``BENCH_durability.json`` enforces <= 3%, and
+    a SHA-1 here measures ~15%).  The digest sums the little-endian
+    64-bit lanes mod 2**64 and appends the byte length: any change
+    confined to one lane is always detected (a nonzero delta cannot
+    vanish mod 2**64), truncation and padding games are caught by the
+    length, and independent multi-lane rot escapes with probability
+    ~2**-64.  Lane-permuting corruptions are the blind spot — a
+    failure mode bit rot does not produce.
+    """
+    size = len(block)
+    pad = -size % 8
+    if pad:
+        block = block + b"\0" * pad
+    lanes = np.frombuffer(block, dtype="<u8")
+    total = int(np.add.reduce(lanes)) & 0xFFFFFFFFFFFFFFFF
+    return f"{total:016x}{size:08x}"
 
 #: Segments whose padded shard matrices stay resident.  Each entry costs
 #: ~theta bytes (4 MB at the paper default); schedulers touch segments
@@ -120,6 +148,14 @@ class BlockPipeline:
         return posixpath.join(
             self.config.blocks_dir, record.block_name(index)
         )
+
+    def block_size(self, record: SegmentRecord) -> int:
+        """Exact byte length every block of a segment must have.
+
+        Shallow scrub audits compare cloud-reported sizes against this
+        without downloading anything.
+        """
+        return self.code.shard_size(record.size)
 
     # -- decode ------------------------------------------------------------
 

@@ -17,7 +17,7 @@ reliability parameter ``K_r`` and security parameter ``K_s``:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "fair_share",
@@ -120,12 +120,22 @@ def rebalance_on_add(
     all_clouds: Sequence[str],
     k: int,
     k_reliability: int,
+    n: Optional[int] = None,
 ) -> Dict[int, str]:
     """New locations after adding a cloud (paper §6.2, add CCS).
 
     The new cloud takes its fair share by adopting block indices from
     the most-loaded clouds; donors simply delete those blocks (the new
     cloud's copies are re-encoded from any k available blocks).
+
+    Only clouds holding *more* than their fair share may donate —
+    stealing from a minimal donor would drop it below ``share`` and
+    break the any-``K_r``-clouds reconstruction guarantee.  When every
+    cloud is already at the minimum and the code's block count ``n`` is
+    known, fresh unused parity indices are minted for the new cloud
+    instead (the non-systematic code can produce any index < n).  With
+    ``n=None`` no safe source exists, so as a last resort the legacy
+    steal-from-the-most-loaded behaviour applies.
     """
     share = fair_share(k, k_reliability)
     counts: Dict[str, int] = {}
@@ -134,10 +144,24 @@ def rebalance_on_add(
     new_locations = dict(locations)
     for _ in range(share):
         donor = max(
-            (c for c in counts if counts.get(c, 0) > 0),
+            (c for c in counts if counts.get(c, 0) > share),
             key=lambda c: counts[c],
             default=None,
         )
+        if donor is None and n is not None:
+            fresh = next(
+                (idx for idx in range(n) if idx not in new_locations), None
+            )
+            if fresh is None:
+                break
+            new_locations[fresh] = new_cloud
+            continue
+        if donor is None:
+            donor = max(
+                (c for c in counts if counts.get(c, 0) > 0),
+                key=lambda c: counts[c],
+                default=None,
+            )
         if donor is None:
             break
         victim_idx = max(

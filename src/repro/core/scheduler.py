@@ -39,7 +39,7 @@ from ..obs import METRICS, TRACE
 from ..simkernel import AllOf, Simulator
 from .config import UniDriveConfig
 from .metadata import SegmentRecord
-from .pipeline import BlockPipeline
+from .pipeline import BlockPipeline, block_hash
 from .placement import fair_share, fair_share_assignment, max_blocks_per_cloud
 from .probing import DOWNLOAD, UPLOAD, ThroughputEstimator
 from .retry import RETRY, RetryPolicy
@@ -296,6 +296,36 @@ class _SegmentUploadState:
         if is_fair:
             self.fair_uploaded[cloud_id] = self.fair_uploaded.get(cloud_id, 0) + 1
 
+    def preseed(self, index: int, cloud_id: str) -> None:
+        """Mark a block as already on a cloud (journal resume).
+
+        The block counts toward availability, fair shares, and the
+        per-cloud security cap without being re-uploaded.  A journaled
+        index normally sits in ``cloud_id``'s own fair queue (the
+        assignment is deterministic); if the original round had degraded
+        and dispatched it elsewhere, it is pulled from wherever it
+        queues so no worker uploads it twice.
+        """
+        if index in self.uploaded:
+            return
+        is_fair = False
+        queue = self.fair.get(cloud_id)
+        if queue is not None and index in queue:
+            queue.remove(index)
+            is_fair = True
+        elif index in self.extras:
+            self.extras.remove(index)
+        else:
+            for other_queue in self.fair.values():
+                if index in other_queue:
+                    other_queue.remove(index)
+                    break
+        self.uploaded[index] = cloud_id
+        self.record.locations[index] = cloud_id
+        self.per_cloud[cloud_id] = self.per_cloud.get(cloud_id, 0) + 1
+        if is_fair:
+            self.fair_uploaded[cloud_id] = self.fair_uploaded.get(cloud_id, 0) + 1
+
     def fail(self, index: int, cloud_id: str, is_fair: bool,
              cloud_dead: bool) -> None:
         """Return the index to its pool (or the extras pool if the cloud
@@ -341,6 +371,7 @@ class UploadScheduler:
         on_block_uploaded: Optional[Callable[[str, int, str], None]] = None,
         retry_policy: Optional[RetryPolicy] = None,
         rng=None,
+        resume: Optional[Dict[str, Dict[int, str]]] = None,
     ):
         if not connections:
             raise ValueError("need at least one cloud connection")
@@ -353,6 +384,10 @@ class UploadScheduler:
         self.over_provision = over_provision
         self.dynamic = dynamic
         self.on_block_uploaded = on_block_uploaded
+        # Journal resume: segment_id -> {index: cloud_id} of blocks a
+        # previous (crashed) round already landed; they are credited as
+        # uploaded at batch start and never re-transferred.
+        self.resume = resume or {}
         # Unified failure policy: classifies errors (fail-fast vs
         # transient) and paces re-dispatch after transient failures.
         # rng=None keeps the backoff schedule deterministic.
@@ -380,6 +415,8 @@ class UploadScheduler:
         self._pending_reliable: Dict[str, int] = {}
         self._satisfied_flush: List[str] = []
         self._dispatch_scans = 0  # state visits, for the perf harness
+        self._workers: List = []
+        self._aborted = False
 
     # -- public API -------------------------------------------------------
 
@@ -411,6 +448,11 @@ class UploadScheduler:
                         record, data, self.cloud_ids, self.config
                     )
                     state.position = len(self._ordered)
+                    for idx, cid in sorted(
+                        self.resume.get(record.segment_id, {}).items()
+                    ):
+                        if cid in self.cloud_ids:
+                            state.preseed(idx, cid)
                     self._states[record.segment_id] = state
                     self._ordered.append(state)
                     self._state_files[record.segment_id] = []
@@ -435,12 +477,21 @@ class UploadScheduler:
                 # reliable; like the full-scan refresh, it is stamped at
                 # the first progress check (or the final one).
                 self._satisfied_flush.append(file.path)
+        if self.resume:
+            # Preseeded blocks count as completed progress right away
+            # (countdowns, availability stamps) — they just never
+            # re-transfer.
+            for state in self._ordered:
+                if state.uploaded:
+                    self._note_block_completed(state)
         workers = []
         for conn in self.connections:
             for _slot in range(self.config.connections_per_cloud):
                 workers.append(self.sim.process(self._worker(conn)))
+        self._workers = workers
         if workers:
             yield AllOf(self.sim, workers)
+        self._workers = []
         self._refresh_file_reports(final=True)
         return UploadBatchReport(
             files=[self._reports[f.path] for f in self._files],
@@ -454,6 +505,8 @@ class UploadScheduler:
     def _worker(self, conn: CloudAPI):
         cloud_id = conn.cloud_id
         while True:
+            if self._aborted:
+                return
             task = self._next_task(cloud_id)
             if task is None:
                 if self._done():
@@ -464,6 +517,11 @@ class UploadScheduler:
             block = self.pipeline.encode_block(
                 state.record.segment_id, state.data, index
             )
+            # Integrity fingerprint, recorded at encode time: blocks are
+            # deterministic in (segment content, index), so the hash is
+            # valid metadata even if this particular transfer fails.
+            if index not in state.record.block_hashes:
+                state.record.block_hashes[index] = block_hash(block)
             path = self.pipeline.block_path(state.record, index)
             self._inflight_total += 1
             start = self.sim.now
@@ -848,6 +906,30 @@ class UploadScheduler:
         wake, self._wake = self._wake, self.sim.event()
         wake.succeed()
 
+    # -- crash modelling -----------------------------------------------------
+
+    def abort(self) -> None:
+        """Stop dispatching: idle workers return at once, busy workers
+        exit after their current transfer resolves (soft shutdown)."""
+        self._aborted = True
+        if self._wake is not None:
+            self._pulse()
+
+    def kill_workers(self) -> None:
+        """Hard-stop every worker where it stands (client power loss).
+
+        In-flight transfers never complete client-side: a block whose
+        upload generator dies mid-payload was never acknowledged, so it
+        is *not* recorded in metadata or the journal — exactly the
+        orphan/loss window a crash leaves in reality.
+        """
+        self._aborted = True
+        for proc in self._workers:
+            kill = getattr(proc, "kill", None)
+            if kill is not None:
+                kill()
+        self._workers = []
+
 
 # ---------------------------------------------------------------------------
 # Download scheduling
@@ -1114,6 +1196,34 @@ class DownloadScheduler:
                             TRACE.end(wait, t=self.sim.now)
                 continue
             self._inflight_total -= 1
+            expected = state.record.block_hashes.get(index)
+            if (
+                expected is not None
+                and getattr(conn, "retains_content", True)
+                and block_hash(block) != expected
+            ):
+                # Silent corruption: the cloud served bytes that do not
+                # match the recorded fingerprint.  Treat exactly like a
+                # deterministic per-(index, cloud) miss — mark the pair
+                # exhausted (a permanent erasure for this batch) so the
+                # dispatcher re-fetches a different replica.
+                self._failed_requests += 1
+                state.inflight.pop(index, None)
+                state.exhausted.add((index, cloud_id))
+                self._dead[cloud_id] += 1
+                if span is not None:
+                    TRACE.end(
+                        span, t=self.sim.now, bytes=len(block),
+                        error="CorruptBlock", retry_action="give-up",
+                    )
+                if METRICS.enabled:
+                    METRICS.inc("corrupt_detected", cloud=cloud_id)
+                    METRICS.inc(
+                        "scheduler_redispatch",
+                        cloud=cloud_id, direction=DOWNLOAD,
+                    )
+                self._pulse()
+                continue
             self._dead[cloud_id] = 0
             self.estimator.record(
                 cloud_id, DOWNLOAD, len(block), self.sim.now - start,

@@ -196,6 +196,70 @@ class FaultInjector:
 
         self.sim.process(script())
 
+    def silent_corruption(self, cloud, path: str,
+                          at: float = 0.0) -> None:
+        """Rot the bytes of one stored object at time ``at``.
+
+        Size and mtime are preserved (see ``ObjectStore.corrupt``), so
+        only content verification — the download-path hash check or a
+        deep scrub — can detect it.  A path that does not exist when
+        the script fires is logged as ``corruption-miss`` and skipped
+        (the object may have been garbage-collected meanwhile).
+        """
+
+        def script():
+            if at > self.sim.now:
+                yield self.sim.timeout(at - self.sim.now)
+            try:
+                cloud.store.corrupt(path)
+            except Exception:
+                self._log("corruption-miss", cloud.cloud_id)
+            else:
+                self._log("corruption", cloud.cloud_id)
+
+        self.sim.process(script())
+
+    def permanent_loss(self, cloud, at: float = 0.0,
+                       wipe: bool = True) -> None:
+        """Kill a provider for good: offline forever, data destroyed.
+
+        Unlike :meth:`outage` there is no end — and with ``wipe`` (the
+        default) the stored objects are gone, so even a later
+        resurrection of the service could not serve them.  Recovery
+        must come from the surviving clouds (scrub + decommission).
+        """
+
+        def script():
+            if at > self.sim.now:
+                yield self.sim.timeout(at - self.sim.now)
+            cloud.set_available(False)
+            if wipe:
+                cloud.store.wipe()
+            self._log("loss-begin", cloud.cloud_id)
+
+        self.sim.process(script())
+
+    def client_crash(self, client, process, at: float = 0.0) -> None:
+        """Kill a client device mid-round at time ``at`` (power loss).
+
+        ``process`` is the Process running the client's sync round; it
+        is hard-stopped (:meth:`Process.kill` — no ``finally`` cleanup
+        beyond the first yield), then ``client.crash()`` stops the
+        transfer workers and the lock refresher the round had spawned.
+        Blocks already acknowledged stay on the clouds; the client's
+        journal is the only record the device keeps.
+        """
+
+        def script():
+            if at > self.sim.now:
+                yield self.sim.timeout(at - self.sim.now)
+            if process is not None and process.is_alive:
+                process.kill()
+            client.crash()
+            self._log("crash", client.device)
+
+        self.sim.process(script())
+
     def force_drops(self, connection, count: int = 1) -> ForcedFailures:
         """Force the next ``count`` payload transfers on a connection to
         drop mid-transfer.  Takes effect immediately (no window — the

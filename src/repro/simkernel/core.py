@@ -224,6 +224,37 @@ class Process(Event):
     def is_alive(self) -> bool:
         return not self.triggered
 
+    def kill(self) -> None:
+        """Hard-stop the process at the current time (power loss).
+
+        Unlike :meth:`interrupt`, nothing is thrown *into* the process
+        for it to handle: the generator is closed on the spot, and any
+        ``finally`` cleanup runs only up to its first ``yield`` —
+        cleanup that needs further simulated I/O is abandoned
+        mid-flight, exactly as when the OS process dies.  The Process
+        event succeeds (value ``None``) so combinators waiting on it
+        resolve instead of hanging forever.  Killing an already
+        terminated process is a no-op.
+        """
+        if self.triggered:
+            return
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+            self._target = None
+        for _attempt in range(8):
+            try:
+                self._generator.close()
+                break
+            except RuntimeError:
+                # The generator yielded during GeneratorExit: cleanup
+                # wanted simulated I/O, which dies with the process.
+                # Re-close from the new suspension point; the frame
+                # unwinds within a bounded number of rounds.
+                continue
+            except Exception:
+                break
+        self.succeed(None)
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:

@@ -1,0 +1,72 @@
+"""Unit tests for the crash-resume write-ahead journal."""
+
+from repro.core import SegmentRecord, SyncFolderImage, SyncJournal
+
+
+def record(sid="s1", size=300, n=10, k=3, locations=None):
+    rec = SegmentRecord(segment_id=sid, size=size, n=n, k=k)
+    if locations:
+        rec.locations.update(locations)
+    return rec
+
+
+def test_round_trip_serialization():
+    journal = SyncJournal()
+    journal.begin(4, [record("aa"), record("bb")])
+    journal.record_block("aa", 0, "c1")
+    journal.record_block("aa", 7, "c3")
+    journal.mark_lock(True)
+    clone = SyncJournal.from_bytes(journal.to_bytes())
+    assert clone.active and clone.lock_pending
+    assert clone.base_version == 4
+    assert clone.blocks == {"aa": {0: "c1", 7: "c3"}}
+    assert clone.segments["bb"] == {"size": 300, "n": 10, "k": 3}
+    # Index keys survive the JSON round trip as ints.
+    assert all(
+        isinstance(i, int) for placed in clone.blocks.values() for i in placed
+    )
+
+
+def test_begin_preserves_blocks_commit_clears():
+    journal = SyncJournal()
+    journal.begin(1, [record("aa")])
+    journal.record_block("aa", 2, "c0")
+    # A resumed round re-begins; acknowledged blocks must survive.
+    journal.begin(1, [record("aa")])
+    assert journal.blocks == {"aa": {2: "c0"}}
+    assert journal.dirty
+    journal.commit()
+    assert not journal.active and not journal.dirty
+    assert journal.blocks == {} and journal.segments == {}
+
+
+def test_resume_map_is_a_deep_copy():
+    journal = SyncJournal()
+    journal.begin(0, [record("aa")])
+    journal.record_block("aa", 1, "c1")
+    resume = journal.resume_map()
+    resume["aa"][1] = "tampered"
+    assert journal.blocks["aa"][1] == "c1"
+
+
+def test_orphan_blocks_against_committed_image():
+    journal = SyncJournal()
+    journal.begin(0, [record("aa"), record("bb")])
+    journal.record_block("aa", 0, "c0")   # committed exactly here
+    journal.record_block("aa", 1, "c4")   # committed, but on c2
+    journal.record_block("bb", 5, "c1")   # segment never committed
+    image = SyncFolderImage("dev")
+    image.add_segment(record("aa", locations={0: "c0", 1: "c2"}))
+    orphans = journal.orphan_blocks(image)
+    assert orphans == {"aa": {1: "c4"}, "bb": {5: "c1"}}
+
+
+def test_lock_pending_round_trip():
+    journal = SyncJournal()
+    journal.begin(2, [])
+    journal.mark_lock(True)
+    assert journal.dirty  # even with zero blocks: lock files may exist
+    restored = SyncJournal.from_bytes(journal.to_bytes())
+    assert restored.lock_pending
+    restored.mark_lock(False)
+    assert not restored.dirty

@@ -1,0 +1,137 @@
+"""Property tests: placement invariants under arbitrary membership churn.
+
+The paper's placement constraints (§6.1) must hold not just for the
+initial assignment but after *any* sequence of cloud additions and
+removals:
+
+* **fair share** — every enrolled cloud holds at least
+  ``ceil(k / K_r)`` blocks, so any ``K_r`` reachable clouds can serve
+  ``k`` blocks;
+* **security cap** — no cloud ever exceeds
+  ``max_blocks_per_cloud(k, K_s)`` blocks;
+* indices stay valid for the record's erasure code (``0 <= idx < n``)
+  and placements never reference a departed cloud.
+
+These are exactly the invariants ``rebalance_on_add`` used to break on
+minimal placements (stealing from a donor already at fair share) —
+the fixed version mints fresh parity indices instead.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    fair_share,
+    fair_share_assignment,
+    max_blocks_per_cloud,
+    rebalance_on_add,
+    rebalance_on_remove,
+)
+
+
+def counts_of(locations):
+    counts = {}
+    for cloud in locations.values():
+        counts[cloud] = counts.get(cloud, 0) + 1
+    return counts
+
+
+def assert_invariants(locations, clouds, k, k_r, k_s, n):
+    share = fair_share(k, k_r)
+    cap = max_blocks_per_cloud(k, k_s)
+    counts = counts_of(locations)
+    assert set(counts) <= set(clouds), "placement references a gone cloud"
+    for cloud in clouds:
+        held = counts.get(cloud, 0)
+        assert held >= share, f"{cloud} below fair share ({held} < {share})"
+        assert held <= cap, f"{cloud} exceeds security cap ({held} > {cap})"
+    assert all(0 <= idx < n for idx in locations)
+    # Reliability: the K_r least-loaded clouds together reach k blocks.
+    smallest = sorted(counts.get(c, 0) for c in clouds)[:k_r]
+    assert sum(smallest) >= k
+
+
+@st.composite
+def churn_params(draw):
+    k = draw(st.integers(min_value=1, max_value=6))
+    k_r = draw(st.integers(min_value=1, max_value=4))
+    k_s = draw(st.integers(min_value=1, max_value=k_r))
+    n_init = draw(st.integers(min_value=max(k_r, 2), max_value=6))
+    share = fair_share(k, k_r)
+    cap = max_blocks_per_cloud(k, k_s)
+    assume(share <= cap)  # otherwise no legal placement exists at all
+    ops = draw(
+        st.lists(st.sampled_from(["add", "remove"]), max_size=8)
+    )
+    return k, k_r, k_s, n_init, ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=churn_params(), data=st.data())
+def test_placement_invariants_survive_arbitrary_churn(params, data):
+    k, k_r, k_s, n_init, ops = params
+    share = fair_share(k, k_r)
+    cap = max_blocks_per_cloud(k, k_s)
+    n = cap * n_init  # fixed at "encode time", like SegmentRecord.n
+    clouds = [f"c{i}" for i in range(n_init)]
+    locations = {
+        idx: cloud
+        for cloud, indices in fair_share_assignment(clouds, k, k_r).items()
+        for idx in indices
+    }
+    next_id = n_init
+    assert_invariants(locations, clouds, k, k_r, k_s, n)
+    for op in ops:
+        if op == "add":
+            if (len(locations) + share > n) or (len(clouds) + 1) * share > n:
+                continue  # the fixed-n code is out of fresh indices
+            new_cloud = f"c{next_id}"
+            next_id += 1
+            locations = rebalance_on_add(
+                locations, new_cloud, clouds + [new_cloud], k, k_r, n=n
+            )
+            clouds.append(new_cloud)
+        else:
+            if len(clouds) <= max(k_r, 2):
+                continue  # keep the folder viable (N >= K_r, N >= 2)
+            victim = data.draw(
+                st.sampled_from(sorted(clouds)), label="removed cloud"
+            )
+            remaining = [c for c in clouds if c != victim]
+            try:
+                locations = rebalance_on_remove(
+                    locations, victim, remaining, k, k_r, k_s
+                )
+            except ValueError:
+                continue  # cap makes this removal illegal; skip it
+            clouds = remaining
+        assert_invariants(locations, clouds, k, k_r, k_s, n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=8),
+    k_r=st.integers(min_value=1, max_value=4),
+    n_init=st.integers(min_value=2, max_value=6),
+)
+def test_add_never_starves_a_minimal_donor(k, k_r, n_init):
+    """Regression for the donor-starvation bug: adding a cloud to a
+    *minimal* placement (every donor exactly at fair share) must mint
+    fresh indices, never steal — no donor may drop below fair share."""
+    assume(k_r <= n_init)
+    share = fair_share(k, k_r)
+    clouds = [f"c{i}" for i in range(n_init)]
+    locations = {
+        idx: cloud
+        for cloud, indices in fair_share_assignment(clouds, k, k_r).items()
+        for idx in indices
+    }
+    n = share * (n_init + 1)  # just enough room for the newcomer
+    new = rebalance_on_add(locations, "fresh", clouds + ["fresh"], k, k_r,
+                           n=n)
+    counts = counts_of(new)
+    for cloud in clouds:
+        assert counts.get(cloud, 0) >= share
+    assert counts.get("fresh", 0) == share
+    # The old placement is untouched: minting only ever adds indices.
+    assert all(new[idx] == cloud for idx, cloud in locations.items())

@@ -117,3 +117,94 @@ def test_first_seen_observations_stay_bounded():
     # ~rounds * len(clouds) entries.
     assert len(contender.lock._first_seen) <= len(clouds)
     assert holder.lock.held
+
+
+def test_interrupted_acquire_withdraws_lock_files():
+    """Regression: an Interrupt landing mid-acquisition-round (after the
+    lock files were uploaded, before the contention check resolved) used
+    to leave the contender's lock files on every cloud — forcing peers
+    to wait out the ΔT staleness break.  acquire() must withdraw them
+    before propagating the exception."""
+    from repro.netsim import LinkProfile
+    from repro.cloud import CloudConnection
+    from repro.simkernel import Interrupt
+
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(5)]
+    holder = make_client(sim, clouds, "holder", seed=7)
+    sim.run_process(holder.lock.acquire())
+    # Latency-carrying links: an acquisition round takes ~2 RTTs, so an
+    # interrupt at t+0.07 lands after the uploads, during the listings.
+    profile = LinkProfile(
+        up_mbps=20.0, down_mbps=40.0, rtt_seconds=0.05,
+        latency_jitter=0.0, failure_rate=0.0, volatility=0.0,
+        fade_probability=0.0, diurnal_amplitude=0.0,
+    )
+    contender = UniDriveClient(
+        sim, "contender", VirtualFileSystem(),
+        [CloudConnection(sim, c, profile, np.random.default_rng(30 + i))
+         for i, c in enumerate(clouds)],
+        config=CONFIG, rng=np.random.default_rng(8),
+    )
+    proc = sim.process(contender.lock.acquire())
+
+    def saboteur():
+        yield sim.timeout(0.07)
+        assert any(
+            entry.name == "lock_contender"
+            for cloud in clouds
+            for entry in cloud.store.list_folder(CONFIG.lock_dir)
+        ), "interrupt must land after the round's uploads"
+        proc.interrupt("mid-round fault")
+
+    sim.process(saboteur())
+    with pytest.raises(Interrupt):
+        sim.run()
+    assert not contender.lock.held
+    for cloud in clouds:
+        names = [
+            entry.name for entry in cloud.store.list_folder(CONFIG.lock_dir)
+        ]
+        assert "lock_contender" not in names
+        assert "lock_holder" in names  # the holder was untouched
+
+
+@chaos_smoke
+def test_sync_failure_inside_lock_releases_immediately():
+    """Regression: a fault striking *inside* the locked commit section
+    (here: every metadata replica turns out stale) must release the
+    quorum lock on the error path — a peer acquires right away instead
+    of waiting out the ΔT staleness break."""
+    from repro.core import SyncError
+    from repro.core.metadata import VersionStamp
+    from repro.core.serialization import serialize_version
+    import posixpath
+
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(5)]
+    writer = make_client(sim, clouds, "writer", seed=9)
+    writer.fs.write_file("/one", payload(1), mtime=sim.now)
+    assert sim.run_process(writer.sync()).committed_version == 1
+    # Poison: every cloud advertises v5, but no replica can serve it —
+    # the in-lock metadata fetch fails after the lock is held.
+    bogus = serialize_version(VersionStamp(5, "ghost"))
+    for cloud in clouds:
+        cloud.store.put(
+            posixpath.join(CONFIG.meta_dir, "version"), bogus, mtime=sim.now
+        )
+    writer.fs.write_file("/two", payload(2), mtime=sim.now)
+    with pytest.raises(SyncError):
+        sim.run_process(writer.sync())
+    assert not writer.lock.held
+    assert not writer.journal.lock_pending
+    for cloud in clouds:
+        names = [
+            entry.name for entry in cloud.store.list_folder(CONFIG.lock_dir)
+        ]
+        assert "lock_writer" not in names
+    # A peer acquires immediately — far below the staleness window.
+    contender = make_client(sim, clouds, "contender", seed=10)
+    started = sim.now
+    sim.run_process(contender.lock.acquire())
+    assert contender.lock.held
+    assert sim.now - started < 1.0

@@ -365,3 +365,79 @@ def test_late_callback_on_processed_event_delivered():
     evt.add_callback(lambda e: seen.append(e.value))
     sim.run()
     assert seen == ["v"]
+
+
+# -- hard kill (crash modelling) --------------------------------------------
+
+
+def test_kill_stops_process_without_running_yielding_cleanup():
+    """kill() is power loss: the generator is closed at the current
+    time, and ``finally`` cleanup that needs more simulated I/O (a
+    yield) dies with it."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(10.0)
+            log.append("finished")
+        finally:
+            log.append("cleanup-start")
+            yield sim.timeout(1.0)  # needs sim time: must NOT run
+            log.append("cleanup-done")
+
+    proc = sim.process(victim())
+
+    killed_at = []
+
+    def killer():
+        yield sim.timeout(3.0)
+        proc.kill()
+        killed_at.append((sim.now, proc.triggered))
+
+    sim.process(killer())
+    sim.run()
+    assert killed_at == [(3.0, True)]  # dead immediately, at kill time
+    assert proc.ok and proc.value is None
+    assert log == ["cleanup-start"]
+
+
+def test_kill_resolves_waiters_with_none():
+    """A process waiting on the victim sees a normal (None) completion —
+    crash modelling must not poison AllOf joins."""
+    sim = Simulator()
+    results = []
+
+    def victim():
+        yield sim.timeout(100.0)
+        return "never"
+
+    proc = sim.process(victim())
+
+    def waiter():
+        value = yield proc
+        results.append(value)
+
+    sim.process(waiter())
+
+    def killer():
+        yield sim.timeout(1.0)
+        proc.kill()
+
+    sim.process(killer())
+    sim.run()
+    assert results == [None]
+
+
+def test_kill_is_idempotent_and_safe_on_finished_process():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+        return 42
+
+    proc = sim.process(quick())
+    sim.run()
+    assert proc.value == 42
+    proc.kill()  # no-op on a triggered process
+    assert proc.value == 42

@@ -44,6 +44,18 @@ metrics layer's overhead contract:
                  *estimated* disabled-mode overhead (guard sites hit x
                  per-guard cost / wall) must stay <= 2%.
 
+The ``durability`` suite (results in ``BENCH_durability.json``) guards
+the integrity-scrubbing layer added with the self-healing work:
+
+* ``hash_verify`` — the end-to-end download batch with per-block hash
+  verification active vs the same batch with the recorded fingerprints
+  stripped: contents must be byte-identical, and the *estimated*
+  verify cost (fetched blocks x measured per-hash cost / plain wall)
+  must stay <= 3% of the download wall clock.
+* ``scrub``       — deep-audit throughput (blocks hashed per second)
+  over a clean folder, plus a damage round (missing + rotted blocks)
+  that a single ``scrub_round`` must bring back to a clean audit.
+
 ``--quick`` shrinks sizes/rounds for CI smoke use (results still
 emitted, bars still checked); ``--budget-seconds`` fails the run when
 the wall clock exceeds the CI smoke budget.
@@ -67,15 +79,19 @@ import numpy as np  # noqa: E402
 from repro.chunking.rolling_hash import (  # noqa: E402
     DEFAULT_WINDOW, TABLE, BuzHash, _rotl, buzhash_all,
 )
-from repro.cloud import CloudConnection, SimulatedCloud  # noqa: E402
+from repro.cloud import (  # noqa: E402
+    CloudConnection, SimulatedCloud, make_instant_connection,
+)
 from repro.codec import ReedSolomonCode, gf256  # noqa: E402
 from repro.codec import matrix as gfm  # noqa: E402
+from repro.core import Scrubber, UniDriveClient  # noqa: E402
 from repro.core.config import UniDriveConfig  # noqa: E402
 from repro.core.pipeline import BlockPipeline  # noqa: E402
 from repro.core.probing import ThroughputEstimator  # noqa: E402
 from repro.core.scheduler import (  # noqa: E402
     DownloadScheduler, FileDownload, FileUpload, UploadScheduler,
 )
+from repro.fsmodel import VirtualFileSystem  # noqa: E402
 from repro.netsim import LinkProfile  # noqa: E402
 from repro.simkernel import Simulator  # noqa: E402
 
@@ -84,6 +100,7 @@ RESULTS_DIR = os.path.join(_ROOT, "benchmarks", "results")
 RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_hotpaths.json")
 SUBSTRATE_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_substrate.json")
 OBS_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
+DURABILITY_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_durability.json")
 
 
 def _best_of(fn, rounds):
@@ -971,6 +988,219 @@ def run_obs(quick=False):
     return results
 
 
+# -- durability suite -------------------------------------------------------
+
+
+def _digest_downloads(batch):
+    import hashlib
+    return repr(sorted(
+        (r.path, hashlib.sha1(r.content or b"").hexdigest())
+        for r in batch.files
+    ))
+
+
+def _hash_cost_model():
+    """Per-call and per-byte cost of :func:`block_hash`, measured.
+
+    The download walls are tens of milliseconds, so a direct A/B
+    cannot resolve a <= 3% contract against scheduler jitter (the same
+    reason the obs suite gates on an analytic estimate).  The estimate
+    here is exact in structure: verification costs one ``block_hash``
+    per fetched block, nothing else.
+    """
+    from repro.core.pipeline import block_hash
+    small = b"\xa5" * 64
+    # Larger than any L2: downloaded blocks arrive cache-cold, so the
+    # per-byte figure must be memory-bound, not cache-resident.
+    big = b"\xa5" * (8 * _MB)
+    per_call = _best_of(
+        lambda: [block_hash(small) for _ in range(256)], 5
+    ) / 256
+    big_cost = _best_of(lambda: block_hash(big), 5)
+    per_byte = max(big_cost - per_call, 0.0) / len(big)
+    return per_call, per_byte
+
+
+def bench_hash_verify(quick):
+    """Download-path cost of per-block hash verification.
+
+    One upload seeds the clouds; the same download batch then runs with
+    the recorded ``block_hashes`` in place (every block verified) and
+    with the fingerprints stripped (verification short-circuits).  Both
+    modes must produce byte-identical contents; the delta is the pure
+    fingerprint cost on the download hot path.
+    """
+    count = 12 if quick else 40
+    rounds = 3 if quick else 5
+    sim, conns, pipeline = _make_env(seed=23)
+    estimator = ThroughputEstimator()
+    up = UploadScheduler(sim, conns, pipeline, CONFIG, estimator=estimator)
+    files = _make_files(pipeline, count, seed=29)
+    sim.run_process(up.run_batch(files))
+
+    records = [record for f in files for record, _ in f.segments]
+    blocks = sum(len(r.locations) for r in records)
+    payload_mb = sum(
+        len(data) for f in files for _, data in f.segments
+    ) / _MB
+    saved_hashes = [dict(r.block_hashes) for r in records]
+
+    digests = []
+
+    def run_download():
+        down = DownloadScheduler(sim, conns, pipeline, CONFIG,
+                                 estimator=ThroughputEstimator())
+        requests = [
+            FileDownload(f.path, [record for record, _ in f.segments])
+            for f in files
+        ]
+        digests.append(_digest_downloads(sim.run_process(down.run_batch(
+            requests
+        ))))
+
+    def set_verify(on):
+        for record, hashes in zip(records, saved_hashes):
+            record.block_hashes.clear()
+            if on:
+                record.block_hashes.update(hashes)
+
+    # Interleave the two modes round by round (after one warmup each):
+    # back-to-back best-of blocks would hand whichever mode runs last a
+    # warmed-up process and swamp the few-percent signal with drift.
+    for on in (True, False):
+        set_verify(on)
+        run_download()
+    wall_verified = wall_plain = float("inf")
+    for _ in range(rounds):
+        set_verify(True)
+        wall_verified = min(wall_verified, _best_of(run_download, 1))
+        set_verify(False)
+        wall_plain = min(wall_plain, _best_of(run_download, 1))
+    set_verify(True)
+
+    # Analytic estimate: one block_hash per fetched block (a download
+    # fetches exactly k blocks per segment), over the plain wall.
+    per_call, per_byte = _hash_cost_model()
+    fetched = sum(record.k for record in records)
+    hashed_bytes = sum(
+        record.k * pipeline.block_size(record) for record in records
+    )
+    estimate = (
+        fetched * per_call + hashed_bytes * per_byte
+    ) / wall_plain
+
+    overhead = wall_verified / wall_plain - 1.0
+    return {
+        "files": count,
+        "blocks": blocks,
+        "payload_mb": payload_mb,
+        "wall_verified_s": wall_verified,
+        "wall_plain_s": wall_plain,
+        "verify_overhead_measured": overhead,
+        "hash_per_call_ns": per_call * 1e9,
+        "hash_gb_per_s": 1e-9 / per_byte if per_byte else float("inf"),
+        "blocks_fetched": fetched,
+        "hashed_mb": hashed_bytes / _MB,
+        "verify_overhead_estimate": estimate,
+        "verified_mb_per_s": payload_mb / wall_verified,
+        "identical": len(set(digests)) == 1,
+    }
+
+
+def bench_scrub(quick):
+    """Deep-audit throughput plus one full damage-and-heal round."""
+    n_files = 6 if quick else 16
+    file_kb = 96 if quick else 256
+    rounds = 3 if quick else 5
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(N_CLOUDS)]
+    conns = [
+        make_instant_connection(sim, cloud, seed=31 + i)
+        for i, cloud in enumerate(clouds)
+    ]
+    client = UniDriveClient(
+        sim, "bench", VirtualFileSystem(), conns, config=CONFIG,
+        rng=np.random.default_rng(37),
+    )
+    rng = np.random.default_rng(41)
+    for i in range(n_files):
+        client.fs.write_file(
+            f"/f{i}",
+            rng.integers(0, 256, size=file_kb * 1024,
+                         dtype=np.uint8).tobytes(),
+            mtime=sim.now,
+        )
+    sim.run_process(client.sync())
+    scrubber = Scrubber(client)
+
+    def deep_audit():
+        report = sim.run_process(scrubber.audit(deep=True))
+        assert report.clean
+        return report
+
+    blocks = deep_audit().blocks_checked
+    audit_wall = _best_of(deep_audit, rounds)
+
+    # Damage round: drop one block of every other segment, rot one
+    # block of every third, then heal everything in one scrub round.
+    damaged = 0
+    for pos, record in enumerate(
+        client.image.segments[sid] for sid in sorted(client.image.segments)
+    ):
+        placed = sorted(record.locations.items())
+        by_id = {cloud.cloud_id: cloud for cloud in clouds}
+        if pos % 2 == 0:
+            idx, cid = placed[0]
+            by_id[cid].store.delete(client.pipeline.block_path(record, idx))
+            damaged += 1
+        if pos % 3 == 0:
+            idx, cid = placed[1]
+            by_id[cid].store.corrupt(client.pipeline.block_path(record, idx))
+            damaged += 1
+    start = time.perf_counter()
+    audit, fixed = sim.run_process(
+        scrubber.scrub_round(deep=True, repair=True)
+    )
+    heal_wall = time.perf_counter() - start
+    clean = sim.run_process(scrubber.audit(deep=True)).clean
+
+    return {
+        "files": n_files,
+        "file_kb": file_kb,
+        "blocks": blocks,
+        "audit_wall_s": audit_wall,
+        "audit_blocks_per_s": blocks / audit_wall,
+        "damaged_blocks": damaged,
+        "found_missing": len(audit.missing),
+        "found_corrupt": len(audit.corrupt),
+        "blocks_repaired": fixed.blocks_repaired,
+        "heal_wall_s": heal_wall,
+        "healed_clean": clean,
+    }
+
+
+def run_durability(quick=False):
+    hash_verify = bench_hash_verify(quick)
+    scrub = bench_scrub(quick)
+    results = {
+        "quick": quick,
+        "hash_verify": hash_verify,
+        "scrub": scrub,
+    }
+    results["checks"] = {
+        "hash_verify_identical": hash_verify["identical"],
+        "hash_verify_overhead_le_3pct":
+            hash_verify["verify_overhead_estimate"] <= 0.03,
+        "scrub_found_all_damage":
+            scrub["found_missing"] + scrub["found_corrupt"]
+            == scrub["damaged_blocks"],
+        "scrub_heals_clean":
+            scrub["healed_clean"]
+            and scrub["blocks_repaired"] == scrub["damaged_blocks"],
+    }
+    return results
+
+
 def run_substrate(quick=False):
     results = {
         "quick": quick,
@@ -1084,10 +1314,31 @@ def _print_obs(results):
           f"(identical={overhead['identical']})")
 
 
+def _print_durability(results):
+    verify = results["hash_verify"]
+    scrub = results["scrub"]
+    print(f"hashverify: {verify['hash_gb_per_s']:8.1f} GB/s fingerprint; "
+          f"{verify['blocks_fetched']} blocks/"
+          f"{verify['hashed_mb']:.1f} MB verified per batch; est "
+          f"{verify['verify_overhead_estimate']:.2%} of "
+          f"{verify['wall_plain_s'] * 1000:.0f}ms download wall "
+          f"(measured {verify['verify_overhead_measured']:+.2%}, "
+          f"identical={verify['identical']})")
+    print(f"scrub:      {verify['verified_mb_per_s']:8.1f} MB/s verified "
+          f"download; deep audit "
+          f"{scrub['audit_blocks_per_s']:.0f} blocks/s; "
+          f"{scrub['damaged_blocks']} damaged -> "
+          f"{scrub['blocks_repaired']} repaired in "
+          f"{scrub['heal_wall_s']:.2f}s "
+          f"(clean={scrub['healed_clean']})")
+
+
 _SUITES = {
     "hotpaths": (run_all, RESULTS_PATH, _print_hotpaths),
     "substrate": (run_substrate, SUBSTRATE_RESULTS_PATH, _print_substrate),
     "obs": (run_obs, OBS_RESULTS_PATH, _print_obs),
+    "durability": (run_durability, DURABILITY_RESULTS_PATH,
+                   _print_durability),
 }
 
 
@@ -1096,7 +1347,8 @@ def main(argv=None):
     parser.add_argument("--quick", action="store_true",
                         help="small sizes / few rounds, for CI smoke runs")
     parser.add_argument("--suite",
-                        choices=["hotpaths", "substrate", "obs", "all"],
+                        choices=["hotpaths", "substrate", "obs",
+                                 "durability", "all"],
                         default="all", help="which suite(s) to run")
     parser.add_argument("--out", default=None,
                         help="output JSON path (single-suite runs only)")
