@@ -5,7 +5,8 @@ runs each section once under the pytest-benchmark timer, renders the
 table, and asserts the durability contracts — the download batch is
 byte-identical with per-block verification active vs stripped, the
 estimated verify cost (fetched blocks x measured per-hash cost, over
-the plain download wall) stays <= 3%, and one scrub round brings a
+the plain download wall) stays <= 5% (re-baselined from 3% when the
+fused data plane shrank the download wall), and one scrub round brings a
 damaged folder back to a clean deep audit.
 
 Run with ``BENCH_QUICK=1`` for the CI-sized variant.
@@ -25,7 +26,7 @@ import bench  # noqa: E402
 QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
 
 
-def test_hash_verify_overhead_le_3pct(run_once, report, fmt_cell):
+def test_hash_verify_overhead_le_5pct(run_once, report, fmt_cell):
     result = run_once(lambda: bench.bench_hash_verify(QUICK))
     report("Per-block hash verification (download batch)", [
         f"{'files':<20}{result['files']}",
@@ -40,7 +41,7 @@ def test_hash_verify_overhead_le_3pct(run_once, report, fmt_cell):
         f"{'identical':<20}{result['identical']}",
     ])
     assert result["identical"]
-    assert result["verify_overhead_estimate"] <= 0.03
+    assert result["verify_overhead_estimate"] <= 0.05
 
 
 def test_scrub_heals_damaged_folder(run_once, report, fmt_cell):

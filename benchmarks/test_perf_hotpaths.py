@@ -2,9 +2,12 @@
 
 Pytest wrapper around :mod:`tools.bench`: runs each section once under
 the pytest-benchmark timer, renders the before/after table, and asserts
-the overhaul's acceptance bars — >= 3x encode throughput on 4 MB
-segments with n >= 10, and dispatch scans per block flat (within 2x)
-from a 10-file to a 200-file batch.
+the acceptance bars — >= 2.5x encode speedup and >= 225 MB/s absolute
+encode throughput on 4 MB segments with n >= 10 (the fused pair-table
+kernel's conservative floor; ``tools/bench.py`` holds the tighter
+300/500 MB/s bars), streaming chunking within 2x of batch over the
+same bytes with identical cut points, and dispatch scans per block
+flat (within 2x) from a 10-file to a 200-file batch.
 
 Run with ``BENCH_QUICK=1`` for the CI-sized variant.
 """
@@ -55,15 +58,30 @@ def test_encode_decode_throughput(run_once, report, fmt_cell):
     # in-file legacy twin drifts with host CPU state (quick mode's
     # smaller segments sit closer to the shard-build overhead still).
     assert result["encode_speedup"] >= (2.0 if QUICK else 2.5)
+    # Absolute floors for the fused pair-table kernel: 3x the
+    # pre-fusion steady state (75 / 263 MB/s).  Only meaningful at the
+    # full 4 MB segment size.
+    if not QUICK:
+        assert result["encode_mb_per_s"] >= 225.0
+        assert result["decode_mb_per_s"] >= 375.0
 
 
 def test_chunking_throughput(run_once, report, fmt_cell):
     result = run_once(lambda: bench.bench_chunking(QUICK))
     report("Chunking throughput (MB/s)", [
         f"{'buzhash_all batch':<20}{fmt_cell(result['batch_mb_per_s'])}",
-        f"{'stream (ring)':<20}{fmt_cell(result['stream_ring_mb_per_s'])}",
-        f"{'stream (pop(0))':<20}{fmt_cell(result['stream_pop0_mb_per_s'])}",
+        f"{'stream (64KB feeds)':<20}"
+        f"{fmt_cell(result['stream_ring_mb_per_s'])}",
+        f"{'byte ring (legacy)':<20}"
+        f"{fmt_cell(result['stream_byte_mb_per_s'])}",
+        f"{'byte pop(0) legacy':<20}"
+        f"{fmt_cell(result['stream_pop0_mb_per_s'])}",
     ])
+    # Streaming must keep up with batch (within 2x over the same
+    # bytes; in practice the 64 KB working set keeps it cache-resident
+    # and it comes out ahead) and must cut where batch cuts.
+    assert result["stream_vs_batch"] <= 2.0
+    assert result["stream_cuts_identical"]
     assert result["stream_speedup"] > 1.0
 
 

@@ -1,12 +1,21 @@
 """Content-defined chunking substrate (LBFS-style segmentation)."""
 
-from .rolling_hash import DEFAULT_WINDOW, BuzHash, buzhash_all
-from .segmenter import Segment, Segmenter, segment_ids
+from .rolling_hash import DEFAULT_WINDOW, BuzHash, BuzHashStream, buzhash_all
+from .segmenter import (
+    Segment,
+    Segmenter,
+    SegmentStream,
+    SegmentView,
+    segment_ids,
+)
 
 __all__ = [
     "BuzHash",
+    "BuzHashStream",
     "DEFAULT_WINDOW",
     "Segment",
+    "SegmentStream",
+    "SegmentView",
     "Segmenter",
     "buzhash_all",
     "segment_ids",

@@ -10,6 +10,16 @@ Two implementations of the same function:
   recurrence is unrolled ``WORD`` steps (rotation has period ``WORD``),
   turning the computation into a handful of linear passes — prefix-XOR
   plus per-residue chain accumulation — independent of window size.
+  Because rotation distributes over XOR, the per-position contributions
+  come straight out of a pre-rotated 32x256 substitution table
+  (``rotl(T[b], r)`` for every rotation ``r``), so the hot loop is two
+  precast gathers and one accumulate — no per-position rotate passes.
+
+:class:`BuzHashStream` carries batch-path state across ``feed()``
+calls: it retains the trailing ``window - 1`` bytes so every window
+that straddles a feed boundary is evaluated exactly once, making the
+streaming hash sequence — and therefore every downstream cut decision —
+byte-identical to hashing the whole buffer at once.
 
 Both derive from the same 256-entry random substitution table, generated
 deterministically so chunk boundaries are stable across runs and
@@ -22,7 +32,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["BuzHash", "buzhash_all", "DEFAULT_WINDOW", "TABLE", "WORD"]
+__all__ = ["BuzHash", "BuzHashStream", "buzhash_all", "DEFAULT_WINDOW",
+           "TABLE", "WORD"]
 
 DEFAULT_WINDOW = 32
 
@@ -103,20 +114,54 @@ def _rotl_vec(values: np.ndarray, amounts: np.ndarray) -> np.ndarray:
     return (values << amounts) | (values >> complement)
 
 
-def _tiled_pattern(start: int, count: int, transform) -> np.ndarray:
+def _tiled_pattern(start: int, count: int, transform,
+                   dtype=np.uint32) -> np.ndarray:
     """``transform((start + arange(count)) % WORD)`` without a big modulo.
 
     The value pattern repeats with period WORD, so compute one period
     and tile it — one of the micro-optimizations that keep chunking at
     a few linear passes over the data.
     """
-    base = transform((start + np.arange(WORD)) % WORD).astype(np.uint32)
+    base = transform((start + np.arange(WORD)) % WORD).astype(dtype)
     repeats = -(-count // WORD)
     return np.tile(base, repeats)[:count]
 
 
-def buzhash_all(data: bytes, window: int = DEFAULT_WINDOW) -> np.ndarray:
-    """Hash every window position of ``data``.
+def _build_rot_flat() -> np.ndarray:
+    """All 32 rotations of the substitution table, flattened.
+
+    ``_ROT_FLAT[(r << 8) | b] == rotl(TABLE[b], r)`` — 32 KiB, so every
+    rotation the batch recurrence needs is one gather away and no
+    per-position rotate pass ever touches the data stream.
+    """
+    table = np.empty((WORD, 256), dtype=np.uint32)
+    for r in range(WORD):
+        for b in range(256):
+            table[r, b] = _rotl(int(TABLE[b]), r)
+    return table.reshape(-1)
+
+
+_ROT_FLAT = _build_rot_flat()
+
+# Reused gather buffers for buzhash_all, grown on demand: faulting
+# fresh multi-megabyte mappings per call would rival the gathers.
+_BUZ_IDX_SCRATCH = np.empty(0, dtype=np.intp)
+_BUZ_F_SCRATCH = np.empty(0, dtype=np.uint32)
+_BUZ_TMP_SCRATCH = np.empty(0, dtype=np.uint32)
+
+
+def _buz_scratch(count: int):
+    global _BUZ_IDX_SCRATCH, _BUZ_F_SCRATCH, _BUZ_TMP_SCRATCH
+    if _BUZ_IDX_SCRATCH.size < count:
+        _BUZ_IDX_SCRATCH = np.empty(count, dtype=np.intp)
+        _BUZ_F_SCRATCH = np.empty(count, dtype=np.uint32)
+        _BUZ_TMP_SCRATCH = np.empty(count, dtype=np.uint32)
+    return (_BUZ_IDX_SCRATCH[:count], _BUZ_F_SCRATCH[:count],
+            _BUZ_TMP_SCRATCH[:count])
+
+
+def buzhash_all(data, window: int = DEFAULT_WINDOW) -> np.ndarray:
+    """Hash every window position of ``data`` (bytes or 1-D uint8 array).
 
     Returns an array ``H`` of length ``len(data) - window + 1`` where
     ``H[i]`` equals the streaming hash after consuming
@@ -128,10 +173,14 @@ def buzhash_all(data: bytes, window: int = DEFAULT_WINDOW) -> np.ndarray:
     ``WORD`` steps gives ``H[p] = H[p-WORD] ^ rotl(S[p], p mod WORD)``
     with ``S[p] = XOR_{m=0..WORD-1} rotl(D[p-m], -(p-m) mod WORD)`` — a
     difference of prefix-XORs of position-normalized contributions.
+    Since rotation distributes over XOR, the normalized contributions
+    ``rotl(D[p], -p)`` split into two direct gathers from the
+    pre-rotated table ``_ROT_FLAT`` — ``D`` itself is never built.
     """
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
-    buf = np.frombuffer(data, dtype=np.uint8)
+    buf = (data if isinstance(data, np.ndarray)
+           else np.frombuffer(data, dtype=np.uint8))
     n = len(buf)
     if n < window:
         return np.zeros(0, dtype=np.uint32)
@@ -154,17 +203,29 @@ def buzhash_all(data: bytes, window: int = DEFAULT_WINDOW) -> np.ndarray:
     if span <= WORD:
         return out
 
-    # D[p] for p in [window, n-1]; stored at index p - window.
-    table_w = np.array(
-        [_rotl(int(TABLE[b]), rot_w) for b in range(256)], dtype=np.uint32
+    # F[p] = rotl(D[p], -p mod WORD) for p in [window, n-1], stored at
+    # index p - window.  Expanding D and distributing the rotation:
+    # F = rotl(T[b[p]], -p) ^ rotl(T[b[p-w]], w - p); each term is one
+    # gather from the pre-rotated table at index (rot << 8) | byte, with
+    # the periodic rotation pattern folded into the index offsets.  The
+    # byte stream is precast to the platform index dtype once so the
+    # gathers skip np.take's per-call index conversion.
+    m = n - window
+    idx, f, tmp = _buz_scratch(m)
+    ibuf = buf.astype(np.intp)
+    off_new = _tiled_pattern(
+        window, m, lambda r: ((WORD - r) & (WORD - 1)) << 8, dtype=np.intp
     )
-    d = TABLE[buf[window:]] ^ table_w[buf[: n - window]]
-
-    # F[p] = rotl(D[p], -p mod WORD): rotation amounts are periodic.
-    f_amounts = _tiled_pattern(
-        window, len(d), lambda r: (WORD - r) & (WORD - 1)
+    np.add(ibuf[window:], off_new, out=idx)
+    np.take(_ROT_FLAT, idx, out=f, mode="clip")
+    off_out = _tiled_pattern(
+        0, m, lambda r: ((WORD - r) & (WORD - 1)) << 8, dtype=np.intp
     )
-    prefix = np.bitwise_xor.accumulate(_rotl_vec(d, f_amounts))
+    np.add(ibuf[:m], off_out, out=idx)
+    np.take(_ROT_FLAT, idx, out=tmp, mode="clip")
+    np.bitwise_xor(f, tmp, out=f)
+    np.bitwise_xor.accumulate(f, out=f)
+    prefix = f
 
     # S over out indices i in [WORD, span): with j = i - WORD,
     # S_j = prefix[j + WORD - 1] ^ prefix[j - 1]  (second term absent
@@ -189,3 +250,50 @@ def buzhash_all(data: bytes, window: int = DEFAULT_WINDOW) -> np.ndarray:
     grid ^= out[:WORD]
     out[WORD:] = grid.reshape(-1)[:count]
     return out
+
+
+class BuzHashStream:
+    """Streaming wrapper around :func:`buzhash_all`.
+
+    Carries the trailing ``window - 1`` bytes across :meth:`feed`
+    calls, so each feed evaluates the batch kernel over ``tail +
+    chunk`` and every emitted hash covers at least one new byte —
+    windows ending inside the retained tail were already emitted by the
+    previous feed.  The concatenation of all returned arrays is exactly
+    ``buzhash_all(whole_stream, window)``, which is what lets the
+    streaming chunker reproduce batch cut points bit-for-bit while
+    paying array-batch (not per-byte) hashing costs.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._tail = np.empty(0, dtype=np.uint8)
+
+    @property
+    def tail_length(self) -> int:
+        """Bytes retained from previous feeds (< window)."""
+        return int(self._tail.size)
+
+    def feed(self, data) -> np.ndarray:
+        """Hashes of every window ending inside this chunk.
+
+        ``data`` may be bytes or a 1-D uint8 array.  Returns the same
+        dtype/convention as :func:`buzhash_all`; the first array of a
+        stream is shorter than the chunk by ``window - 1`` entries,
+        exactly as in the batch path.
+        """
+        chunk = (data if isinstance(data, np.ndarray)
+                 else np.frombuffer(data, dtype=np.uint8))
+        if chunk.size == 0:
+            return np.zeros(0, dtype=np.uint32)
+        joined = (np.concatenate([self._tail, chunk])
+                  if self._tail.size else chunk)
+        keep = min(joined.size, self.window - 1)
+        self._tail = joined[joined.size - keep:].copy() if keep else \
+            np.empty(0, dtype=np.uint8)
+        return buzhash_all(joined, self.window)
+
+    def reset(self) -> None:
+        self._tail = np.empty(0, dtype=np.uint8)

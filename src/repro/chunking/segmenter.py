@@ -12,14 +12,16 @@ merged size stays within the band.
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 from dataclasses import dataclass
 from typing import List
 
 import numpy as np
 
-from .rolling_hash import DEFAULT_WINDOW, buzhash_all
+from .rolling_hash import DEFAULT_WINDOW, BuzHashStream, buzhash_all
 
-__all__ = ["Segment", "Segmenter", "segment_ids"]
+__all__ = ["Segment", "SegmentView", "Segmenter", "SegmentStream",
+           "segment_ids"]
 
 
 @dataclass(frozen=True)
@@ -37,6 +39,30 @@ class Segment:
     @staticmethod
     def from_bytes(data: bytes, offset: int = 0) -> "Segment":
         return Segment(hashlib.sha1(data).hexdigest(), data, offset)
+
+
+@dataclass(frozen=True)
+class SegmentView:
+    """A segment whose content is a zero-copy view of the file buffer.
+
+    Produced by :meth:`Segmenter.split_views` — same identity and
+    boundaries as :class:`Segment`, but ``data`` is a read-only
+    ``uint8`` view into the original buffer, so segmenting a file
+    allocates no per-segment copies.  Downstream encode accepts the
+    view directly (``ReedSolomonCode.prepare`` pads from any 1-D uint8
+    source).
+    """
+
+    segment_id: str  # SHA-1 hex digest of the content
+    data: np.ndarray  # read-only uint8 view into the file buffer
+    offset: int  # byte offset within the originating file
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def to_bytes(self) -> bytes:
+        return self.data.tobytes()
 
 
 class Segmenter:
@@ -111,6 +137,133 @@ class Segmenter:
             segments.append(Segment.from_bytes(data[start:cut], start))
             start = cut
         return segments
+
+    def split_views(self, data: bytes) -> List["SegmentView"]:
+        """:meth:`split`, but yielding zero-copy :class:`SegmentView`.
+
+        Identical boundaries and IDs (SHA-1 over the same content); the
+        per-segment ``bytes`` slices are replaced by read-only array
+        views of ``data``, so the only pass over the file is the hash.
+        """
+        buf = np.frombuffer(data, dtype=np.uint8)
+        views: List[SegmentView] = []
+        start = 0
+        for cut in self.cut_points(data):
+            view = buf[start:cut]
+            views.append(
+                SegmentView(hashlib.sha1(view).hexdigest(), view, start)
+            )
+            start = cut
+        return views
+
+    def stream(self) -> "SegmentStream":
+        """A streaming chunker reproducing :meth:`split` cut-for-cut."""
+        return SegmentStream(self)
+
+
+class SegmentStream:
+    """Incremental content-defined segmentation over ``feed()`` chunks.
+
+    Produces exactly the segments :meth:`Segmenter.split` would emit
+    for the concatenated stream: rolling hashes come from
+    :class:`BuzHashStream` (bit-identical to the batch hash), candidate
+    cuts queue up in a deque, and a cut only commits once the buffered
+    span exceeds ``max_size`` — at that point every candidate the batch
+    path could have chosen is already known, so the decisions coincide.
+    The last committed segment is *held back* until :meth:`finish`,
+    which applies the batch path's undersized-tail merge rule before
+    emitting it.
+    """
+
+    def __init__(self, segmenter: Segmenter):
+        self._seg = segmenter
+        self._hasher = BuzHashStream(segmenter.window)
+        self._buf = bytearray()
+        self._buf_offset = 0  # absolute offset of _buf[0]
+        self._total = 0  # bytes fed so far
+        self._start = 0  # start of the currently open segment
+        self._held = None  # committed (start, end) awaiting emission
+        self._ncuts = 0
+        self._cands: deque = deque()
+        self._finished = False
+
+    def feed(self, data: bytes) -> List[Segment]:
+        """Consume a chunk; return segments that are now final."""
+        if self._finished:
+            raise RuntimeError("feed() after finish()")
+        if not data:
+            return []
+        window = self._seg.window
+        # Hashes for every window ending in this chunk; the first hash
+        # in the joined (tail + chunk) coordinates corresponds to the
+        # window starting at absolute position total - tail_length.
+        hash_base = self._total - self._hasher.tail_length
+        self._buf += data
+        self._total += len(data)
+        hashes = self._hasher.feed(data)
+        if hashes.size:
+            local = np.flatnonzero(
+                (hashes & self._seg._mask) == self._seg._mask
+            )
+            for i in local:
+                self._cands.append(hash_base + int(i) + window)
+        emitted: List[Segment] = []
+        while self._total - self._start > self._seg.max_size:
+            low = self._start + self._seg.min_size
+            high = self._start + self._seg.max_size
+            while self._cands and self._cands[0] < low:
+                self._cands.popleft()
+            if self._cands and self._cands[0] <= high:
+                cut = int(self._cands.popleft())
+            else:
+                cut = high
+            if self._held is not None:
+                emitted.append(self._emit(self._held))
+            self._held = (self._start, cut)
+            self._ncuts += 1
+            self._start = cut
+        self._trim()
+        return emitted
+
+    def finish(self) -> List[Segment]:
+        """Flush the held and trailing segments (tail-merge applied)."""
+        if self._finished:
+            raise RuntimeError("finish() called twice")
+        self._finished = True
+        emitted: List[Segment] = []
+        n = self._total
+        remainder = n - self._start
+        if self._ncuts and remainder < self._seg.min_size:
+            # Undersized tail: merge into the held predecessor when the
+            # merged segment stays within the band — the same rule
+            # cut_points applies by dropping its last cut.
+            merged_start = self._held[0]
+            if n - merged_start <= self._seg.max_size:
+                emitted.append(self._emit((merged_start, n)))
+                self._held = None
+                remainder = 0
+        if self._held is not None:
+            emitted.append(self._emit(self._held))
+            self._held = None
+        if remainder > 0:
+            emitted.append(self._emit((self._start, n)))
+        self._buf = bytearray()
+        return emitted
+
+    def _emit(self, span) -> Segment:
+        start, end = span
+        lo = start - self._buf_offset
+        return Segment.from_bytes(
+            bytes(memoryview(self._buf)[lo: end - self._buf_offset]), start
+        )
+
+    def _trim(self) -> None:
+        """Drop buffered bytes no live segment can reference."""
+        keep_from = self._held[0] if self._held is not None else self._start
+        drop = keep_from - self._buf_offset
+        if drop > 0:
+            del self._buf[:drop]
+            self._buf_offset = keep_from
 
 
 def segment_ids(segments: List[Segment]) -> List[str]:

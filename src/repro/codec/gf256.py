@@ -6,8 +6,23 @@ Reed-Solomon storage codes.  Scalar helpers operate on Python ints via
 exp/log tables; vector helpers operate on ``numpy.uint8`` arrays via a
 precomputed 256x256 product table (``MUL_TABLE``), so scalar-times-vector
 is a single one-row gather — no log/exp double lookup and no special
-handling of zero elements — which is what makes encoding multi-megabyte
-segments fast enough for the benchmark harness.
+handling of zero elements.
+
+Three table families serve the vector kernels:
+
+* ``MUL_TABLE`` — the full 256x256 product table; one row per scalar.
+* ``MUL_LO``/``MUL_HI`` — the nibble-split decomposition used by
+  SSSE3/NEON ``pshufb`` Reed-Solomon kernels (ISA-L, klauspost):
+  ``a*b == MUL_LO[a][b & 15] ^ MUL_HI[a][b >> 4]``.  In native SIMD the
+  16-entry tables live in registers; under numpy a gather costs the
+  same per element regardless of table size, so the nibble form is kept
+  as the structural reference (see :func:`mul_vec_nibble`) while the
+  production matmul goes the other way — *fusing* coefficients into
+  wider tables so each gather retires more than one multiply
+  (:func:`pair_table`, and the packed output tables built in
+  :mod:`repro.codec.matrix`).
+* ``pair_table(c1, c2)`` — a 65536-entry table over adjacent input-byte
+  pairs: one gather evaluates ``c1*b1 ^ c2*b2``.
 """
 
 from __future__ import annotations
@@ -24,10 +39,14 @@ __all__ = [
     "inv",
     "pow",
     "mul_vec",
+    "mul_vec_nibble",
     "addmul_vec",
+    "pair_table",
     "EXP_TABLE",
     "LOG_TABLE",
     "MUL_TABLE",
+    "MUL_LO",
+    "MUL_HI",
 ]
 
 PRIMITIVE_POLY = 0x11D
@@ -69,6 +88,33 @@ def _build_mul_table():
 
 MUL_TABLE = _build_mul_table()
 _MUL = MUL_TABLE
+
+
+def _build_nibble_tables():
+    """Nibble-split product tables: ``MUL_LO[a]`` maps the low nibble,
+    ``MUL_HI[a]`` the high nibble, so that for any byte ``b``
+    ``a*b == MUL_LO[a][b & 0x0F] ^ MUL_HI[a][b >> 4]`` — the
+    decomposition behind the SSSE3 ``pshufb`` RS kernels.  8 KiB total.
+    """
+    lo = MUL_TABLE[:, :16].copy()
+    hi = MUL_TABLE[:, ::16].copy()
+    return lo, hi
+
+
+MUL_LO, MUL_HI = _build_nibble_tables()
+
+
+def pair_table(c1: int, c2: int) -> np.ndarray:
+    """The fused two-coefficient table ``T[(b2 << 8) | b1] = c1*b1 ^ c2*b2``.
+
+    64 KiB of uint8 (L2-resident).  Indexing with the 16-bit
+    concatenation of two adjacent input bytes evaluates two field
+    multiplies and their XOR in a single gather — numpy's substitute
+    for the register-resident nibble shuffles of native SIMD kernels,
+    where the win comes from amortizing the per-element gather cost
+    rather than shrinking the table.
+    """
+    return (_MUL[c2][:, None] ^ _MUL[c1][None, :]).reshape(-1)
 
 
 def add(a: int, b: int) -> int:
@@ -117,20 +163,52 @@ def mul_vec(scalar: int, vec: np.ndarray) -> np.ndarray:
     """Multiply every element of a uint8 vector by a field scalar.
 
     One gather through the scalar's ``MUL_TABLE`` row; zero elements
-    need no fixup because the table row already maps 0 to 0.
+    need no fixup because the table row already maps 0 to 0.  The
+    identity scalars short-circuit (0 -> zeros, 1 -> copy), and the
+    gather lands directly in the result via ``np.take(..., out=)``
+    instead of allocating through fancy indexing.
     """
     if scalar == 0:
         return np.zeros_like(vec)
     if scalar == 1:
         return vec.copy()
-    return _MUL[scalar][vec]
+    out = np.empty_like(vec)
+    np.take(_MUL[scalar], vec, out=out, mode="clip")
+    return out
+
+
+def mul_vec_nibble(scalar: int, vec: np.ndarray) -> np.ndarray:
+    """:func:`mul_vec` via the nibble-split tables (``pshufb`` shape).
+
+    Two 16-entry gathers plus an XOR — the literal form of the SIMD
+    trick, retained as an executable cross-check of ``MUL_LO``/
+    ``MUL_HI``.  Not the numpy hot path: both gathers stream the full
+    index vector, so it costs ~2x the single ``MUL_TABLE`` row gather.
+    """
+    if scalar == 0:
+        return np.zeros_like(vec)
+    if scalar == 1:
+        return vec.copy()
+    return MUL_LO[scalar][vec & 0x0F] ^ MUL_HI[scalar][vec >> 4]
 
 
 def addmul_vec(acc: np.ndarray, scalar: int, vec: np.ndarray) -> None:
-    """In-place ``acc ^= scalar * vec`` over GF(256)."""
+    """In-place ``acc ^= scalar * vec`` over GF(256).
+
+    Same shortcuts as :func:`mul_vec`; the product is gathered into a
+    reused scratch buffer so the steady state allocates nothing.
+    """
+    global _ADDMUL_SCRATCH
     if scalar == 0:
         return
     if scalar == 1:
         np.bitwise_xor(acc, vec, out=acc)
         return
-    np.bitwise_xor(acc, _MUL[scalar][vec], out=acc)
+    if _ADDMUL_SCRATCH.size < vec.size:
+        _ADDMUL_SCRATCH = np.empty(vec.size, dtype=np.uint8)
+    scratch = _ADDMUL_SCRATCH[: vec.size]
+    np.take(_MUL[scalar], vec, out=scratch, mode="clip")
+    np.bitwise_xor(acc, scratch, out=acc)
+
+
+_ADDMUL_SCRATCH = np.empty(1024, dtype=np.uint8)

@@ -3,9 +3,30 @@
 Matrices are ``numpy.uint8`` 2-D arrays.  Only the operations a
 Reed-Solomon codec needs are provided: multiplication, Gauss-Jordan
 inversion, and Vandermonde construction.
+
+Two multiplication kernels coexist:
+
+* :func:`matmul_reference` — the chunked single-coefficient
+  ``MUL_TABLE`` row-gather kernel, retained as the property-tested
+  reference and used directly for small operands.
+* the fused tiled kernel behind :func:`matmul` — wide products go
+  through a cached :class:`_FusedPlan` that gathers through
+  coefficient-*pair* tables (two multiplies per gather, see
+  :func:`repro.codec.gf256.pair_table`) packed up to eight output rows
+  deep into one gather word (``uint64`` down to ``uint8``, sized to
+  the rows that actually need gathers), so one pass over the input
+  bytes feeds a whole group of output rows.  Rows whose coefficients
+  are all 0/1 never enter a gather group at all — they are built from
+  plain XORs of the input rows.  Bit-identical to the reference by
+  construction and by the equivalence suite in
+  ``tests/codec/test_table_equivalence.py``.
 """
 
 from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -15,6 +36,8 @@ __all__ = [
     "SingularMatrixError",
     "identity",
     "matmul",
+    "matmul_reference",
+    "matmul_rows",
     "invert",
     "vandermonde",
 ]
@@ -35,16 +58,15 @@ _MATMUL_CHUNK = 1 << 16
 _SCRATCH = np.empty(_MATMUL_CHUNK, dtype=np.uint8)
 
 
-def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Matrix product over GF(256), driven by the precomputed product table.
+def matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Chunked single-coefficient matmul — the reference kernel.
 
-    ``b`` may be a matrix of row vectors of arbitrary width (e.g. data
-    shards), which is the encoding hot path.  Each output row is
-    ``XOR_j MUL_TABLE[a[i, j]][b[j]]`` — one single-row gather through
-    :data:`repro.codec.gf256.MUL_TABLE` per coefficient (no log/exp
-    double lookup, no zero-element fixup pass: the table maps zeros to
-    zeros), computed in cache-sized column chunks so the scratch buffer
-    never leaves L2.
+    Each output row is ``XOR_j MUL_TABLE[a[i, j]][b[j]]`` — one
+    single-row gather through :data:`repro.codec.gf256.MUL_TABLE` per
+    coefficient (no log/exp double lookup, no zero-element fixup pass:
+    the table maps zeros to zeros), computed in cache-sized column
+    chunks so the scratch buffer never leaves L2.  The fused kernel
+    behind :func:`matmul` must stay bit-identical to this one.
     """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
@@ -68,6 +90,313 @@ def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
                 np.take(mul[coeffs[j]], b[j, start:end], out=scratch)
                 np.bitwise_xor(acc, scratch, out=acc)
     return out
+
+
+# -- fused tiled kernel ------------------------------------------------------
+
+# Below this operand width the fused kernel's fixed costs (index
+# precasts, plan lookup) dominate; the reference kernel is used instead.
+_FUSED_MIN_WIDTH = 1 << 12
+
+# Most output rows packed per gather word (one uint64 = 8 byte lanes).
+_PACK = 8
+
+
+def _pack_dtype(count: int) -> np.dtype:
+    """Narrowest unsigned dtype with at least ``count`` byte lanes."""
+    if count <= 1:
+        return np.dtype(np.uint8)
+    if count <= 2:
+        return np.dtype(np.uint16)
+    if count <= 4:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+# packed lane -> byte position inside the gather word (little-endian
+# hosts store lane s at byte s; big-endian hosts mirror it).
+if sys.byteorder == "little":
+    def _lane_byte(lane: int, word_bytes: int) -> int:
+        return lane
+else:  # pragma: no cover - exercised only on big-endian hosts
+    def _lane_byte(lane: int, word_bytes: int) -> int:
+        return word_bytes - 1 - lane
+
+
+class _FusedPlan:
+    """Precompiled gather tables for one coefficient matrix.
+
+    Construction splits both dimensions by coefficient structure:
+
+    * *simple* columns — every coefficient is 0 or 1 — contribute via
+      plain XOR of the input row; they never enter a gather table.
+    * rows whose coefficients are all 0 or 1 across *every* column
+      (e.g. the ``[1, 1, ..., 1]`` first Vandermonde row) are *simple
+      rows*: their output is the XOR of their 1-coefficient input
+      rows, no gather at all.
+    * the other rows are packed into gather groups of up to eight.
+      Each general-column pair gets, per group, a 65536-entry table
+      packing the rows' :func:`gf256.pair_table` values one per byte
+      lane of the group's word dtype (``uint64`` for 8 lanes, down to
+      ``uint8`` for a lone row — the narrowest word that fits keeps
+      the table cache-resident).  A single gather then advances the
+      whole group by two coefficients.
+    * an odd general column left over gets 256-entry packed tables of
+      the same shape.
+
+    ``apply`` runs one gather per (pair, group), XOR-accumulates the
+    packed words, deinterleaves each byte lane once, and folds the
+    simple-column XORs in as contiguous word-wide passes.
+    """
+
+    __slots__ = ("rows", "inner", "pairs", "leftover", "ones_cols",
+                 "simple_rows", "groups", "pair_tables",
+                 "leftover_tables")
+
+    def __init__(self, a: np.ndarray):
+        rows, inner = a.shape
+        self.rows = rows
+        self.inner = inner
+        simple = [j for j in range(inner) if np.all(a[:, j] <= 1)]
+        general = [j for j in range(inner) if j not in set(simple)]
+        self.pairs = [
+            (general[i], general[i + 1])
+            for i in range(0, len(general) - 1, 2)
+        ]
+        self.leftover = general[-1] if len(general) % 2 else None
+        #: per output row, the simple columns whose coefficient is 1.
+        self.ones_cols = [
+            [j for j in simple if a[i, j] == 1] for i in range(rows)
+        ]
+        #: rows with no coefficient above 1 anywhere need no gather —
+        #: (row, xor columns) pairs covering *all* their 1-columns.
+        self.simple_rows = [
+            (i, [j for j in range(inner) if a[i, j] == 1])
+            for i in range(rows) if np.all(a[i] <= 1)
+        ]
+        packed = [
+            i for i in range(rows) if not np.all(a[i] <= 1)
+        ]
+        self.groups = []
+        pos = 0
+        while len(packed) - pos > _PACK:
+            self.groups.append(
+                (tuple(packed[pos:pos + _PACK]), _pack_dtype(_PACK))
+            )
+            pos += _PACK
+        if pos < len(packed):
+            rest = packed[pos:]
+            self.groups.append((tuple(rest), _pack_dtype(len(rest))))
+        self.pair_tables = []
+        self.leftover_tables = []
+        for grows, dt in self.groups:
+            word = dt.itemsize
+            per_pair = []
+            for j1, j2 in self.pairs:
+                table = np.zeros(1 << 16, dtype=dt)
+                for s, r in enumerate(grows):
+                    pair = gf256.pair_table(int(a[r, j1]), int(a[r, j2]))
+                    table |= (pair.astype(dt)
+                              << dt.type(8 * _lane_byte(s, word)))
+                per_pair.append(table)
+            self.pair_tables.append(per_pair)
+            if self.leftover is not None:
+                table = np.zeros(256, dtype=dt)
+                for s, r in enumerate(grows):
+                    row = gf256.MUL_TABLE[int(a[r, self.leftover])]
+                    table |= (row.astype(dt)
+                              << dt.type(8 * _lane_byte(s, word)))
+                self.leftover_tables.append(table)
+            else:
+                self.leftover_tables.append(None)
+
+    def apply(self, b_rows: Sequence[np.ndarray],
+              out: np.ndarray) -> np.ndarray:
+        """Fill ``out`` (``(rows, width)`` uint8) with the product.
+
+        ``b_rows`` is a sequence of ``inner`` equal-length 1-D uint8
+        arrays — accepting separate rows lets decode feed
+        ``frombuffer`` views of the received blocks without stacking
+        them into a contiguous matrix first.
+
+        Pairs form the outer loop so a single reused index buffer
+        serves every gather; pair and leftover passes XOR-accumulate
+        into per-group packed word accumulators (contiguous word-wide
+        XORs), so the strided byte-lane deinterleave runs exactly once
+        per output row.  The deinterleave is a strided *copy* followed
+        by contiguous XORs of the simple columns — measurably cheaper
+        than XOR-ing through the strided view.  All working buffers
+        live in module-level scratch (grown on demand, never shrunk)
+        because faulting fresh multi-megabyte mappings per call costs
+        as much as the gathers themselves.
+        """
+        width = out.shape[1]
+        dtypes = [dt for _, dt in self.groups]
+        idx16, idx, acc = _apply_scratch(width, dtypes)
+        for pi, (j1, j2) in enumerate(self.pairs):
+            # Gather index = 16-bit concatenation of the two input
+            # bytes, precast to the platform index dtype once: np.take
+            # re-casts uint8/uint16 indices on every call, which would
+            # otherwise dominate the gathers.
+            np.copyto(idx16, b_rows[j2])
+            idx16 <<= 8
+            np.bitwise_or(idx16, b_rows[j1], out=idx16)
+            np.copyto(idx, idx16)
+            for gi, dt in enumerate(dtypes):
+                if pi == 0:
+                    np.take(self.pair_tables[gi][pi], idx,
+                            out=acc[gi], mode="clip")
+                else:
+                    packed = _packed_scratch(width, dt)
+                    np.take(self.pair_tables[gi][pi], idx,
+                            out=packed, mode="clip")
+                    np.bitwise_xor(acc[gi], packed, out=acc[gi])
+        if self.leftover is not None:
+            np.copyto(idx, b_rows[self.leftover])
+            for gi, dt in enumerate(dtypes):
+                if not self.pairs:
+                    np.take(self.leftover_tables[gi], idx,
+                            out=acc[gi], mode="clip")
+                else:
+                    packed = _packed_scratch(width, dt)
+                    np.take(self.leftover_tables[gi], idx,
+                            out=packed, mode="clip")
+                    np.bitwise_xor(acc[gi], packed, out=acc[gi])
+        for gi, (grows, dt) in enumerate(self.groups):
+            word = dt.itemsize
+            lanes = (
+                None if word == 1
+                else acc[gi].view(np.uint8).reshape(width, word)
+            )
+            for s, r in enumerate(grows):
+                row = out[r]
+                lane = (
+                    acc[gi] if lanes is None
+                    else lanes[:, _lane_byte(s, word)]
+                )
+                np.copyto(row, lane)
+                for j in self.ones_cols[r]:
+                    np.bitwise_xor(row, b_rows[j], out=row)
+        for r, cols in self.simple_rows:
+            self._init_simple(out[r], cols, b_rows)
+        return out
+
+    @staticmethod
+    def _init_simple(row: np.ndarray, ones: List[int],
+                     b_rows: Sequence[np.ndarray]) -> None:
+        if not ones:
+            row[:] = 0
+            return
+        np.copyto(row, b_rows[ones[0]])
+        for j in ones[1:]:
+            np.bitwise_xor(row, b_rows[j], out=row)
+
+
+# Reused working buffers for _FusedPlan.apply, grown on demand.  The
+# accumulator and pass scratch are keyed by group word dtype (a plan
+# uses at most two distinct widths: full uint64 groups plus one
+# narrower tail group).
+_IDX16_SCRATCH = np.empty(0, dtype=np.uint16)
+_IDX_SCRATCH = np.empty(0, dtype=np.intp)
+_PACKED_SCRATCH: dict = {}
+_ACC_SCRATCH: dict = {}
+
+
+def _apply_scratch(width: int, dtypes: Sequence[np.dtype]):
+    global _IDX16_SCRATCH, _IDX_SCRATCH
+    if _IDX16_SCRATCH.size < width:
+        _IDX16_SCRATCH = np.empty(width, dtype=np.uint16)
+        _IDX_SCRATCH = np.empty(width, dtype=np.intp)
+    counts: dict = {}
+    for dt in dtypes:
+        counts[dt.str] = counts.get(dt.str, 0) + 1
+    for key, count in counts.items():
+        pool = _ACC_SCRATCH.get(key)
+        if pool is None or pool.shape[0] < count or pool.shape[1] < width:
+            _ACC_SCRATCH[key] = np.empty(
+                (max(count, 0 if pool is None else pool.shape[0]),
+                 max(width, 0 if pool is None else pool.shape[1])),
+                dtype=np.dtype(key),
+            )
+    acc = []
+    taken: dict = {}
+    for dt in dtypes:
+        k = taken.get(dt.str, 0)
+        taken[dt.str] = k + 1
+        acc.append(_ACC_SCRATCH[dt.str][k, :width])
+    return _IDX16_SCRATCH[:width], _IDX_SCRATCH[:width], acc
+
+
+def _packed_scratch(width: int, dt: np.dtype) -> np.ndarray:
+    pool = _PACKED_SCRATCH.get(dt.str)
+    if pool is None or pool.size < width:
+        _PACKED_SCRATCH[dt.str] = pool = np.empty(width, dtype=dt)
+    return pool[:width]
+
+
+# Plans are pure functions of the coefficient matrix; RS codecs reuse a
+# handful of generator/decode matrices, so a small LRU holds them all.
+_PLAN_CACHE: "OrderedDict[tuple, _FusedPlan]" = OrderedDict()
+_PLAN_CACHE_MAX = 128
+
+
+def _plan_for(a: np.ndarray) -> _FusedPlan:
+    key = (a.shape, a.tobytes())
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = _FusedPlan(a)
+        _PLAN_CACHE[key] = plan
+        if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    else:
+        _PLAN_CACHE.move_to_end(key)
+    return plan
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256): ``out[i] = XOR_j a[i,j] * b[j]``.
+
+    Wide operands dispatch to the fused tiled kernel; narrow or
+    degenerate ones use :func:`matmul_reference` directly.  Both are
+    bit-identical.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    rows, inner = a.shape
+    width = b.shape[1]
+    if rows == 0 or inner == 0 or width < _FUSED_MIN_WIDTH:
+        return matmul_reference(a, b)
+    out = np.empty((rows, width), dtype=np.uint8)
+    return _plan_for(a).apply([b[j] for j in range(inner)], out)
+
+
+def matmul_rows(a: np.ndarray, b_rows: Sequence[np.ndarray],
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+    """:func:`matmul` over a *sequence* of equal-length input rows.
+
+    Decode feeds ``frombuffer`` views of the received blocks here, so
+    the product runs without first stacking them into one contiguous
+    matrix.  Rows must be 1-D uint8 and of equal length.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    rows, inner = a.shape
+    if inner != len(b_rows):
+        raise ValueError(
+            f"matrix has {inner} columns but {len(b_rows)} rows given"
+        )
+    width = b_rows[0].size if b_rows else 0
+    if out is None:
+        out = np.empty((rows, width), dtype=np.uint8)
+    if rows == 0 or inner == 0 or width < _FUSED_MIN_WIDTH:
+        stacked = (
+            np.stack(b_rows) if b_rows
+            else np.zeros((0, width), dtype=np.uint8)
+        )
+        out[:] = matmul_reference(a, stacked)
+        return out
+    return _plan_for(a).apply(b_rows, out)
 
 
 def invert(matrix: np.ndarray) -> np.ndarray:

@@ -31,35 +31,82 @@ class DecodeError(ValueError):
     """Raised when the supplied shards cannot reconstruct the data."""
 
 
+# Scratch matrices for the one-shot :meth:`ReedSolomonCode.encode`
+# path, grown on demand and reused across calls.  Encoding a 4 MB
+# segment otherwise faults ~18 MB of fresh mappings per call (shard
+# matrix + product), which costs as much as the GF(256) kernel itself.
+# ``prepare()`` still allocates owned arrays: its state outlives the
+# call (the pipeline caches it), so it cannot alias shared scratch.
+_ENCODE_SHARDS = np.empty((0, 0), dtype=np.uint8)
+_ENCODE_OUT = np.empty((0, 0), dtype=np.uint8)
+
+
+def _encode_scratch(k: int, n: int, padded_size: int):
+    global _ENCODE_SHARDS, _ENCODE_OUT
+    if (_ENCODE_SHARDS.shape[0] < k
+            or _ENCODE_SHARDS.shape[1] < padded_size):
+        _ENCODE_SHARDS = np.empty(
+            (max(k, _ENCODE_SHARDS.shape[0]),
+             max(padded_size, _ENCODE_SHARDS.shape[1])),
+            dtype=np.uint8,
+        )
+    if _ENCODE_OUT.shape[0] < n or _ENCODE_OUT.shape[1] < padded_size:
+        _ENCODE_OUT = np.empty(
+            (max(n, _ENCODE_OUT.shape[0]),
+             max(padded_size, _ENCODE_OUT.shape[1])),
+            dtype=np.uint8,
+        )
+    return (_ENCODE_SHARDS[:k, :padded_size],
+            _ENCODE_OUT[:n, :padded_size])
+
+
 class EncodeState:
     """Reusable per-segment encoding state: the padded shard matrix.
 
     Building the ``(k, shard_size)`` shard matrix costs a full pad +
     reshape + copy of the segment.  :meth:`ReedSolomonCode.prepare`
-    performs it once; each subsequent :meth:`block` is then a single
-    cached row-matmul, so producing all ``n`` blocks of a segment costs
-    one preparation instead of ``n``.
+    performs it once; the first block request then encodes *all* ``n``
+    rows in one fused-kernel pass over the segment (:meth:`matrix`),
+    so producing the blocks of a segment costs one tiled matmul
+    instead of ``n`` row-matmuls.
+
+    The shard matrix is zero-padded to a multiple of 8 columns so the
+    encoded matrix can be fingerprinted directly by the batched
+    ``block_hash`` (``repro.core.pipeline.block_hash_rows``): GF(256)
+    kernels map zero input columns to zero output columns, so the pad
+    lanes never perturb the digests.  ``digests`` is a caching slot for
+    that fingerprint pass (filled by the pipeline, not here).
     """
 
-    __slots__ = ("code", "shards")
+    __slots__ = ("code", "shards", "shard_bytes", "_encoded", "digests")
 
-    def __init__(self, code: "ReedSolomonCode", shards: np.ndarray):
+    def __init__(self, code: "ReedSolomonCode", shards: np.ndarray,
+                 shard_bytes: int):
         self.code = code
         self.shards = shards
+        self.shard_bytes = shard_bytes
+        self._encoded = None
+        self.digests = None
+
+    def matrix(self) -> np.ndarray:
+        """The full ``(n, padded_size)`` encoded matrix, computed once."""
+        if self._encoded is None:
+            self._encoded = gfm.matmul(self.code._generator, self.shards)
+        return self._encoded
 
     def block(self, index: int) -> bytes:
-        """Block ``index`` from the cached shard matrix."""
+        """Block ``index`` from the cached encoded matrix."""
         if not 0 <= index < self.code.n:
             raise ValueError(
                 f"block index {index} outside [0, {self.code.n})"
             )
-        row = self.code._generator[index:index + 1]
-        return gfm.matmul(row, self.shards)[0].tobytes()
+        return self.matrix()[index, : self.shard_bytes].tobytes()
 
     def blocks(self) -> List[bytes]:
         """All ``n`` blocks (equivalent to :meth:`ReedSolomonCode.encode`)."""
-        encoded = gfm.matmul(self.code._generator, self.shards)
-        return [encoded[i].tobytes() for i in range(self.code.n)]
+        encoded = self.matrix()
+        size = self.shard_bytes
+        return [encoded[i, :size].tobytes() for i in range(self.code.n)]
 
 
 class ReedSolomonCode:
@@ -107,23 +154,47 @@ class ReedSolomonCode:
             raise ValueError("data_length must be non-negative")
         return max(1, -(-data_length // self.k))
 
-    def _shard_matrix(self, data: bytes) -> np.ndarray:
-        """The padded ``(k, shard_size)`` shard matrix for ``data``."""
-        size = self.shard_size(len(data))
-        padded = np.zeros(size * self.k, dtype=np.uint8)
-        if data:
-            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
-        return padded.reshape(self.k, size)
+    def _shard_matrix(self, data, scratch: bool = False):
+        """The padded ``(k, ceil8(shard_size))`` shard matrix for ``data``.
 
-    def prepare(self, data: bytes) -> EncodeState:
+        ``data`` may be ``bytes`` or a 1-D ``uint8`` array (the fused
+        pipeline feeds segment *views* of the file buffer, avoiding an
+        intermediate ``bytes`` copy per segment).  Columns are padded to
+        a multiple of 8 so digests can later be computed over an exact
+        ``<u8`` lane view; the pad stays zero through encoding.
+
+        With ``scratch=True`` the matrix is a view of module scratch —
+        valid only until the next scratch-mode call, for the one-shot
+        :meth:`encode` path.
+        """
+        arr = (np.frombuffer(data, dtype=np.uint8)
+               if isinstance(data, (bytes, bytearray, memoryview))
+               else np.asarray(data, dtype=np.uint8))
+        length = arr.size
+        size = self.shard_size(length)
+        padded_size = -(-size // 8) * 8
+        if scratch:
+            mat, _ = _encode_scratch(self.k, self.n, padded_size)
+            mat[:] = 0
+        else:
+            mat = np.zeros((self.k, padded_size), dtype=np.uint8)
+        for row in range(self.k):
+            seg = arr[row * size: min((row + 1) * size, length)]
+            if seg.size:
+                mat[row, : seg.size] = seg
+        return mat, size
+
+    def prepare(self, data) -> EncodeState:
         """Build the shard matrix once for repeated block production.
 
         Callers that emit several blocks of one segment (the schedulers'
         on-demand path, rebalancing) should prepare once and call
         :meth:`EncodeState.block` per index, instead of paying the full
         pad + reshape + copy inside every :meth:`encode_block`.
+        ``data`` may be ``bytes`` or a 1-D ``uint8`` array view.
         """
-        return EncodeState(self, self._shard_matrix(data))
+        shards, size = self._shard_matrix(data)
+        return EncodeState(self, shards, size)
 
     def encode(self, data: bytes) -> List[bytes]:
         """Encode ``data`` into ``n`` equally-sized blocks.
@@ -131,8 +202,19 @@ class ReedSolomonCode:
         The original length is *not* embedded; callers persist it in
         metadata (UniDrive stores it in the segment entry) and pass it
         back to :meth:`decode`.
+
+        One-shot: the shard and product matrices live in reused module
+        scratch (only the returned ``bytes`` survive the call), so
+        repeated encodes never fault fresh multi-megabyte mappings.
+        Callers that want the encoded matrix to *persist* use
+        :meth:`prepare`.
         """
-        return self.prepare(data).blocks()
+        shards, size = self._shard_matrix(data, scratch=True)
+        _, out = _encode_scratch(self.k, self.n, shards.shape[1])
+        encoded = gfm.matmul_rows(
+            self._generator, [shards[j] for j in range(self.k)], out
+        )
+        return [encoded[i, :size].tobytes() for i in range(self.n)]
 
     def encode_block(self, data: bytes, index: int) -> bytes:
         """Produce only block ``index`` (on-demand over-provisioning).
@@ -168,15 +250,20 @@ class ReedSolomonCode:
             if not 0 <= index < self.n:
                 raise DecodeError(f"block index {index} outside [0, {self.n})")
         size = self.shard_size(data_length)
-        stacked = np.zeros((self.k, size), dtype=np.uint8)
-        for row, index in enumerate(indices):
+        rows = []
+        for index in indices:
             content = blocks[index]
             if len(content) != size:
                 raise DecodeError(
                     f"block {index} has size {len(content)}, expected {size}"
                 )
-            stacked[row] = np.frombuffer(content, dtype=np.uint8)
-        data_shards = gfm.matmul(self._decode_matrix(tuple(indices)), stacked)
+            rows.append(np.frombuffer(content, dtype=np.uint8))
+        # matmul_rows consumes the frombuffer views directly — no
+        # stacking copy of the received blocks before the product.
+        data_shards = gfm.matmul_rows(
+            self._decode_matrix(tuple(indices)), rows,
+            np.empty((self.k, size), dtype=np.uint8),
+        )
         flat = data_shards.reshape(-1)[:data_length]
         return flat.tobytes()
 

@@ -46,7 +46,7 @@ from .metadata import (
     SyncFolderImage,
     VersionStamp,
 )
-from .pipeline import BlockPipeline, block_hash
+from .pipeline import BlockPipeline, block_hash_many
 from .placement import fair_share
 from .probing import ThroughputEstimator
 from .retry import RetryPolicy
@@ -290,7 +290,7 @@ class UniDriveClient:
                 continue
             local_segments = [
                 segment.segment_id
-                for segment in self.pipeline.segment_file(
+                for segment in self.pipeline.ingest_file(
                     self.fs.read_file(path)
                 )
             ]
@@ -433,7 +433,9 @@ class UniDriveClient:
                 content = self.fs.read_file(path)
             except FileNotFoundError:
                 continue  # edited then deleted before we synced
-            segments = self.pipeline.segment_file(content)
+            # Zero-copy ingest: segment views feed the encoder directly,
+            # so planning uploads never duplicates the file content.
+            segments = self.pipeline.ingest_file(content)
             pending_upload = []
             for segment in segments:
                 existing = local.segments.get(segment.segment_id)
@@ -1114,13 +1116,41 @@ class UniDriveClient:
         With ``verify`` (the default), a fetched block whose bytes do
         not match the recorded integrity hash counts as unreachable —
         feeding rotten shards into a repair decode would propagate the
-        corruption into freshly minted blocks.
+        corruption into freshly minted blocks.  Verification is
+        batched: fetched blocks queue up and are fingerprinted together
+        (one reduction via :func:`block_hash_many`) once enough are in
+        hand to possibly satisfy ``count`` — the same blocks are
+        downloaded in the same order as immediate per-block hashing,
+        only the host-CPU hash work is coalesced.
         """
         by_id = {c.cloud_id: c for c in connections}
         blocks: Dict[int, bytes] = {}
+        pending: List[tuple] = []  # (index, cloud_id, block, expected, t)
+
+        def flush_verify():
+            digests = block_hash_many([entry[2] for entry in pending])
+            for (index, cloud_id, block, expected, t), digest in zip(
+                pending, digests
+            ):
+                if digest != expected:
+                    if METRICS.enabled:
+                        METRICS.inc("corrupt_detected", cloud=cloud_id)
+                    if TRACE.enabled:
+                        # t is the sim time the rotten block finished
+                        # downloading — detection is host CPU work.
+                        TRACE.event(
+                            "corrupt_block", t=t, track=cloud_id,
+                            seg=record.segment_id[:12], block=index,
+                        )
+                    continue
+                blocks[index] = block
+            pending.clear()
+
         for index, cloud_id in sorted(record.locations.items()):
-            if len(blocks) >= count:
-                break
+            if len(blocks) + len(pending) >= count:
+                flush_verify()
+                if len(blocks) >= count:
+                    break
             conn = by_id.get(cloud_id)
             if conn is None:
                 continue
@@ -1130,18 +1160,18 @@ class UniDriveClient:
                 )
             except CloudError:
                 continue
-            if verify and getattr(conn, "retains_content", True):
-                expected = record.block_hashes.get(index)
-                if expected is not None and block_hash(block) != expected:
-                    if METRICS.enabled:
-                        METRICS.inc("corrupt_detected", cloud=cloud_id)
-                    if TRACE.enabled:
-                        TRACE.event(
-                            "corrupt_block", t=self.sim.now, track=cloud_id,
-                            seg=record.segment_id[:12], block=index,
-                        )
-                    continue
-            blocks[index] = block
+            expected = (
+                record.block_hashes.get(index)
+                if verify and getattr(conn, "retains_content", True)
+                else None
+            )
+            if expected is not None:
+                pending.append(
+                    (index, cloud_id, block, expected, self.sim.now)
+                )
+            else:
+                blocks[index] = block
+        flush_verify()
         if len(blocks) < count:
             raise SyncError(
                 f"{self.device}: only {len(blocks)}/{count} blocks of "

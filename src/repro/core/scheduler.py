@@ -514,14 +514,16 @@ class UploadScheduler:
                 yield self._wake
                 continue
             state, index = task.state, task.index
-            block = self.pipeline.encode_block(
-                state.record.segment_id, state.data, index
-            )
             # Integrity fingerprint, recorded at encode time: blocks are
             # deterministic in (segment content, index), so the hash is
             # valid metadata even if this particular transfer fails.
+            # The digest rides along from the batched per-segment
+            # fingerprint pass over the encoded matrix.
+            block, digest = self.pipeline.encode_block_with_digest(
+                state.record.segment_id, state.data, index
+            )
             if index not in state.record.block_hashes:
-                state.record.block_hashes[index] = block_hash(block)
+                state.record.block_hashes[index] = digest
             path = self.pipeline.block_path(state.record, index)
             self._inflight_total += 1
             start = self.sim.now

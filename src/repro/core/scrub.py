@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Tuple
 from ..cloud import CloudAPI, CloudError, NotFoundError
 from ..obs import METRICS, TRACE
 from .lock import QuorumLock
-from .pipeline import block_hash
+from .pipeline import block_hash, block_hash_many
 from .placement import rebalance_on_add, rebalance_on_remove
 from .util import gather_safe
 
@@ -162,6 +162,7 @@ class Scrubber:
                 continue
             report.segments_checked += 1
             expected_size = client.pipeline.block_size(record)
+            deep_pending: List[Tuple[int, str]] = []
             for index in sorted(record.locations):
                 cloud_id = record.locations[index]
                 name = record.block_name(index)
@@ -178,9 +179,11 @@ class Scrubber:
                     self._flag_corrupt(report, segment_id, index, cloud_id)
                     continue
                 if deep:
-                    yield from self._deep_check(
-                        report, record, segment_id, index, cloud_id
-                    )
+                    deep_pending.append((index, cloud_id))
+            if deep_pending:
+                yield from self._deep_check_segment(
+                    report, record, segment_id, deep_pending
+                )
         for cloud_id, held in sorted(listings.items()):
             known = referenced.get(cloud_id, set())
             orphans = sorted(
@@ -202,32 +205,52 @@ class Scrubber:
             return []
         return entries
 
-    def _deep_check(self, report, record, segment_id, index, cloud_id):
-        conn = self.client._connection(cloud_id)
-        if conn is None:
-            return
-        try:
-            block = yield from conn.download(
-                self.client.pipeline.block_path(record, index)
-            )
-        except CloudError:
-            report.missing.append((segment_id, index, cloud_id))
-            return
-        expected = record.block_hashes.get(index)
-        if (
-            expected is not None
-            and getattr(conn, "retains_content", True)
-            and block_hash(block) != expected
-        ):
-            self._flag_corrupt(report, segment_id, index, cloud_id)
+    def _deep_check_segment(self, report, record, segment_id, pending):
+        """Deep-verify one segment's referenced blocks.
 
-    def _flag_corrupt(self, report, segment_id, index, cloud_id) -> None:
+        Downloads run sequentially in index order (same order and sim
+        timing as per-block checking); the content fingerprints are
+        then verified together in one batched reduction
+        (:func:`block_hash_many`) — only host-CPU hash work is
+        coalesced, and corruption events carry the sim time each rotten
+        block finished downloading.
+        """
+        client = self.client
+        fetched = []  # (index, cloud_id, block, expected, downloaded_at)
+        for index, cloud_id in pending:
+            conn = client._connection(cloud_id)
+            if conn is None:
+                continue
+            try:
+                block = yield from conn.download(
+                    client.pipeline.block_path(record, index)
+                )
+            except CloudError:
+                report.missing.append((segment_id, index, cloud_id))
+                continue
+            expected = record.block_hashes.get(index)
+            if expected is None or not getattr(conn, "retains_content", True):
+                continue
+            fetched.append(
+                (index, cloud_id, block, expected, client.sim.now)
+            )
+        digests = block_hash_many([item[2] for item in fetched])
+        for (index, cloud_id, _, expected, t), digest in zip(
+            fetched, digests
+        ):
+            if digest != expected:
+                self._flag_corrupt(report, segment_id, index, cloud_id, t=t)
+
+    def _flag_corrupt(self, report, segment_id, index, cloud_id,
+                      t: Optional[float] = None) -> None:
         report.corrupt.append((segment_id, index, cloud_id))
         if METRICS.enabled:
             METRICS.inc("corrupt_detected", cloud=cloud_id)
         if TRACE.enabled:
             TRACE.event(
-                "corrupt_block", t=self.client.sim.now, track=cloud_id,
+                "corrupt_block",
+                t=self.client.sim.now if t is None else t,
+                track=cloud_id,
                 seg=segment_id[:12], block=index,
             )
 

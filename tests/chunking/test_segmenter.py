@@ -118,3 +118,48 @@ def test_reassembly_property(size, seed):
     for segment in segments:
         assert segment.size <= segmenter.max_size
         assert segment.size > 0 or size == 0
+
+
+def test_split_views_identical_to_split():
+    data = random_bytes(20 * THETA, seed=9)
+    segmenter = Segmenter(THETA)
+    materialized = segmenter.split(data)
+    views = segmenter.split_views(data)
+    assert len(views) == len(materialized) > 1
+    for view, segment in zip(views, materialized):
+        assert view.segment_id == segment.segment_id
+        assert view.offset == segment.offset
+        assert view.size == segment.size
+        assert view.to_bytes() == segment.data
+        # Zero-copy: a read-only window into the original buffer.
+        assert not view.data.flags.writeable
+        assert not view.data.flags.owndata
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    size=st.integers(min_value=0, max_value=40000),
+    seed=st.integers(0, 100),
+    feed_seed=st.integers(0, 2**32 - 1),
+)
+def test_segment_stream_matches_batch_split(size, seed, feed_seed):
+    """Streaming segmentation is cut-identical to the batch splitter.
+
+    Arbitrary feed sizes (including ones smaller than the hash window)
+    must yield the same segment IDs, offsets and contents as splitting
+    the concatenated bytes in one call.
+    """
+    data = random_bytes(size, seed=seed)
+    segmenter = Segmenter(theta=2048)
+    batch = segmenter.split(data)
+    stream = segmenter.stream()
+    rng = np.random.default_rng(feed_seed)
+    emitted = []
+    pos = 0
+    while pos < len(data):
+        step = int(rng.integers(1, 4097))
+        emitted.extend(stream.feed(data[pos:pos + step]))
+        pos += step
+    emitted.extend(stream.finish())
+    assert [(s.segment_id, s.offset, s.data) for s in emitted] == \
+        [(s.segment_id, s.offset, s.data) for s in batch]

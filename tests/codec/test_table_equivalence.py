@@ -12,6 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codec import ReedSolomonCode, gf256, matmul
+from repro.codec import matrix as gfm
 from repro.core.config import UniDriveConfig
 from repro.core.pipeline import BlockPipeline
 
@@ -181,3 +182,83 @@ def test_decode_roundtrip_after_table_rewrite():
         blocks = code.encode(data)
         assert code.decode({0: blocks[0], 5: blocks[5], 9: blocks[9]},
                            len(data)) == data
+
+
+# -- nibble tables and the fused wide-width kernel --------------------------
+
+
+def test_nibble_tables_reconstruct_product_table():
+    """``a*b == MUL_LO[a][b & 15] ^ MUL_HI[a][b >> 4]`` for all (a, b)."""
+    assert gf256.MUL_LO.shape == (256, 16)
+    assert gf256.MUL_HI.shape == (256, 16)
+    b = np.arange(256)
+    rebuilt = gf256.MUL_LO[:, b & 0x0F] ^ gf256.MUL_HI[:, b >> 4]
+    assert (rebuilt == gf256.MUL_TABLE).all()
+
+
+@given(scalar=st.integers(0, 255), vec=st.binary(min_size=0, max_size=512))
+def test_mul_vec_nibble_matches_mul_vec(scalar, vec):
+    arr = np.frombuffer(vec, dtype=np.uint8)
+    nibble = gf256.mul_vec_nibble(scalar, arr)
+    assert nibble.dtype == np.uint8
+    assert (nibble == gf256.mul_vec(scalar, arr)).all()
+
+
+@given(
+    c1=st.integers(0, 255),
+    c2=st.integers(0, 255),
+    b1=st.integers(0, 255),
+    b2=st.integers(0, 255),
+)
+def test_pair_table_fuses_two_multiplies(c1, c2, b1, b2):
+    table = gf256.pair_table(c1, c2)
+    assert table.shape == (1 << 16,)
+    expected = gf256.mul(c1, b1) ^ gf256.mul(c2, b2)
+    assert int(table[(b2 << 8) | b1]) == expected
+
+
+# Widths straddling the dispatch threshold exercise both kernels and
+# the exact boundary; the larger ones cross gather-chunk boundaries.
+_WIDE = [gfm._FUSED_MIN_WIDTH - 1, gfm._FUSED_MIN_WIDTH,
+         gfm._FUSED_MIN_WIDTH + 1, gfm._FUSED_MIN_WIDTH + 4097,
+         3 * gfm._FUSED_MIN_WIDTH + 5]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 12),
+    inner=st.integers(1, 8),
+    width=st.sampled_from(_WIDE),
+    seed=st.integers(0, 2**32 - 1),
+    kind=st.integers(0, 3),
+)
+def test_fused_matmul_matches_chunked_reference(rows, inner, width, seed,
+                                                kind):
+    """The packed pair-table kernel is bit-identical to the reference.
+
+    ``kind`` steers the coefficient matrix through the kernel's
+    structural cases: dense random (packed groups), all 0/1 (every row
+    is a *simple row*, no gathers at all), all zero, and mixed — a
+    ones column plus one 0/1 row, covering the simple-column folding
+    and the group/simple split in one matrix.
+    """
+    rng = np.random.default_rng(seed)
+    if kind == 0:
+        a = rng.integers(0, 256, size=(rows, inner), dtype=np.uint8)
+    elif kind == 1:
+        a = rng.integers(0, 2, size=(rows, inner), dtype=np.uint8)
+    elif kind == 2:
+        a = np.zeros((rows, inner), dtype=np.uint8)
+    else:
+        a = rng.integers(0, 256, size=(rows, inner), dtype=np.uint8)
+        a[:, 0] = 1
+        a[rows // 2] = rng.integers(0, 2, size=inner, dtype=np.uint8)
+    b = rng.integers(0, 256, size=(inner, width), dtype=np.uint8)
+    expected = gfm.matmul_reference(a, b)
+    assert (gfm.matmul(a, b) == expected).all()
+    # matmul_rows shares the plan and must land the same bytes in a
+    # caller-provided output matrix (the in-place encode path).
+    out = np.empty((rows, width), dtype=np.uint8)
+    got = gfm.matmul_rows(a, [b[j] for j in range(inner)], out)
+    assert got is out
+    assert (out == expected).all()

@@ -6,7 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import UniDriveConfig
-from repro.core.pipeline import BlockPipeline
+from repro.core.pipeline import (
+    BlockPipeline, block_hash, block_hash_many, block_hash_rows,
+)
 
 CONFIG = UniDriveConfig(theta=64 * 1024)
 
@@ -99,3 +101,68 @@ def test_full_pipeline_roundtrip_property(size, seed):
         chosen = {i: blocks[i] for i in (2, 6, 7)}
         reassembled.append(pipeline.decode_segment(record, chosen))
     assert pipeline.assemble_file(reassembled) == data
+
+
+# -- batched fingerprints and the fused ingest path -------------------------
+
+
+@given(blocks=st.lists(st.binary(min_size=0, max_size=64), max_size=6))
+def test_block_hash_many_matches_scalar(blocks):
+    """Batched digests are identical to mapping ``block_hash``.
+
+    Hypothesis drives both branches: equal-length lists take the
+    packed-matrix reduction, ragged ones the scalar fallback.
+    """
+    assert block_hash_many(blocks) == [block_hash(b) for b in blocks]
+
+
+def test_block_hash_rows_matches_scalar():
+    rng = np.random.default_rng(3)
+    for size in (1, 7, 8, 9, 100):
+        width = -(-size // 8) * 8
+        rows = np.zeros((5, width), dtype=np.uint8)
+        rows[:, :size] = rng.integers(0, 256, size=(5, size), dtype=np.uint8)
+        assert block_hash_rows(rows, size) == [
+            block_hash(rows[i, :size].tobytes()) for i in range(5)
+        ]
+
+
+def test_ingest_file_matches_segment_file():
+    pipeline = make()
+    data = content(300 * 1024, seed=11)
+    segments = pipeline.segment_file(data)
+    views = pipeline.ingest_file(data)
+    assert len(views) == len(segments) > 1
+    for view, segment in zip(views, segments):
+        assert view.segment_id == segment.segment_id
+        assert view.offset == segment.offset
+        assert view.to_bytes() == segment.data
+        assert not view.data.flags.writeable
+
+
+def test_encode_block_with_digest_matches_scalar_hash():
+    pipeline = make()
+    data = content(90 * 1024, seed=12)
+    segment = pipeline.segment_file(data)[0]
+    full = pipeline.encode_segment(segment)
+    for index in range(pipeline.n):
+        block, digest = pipeline.encode_block_with_digest(
+            segment.segment_id, segment.data, index
+        )
+        assert block == full[index]
+        assert digest == block_hash(block)
+    # The digests come from one batched pass cached on the encode
+    # state, not a per-block hash.
+    state = pipeline.encode_state(segment.segment_id, segment.data)
+    assert state.digests == [block_hash(b) for b in full]
+
+
+def test_encode_block_with_digest_accepts_segment_views():
+    pipeline = make()
+    data = content(120 * 1024, seed=13)
+    for view in pipeline.ingest_file(data):
+        block, digest = pipeline.encode_block_with_digest(
+            view.segment_id, view.data, 0
+        )
+        assert block == pipeline.code.encode(view.to_bytes())[0]
+        assert digest == block_hash(block)

