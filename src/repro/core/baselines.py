@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Sequence
 from ..cloud import CloudAPI, CloudError
 from ..simkernel import AllOf, Simulator
 from .config import UniDriveConfig
-from .pipeline import BlockPipeline
+from .metadata import SegmentRecord
+from .pipeline import BlockPipeline, SyntheticPayload
 from .scheduler import (
     DownloadScheduler,
     FileDownload,
@@ -271,6 +272,50 @@ class MultiCloudBenchmark:
         self._records[path] = [record for record, _ in segments]
         return TransferOutcome(
             path, len(content), batch.started_at,
+            report.available_at, report.available_at is not None,
+            reliable_at=report.reliable_at,
+        )
+
+    def upload_sized(self, path: str, size: int):
+        """Upload ``size`` bytes of synthetic content (fleet trials).
+
+        Same scheduler, placement, retry and traffic accounting as
+        :meth:`upload`, but the payload is a
+        :class:`~repro.core.pipeline.SyntheticPayload`: segments are
+        fixed ``theta``-size spans (content-defined chunking is
+        meaningless without content) and blocks are shared zero
+        buffers, so the host-side cost per upload is O(blocks) instead
+        of O(bytes).  Upload-only: the path is *not* recorded for
+        later :meth:`download`.
+        """
+        theta = max(1, self.config.theta)
+        spans = [theta] * (size // theta)
+        tail = size - theta * len(spans)
+        if tail or not spans:
+            spans.append(tail)
+        serial = self._synthetic_serial = getattr(
+            self, "_synthetic_serial", 0
+        ) + 1
+        segments = []
+        for index, span in enumerate(spans):
+            record = SegmentRecord(
+                segment_id=f"syn-{serial:08d}-{index}",
+                size=span,
+                n=self.pipeline.n,
+                k=self.pipeline.k,
+            )
+            segments.append((record, SyntheticPayload(span)))
+        scheduler = UploadScheduler(
+            self.sim, self.connections, self.pipeline, self.config,
+            estimator=self.estimator,
+            over_provision=self.OVER_PROVISION, dynamic=self.DYNAMIC,
+        )
+        batch = yield from scheduler.run_batch(
+            [FileUpload(path=path, segments=segments)]
+        )
+        report = batch.report_for(path)
+        return TransferOutcome(
+            path, size, batch.started_at,
             report.available_at, report.available_at is not None,
             reliable_at=report.reliable_at,
         )

@@ -76,6 +76,7 @@ class BandwidthProcess:
         diurnal_amplitude: float = 0.0,
         diurnal_period: float = 86400.0,
         chunk_epochs: int = CHUNK_EPOCHS,
+        window_chunks: int = None,
     ):
         if mean_rate <= 0:
             raise ValueError(f"mean_rate must be positive, got {mean_rate}")
@@ -87,6 +88,8 @@ class BandwidthProcess:
             raise ValueError("diurnal_amplitude must be in [0, 1)")
         if chunk_epochs < 1:
             raise ValueError("chunk_epochs must be positive")
+        if window_chunks is not None and window_chunks < 1:
+            raise ValueError("window_chunks must be positive")
         self.mean_rate = mean_rate
         self.volatility = volatility
         self.ar = ar_coefficient
@@ -108,6 +111,15 @@ class BandwidthProcess:
         self._multipliers: list = []
         self._count = 0  # epochs generated so far
         self._x_state = 0.0  # AR(1) carry into the next chunk
+        # Lean retention for fleet-scale runs: keep only the newest
+        # ``window_chunks`` multiplier chunks (as compact float64
+        # arrays) instead of materializing an ever-growing float list.
+        # The rng consumption and multiplier *values* are identical to
+        # unbounded mode — only the storage policy differs; querying a
+        # time whose chunk was already evicted raises (engines query
+        # monotonically, so this never happens in normal operation).
+        self._window = window_chunks
+        self._chunks: dict = {} if window_chunks is not None else None
 
     # -- chunked epoch generation ---------------------------------------
 
@@ -138,8 +150,16 @@ class BandwidthProcess:
             multipliers, self._x_state = self._chunk_multipliers(
                 *self._draw_chunk()
             )
-            self._multipliers.extend(multipliers.tolist())
-            self._count = len(self._multipliers)
+            if self._window is None:
+                self._multipliers.extend(multipliers.tolist())
+                self._count = len(self._multipliers)
+            else:
+                chunk_index = self._count // self.chunk_epochs
+                self._chunks[chunk_index] = multipliers
+                self._count += len(multipliers)
+                evicted = chunk_index - self._window
+                if evicted in self._chunks:
+                    del self._chunks[evicted]
 
     # -- queries ---------------------------------------------------------
 
@@ -150,7 +170,17 @@ class BandwidthProcess:
         index = int(t // self.epoch)
         if index >= self._count:
             self._extend_to(index)
-        rate = self.mean_rate * self._multipliers[index]
+        if self._window is None:
+            multiplier = self._multipliers[index]
+        else:
+            chunk = self._chunks.get(index // self.chunk_epochs)
+            if chunk is None:
+                raise RuntimeError(
+                    f"bandwidth epoch {index} evicted from the "
+                    f"{self._window}-chunk retention window"
+                )
+            multiplier = float(chunk[index % self.chunk_epochs])
+        rate = self.mean_rate * multiplier
         if self.diurnal_amplitude:
             rate *= 1.0 + self.diurnal_amplitude * math.sin(
                 2 * math.pi * t / self.diurnal_period + self._phase

@@ -464,6 +464,22 @@ class Simulator:
         heapq.heappush(self._queue, (when, next(self._counter), None, func))
         return when
 
+    def call_at(self, when: float, func: Callable[[], None]) -> float:
+        """Run bare ``func()`` at absolute virtual time ``when``.
+
+        The transfer engine's analytic fast-forward computes a far
+        deadline by replaying the exact per-boundary float adds the
+        event path would perform; scheduling it through
+        :meth:`call_later` would re-derive it as ``now + (when - now)``
+        and land on a different float.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"call_at into the past: {when} < {self._now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), None, func))
+        return when
+
     def _schedule_call(self, func: Callable[[], None]) -> None:
         self.call_later(0.0, func)
 
@@ -536,8 +552,33 @@ class Simulator:
         proc = generator_or_process
         if not isinstance(proc, Process):
             proc = self.process(proc)
-        while self._queue and not proc.triggered:
-            self._step()
+        # Same inlined hot loop as run(): one iteration per simulated
+        # event, with the per-step method call and attribute lookups
+        # hoisted out.
+        queue = self._queue
+        pop = heapq.heappop
+        steps = self._steps
+        try:
+            while queue and not proc.triggered:
+                when, _, event, func = pop(queue)
+                self._now = when
+                steps += 1
+                if func is not None:
+                    func()
+                    continue
+                cbs = event._cbs
+                event._cbs = None
+                event._processed = True
+                if cbs is not None:
+                    if type(cbs) is list:
+                        for callback in cbs:
+                            callback(event)
+                    else:
+                        cbs(event)
+                if not event._ok and not event.defused:
+                    raise event._value
+        finally:
+            self._steps = steps
         if not proc.triggered:
             raise SimulationError(
                 "process starved: no scheduled events remain"

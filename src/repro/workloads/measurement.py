@@ -52,6 +52,7 @@ class MeasurementCampaign:
         seed: int = 0,
         cloud_ids: Sequence[str] = CLOUD_IDS,
         with_stress: bool = True,
+        reducer=None,
     ):
         self.location = location
         self.sizes = list(sizes)
@@ -64,13 +65,25 @@ class MeasurementCampaign:
         self.connections = connect_location(
             self.sim, self.clouds, location, seed=seed, stress=stress
         )
+        #: Optional streaming reducer: probes are folded into a reducer
+        #: state as they complete instead of accumulating ``samples``
+        #: (fleet-scale campaigns never materialize the sample list).
+        self.reducer = reducer
+        self.state = reducer.init() if reducer is not None else None
         self.samples: List[Sample] = []
         self._rng = np.random.default_rng(seed + 13)
 
-    def run(self) -> List[Sample]:
-        """Execute the campaign; returns all collected samples."""
+    def run(self):
+        """Execute the campaign; returns all collected samples (or the
+        reducer state when constructed with a reducer)."""
         self.sim.run_process(self._campaign())
-        return self.samples
+        return self.samples if self.reducer is None else self.state
+
+    def _emit(self, sample: Sample) -> None:
+        if self.reducer is None:
+            self.samples.append(sample)
+        else:
+            self.state = self.reducer.absorb(self.state, sample)
 
     def _campaign(self):
         # Pre-seed each (cloud, size) probe object so downloads have a
@@ -104,20 +117,27 @@ class MeasurementCampaign:
             else:
                 yield from conn.download(self._probe_path(size))
         except CloudError:
-            self.samples.append(
+            self._emit(
                 Sample(began, self.location, conn.cloud_id, direction,
                        size, None, False)
             )
             return
-        self.samples.append(
+        self._emit(
             Sample(began, self.location, conn.cloud_id, direction,
                    size, self.sim.now - began, True)
         )
 
 
-def run_campaign(location: str, sizes: Sequence[int], **kwargs) -> List[Sample]:
-    """Convenience one-shot campaign."""
-    return MeasurementCampaign(location, sizes, **kwargs).run()
+def run_campaign(location: str, sizes: Sequence[int], reducer=None,
+                 **kwargs):
+    """Convenience one-shot campaign.
+
+    Returns the sample list, or — with a ``reducer`` — the reducer
+    state the samples were streamed into (finalize happens at the
+    merge site, e.g. :func:`repro.workloads.parallel.run_cells`).
+    """
+    return MeasurementCampaign(location, sizes, reducer=reducer,
+                               **kwargs).run()
 
 
 def summarize(samples: List[Sample], cloud_id: str, direction: str,

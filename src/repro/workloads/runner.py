@@ -292,19 +292,32 @@ def measure_single_transfers(
     seed: int = 0,
     directions: Sequence[str] = ("up", "down"),
     config: Optional[UniDriveConfig] = None,
-) -> List[TransferMeasurement]:
+    reducer=None,
+):
     """Repeated up/down measurement of each approach at one location.
 
     Repeats are spread ``gap_seconds`` apart so temporal bandwidth
-    variation is sampled, as in the paper's methodology.
+    variation is sampled, as in the paper's methodology.  With a
+    ``reducer``, measurements stream into a reducer state (returned
+    unfinalized, for submission-order merging by the parallel runner)
+    instead of materializing the list.
     """
     bed = Testbed(location, seed=seed, config=config, retain_content=False)
-    out: List[TransferMeasurement] = []
+    if reducer is None:
+        out: List[TransferMeasurement] = []
+        emit = out.append
+    else:
+        state = reducer.init()
+
+        def emit(item):
+            nonlocal state
+            state = reducer.absorb(state, item)
+
     for _round in range(repeats):
         for approach in approaches:
             if "up" in directions:
-                out.append(bed.measure_upload(approach, size))
+                emit(bed.measure_upload(approach, size))
             if "down" in directions:
-                out.append(bed.measure_download(approach, size))
+                emit(bed.measure_download(approach, size))
         bed.advance(gap_seconds)
-    return out
+    return out if reducer is None else state

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-__all__ = ["SurveyFinding", "SURVEY", "survey_report"]
+__all__ = ["SurveyFinding", "SURVEY", "survey_report", "fleet_projection"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +68,26 @@ SURVEY: Dict[str, List[SurveyFinding]] = {
         SurveyFinding("would pay for", "more storage space", 0.3300),
     ],
 }
+
+
+def fleet_projection(population: int) -> Dict[str, int]:
+    """Project the survey's adoption funnel onto a population.
+
+    The million-user campaigns (EXPERIMENTS.md) size their simulated
+    fleets from these survey fractions: of ``population`` people, how
+    many use CCSs at all, and how many of those hold the multiple
+    accounts UniDrive aggregates.  Rounded down, so the projection
+    never overstates the addressable fleet.
+    """
+    if population < 0:
+        raise ValueError(f"negative population {population}")
+    ccs_users = population * CCS_USERS // TOTAL_PARTICIPANTS
+    multi_account = ccs_users * 347 // 474
+    return {
+        "population": population,
+        "ccs_users": ccs_users,
+        "multi_account_users": multi_account,
+    }
 
 
 def survey_report() -> str:

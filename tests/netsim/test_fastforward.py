@@ -1,0 +1,132 @@
+"""Analytic fast-forward is bit-identical to event-by-event advancement.
+
+``TransferEngine._plan_ahead`` computes fault-free AR(1) epoch
+boundaries arithmetically — same per-boundary float operations the
+timer path would execute, in the same order — so every observable
+outcome (progress accounting, completion times, the final virtual
+clock) must be *bit*-identical with ``fast_forward`` on or off; only
+``sim.steps`` may differ (that is the point).  The property suite
+drives randomized multi-transfer schedules, including overlap and
+mid-flight cancellation, through both paths and compares exact reprs.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.netsim.bandwidth import BandwidthProcess, ConstantBandwidth
+from repro.netsim.transfer import TransferCancelled, TransferEngine
+from repro.simkernel import Simulator, SimulationError
+
+
+def _run_schedule(fast_forward, seed, sizes, gaps, volatility, epoch,
+                  cancel_index):
+    """One engine, transfers started after per-item gaps; returns reprs."""
+    sim = Simulator()
+    bandwidth = BandwidthProcess(
+        np.random.default_rng(seed), mean_rate=50_000.0,
+        volatility=volatility, epoch=epoch,
+    )
+    engine = TransferEngine(sim, bandwidth, max_parallel=2,
+                            fast_forward=fast_forward)
+    outcomes = []
+
+    def flow():
+        active = []
+        for index, (size, gap) in enumerate(zip(sizes, gaps)):
+            if gap:
+                yield sim.timeout(gap)
+            active.append(engine.start(float(size)))
+            if index == cancel_index:
+                # Cancel mid-flight: _advance must replay any pending
+                # plan before accounting, identically on both paths.
+                engine.cancel(active[0])
+        for transfer in active:
+            try:
+                yield transfer.event
+            except TransferCancelled:
+                outcomes.append(("cancelled", transfer.remaining))
+                continue
+            outcomes.append(
+                (transfer.started_at, transfer.finished_at,
+                 transfer.nbytes))
+
+    sim.run_process(flow())
+    return repr(outcomes), repr(sim.now), sim.steps
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    sizes=st.lists(st.integers(min_value=1, max_value=8 << 20),
+                   min_size=1, max_size=6),
+    gaps=st.lists(st.floats(min_value=0.0, max_value=3600.0,
+                            allow_nan=False), min_size=6, max_size=6),
+    volatility=st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+    epoch=st.sampled_from([30.0, 60.0, 300.0]),
+    cancel_index=st.integers(min_value=-1, max_value=5),
+)
+def test_fast_forward_bit_identical(seed, sizes, gaps, volatility, epoch,
+                                    cancel_index):
+    ff = _run_schedule(True, seed, sizes, gaps, volatility, epoch,
+                       cancel_index)
+    ev = _run_schedule(False, seed, sizes, gaps, volatility, epoch,
+                       cancel_index)
+    assert ff[0] == ev[0]  # outcomes: start/finish/bytes, exact floats
+    assert ff[1] == ev[1]  # final virtual clock
+    assert ff[2] <= ev[2]  # never *more* events than event-by-event
+
+
+def test_fast_forward_skips_events_on_long_transfers():
+    """A multi-hundred-epoch transfer must plan boundaries, not tick."""
+    def run(fast_forward):
+        sim = Simulator()
+        bandwidth = BandwidthProcess(
+            np.random.default_rng(11), mean_rate=50_000.0, epoch=60.0,
+        )
+        engine = TransferEngine(sim, bandwidth,
+                                fast_forward=fast_forward)
+        done = {}
+
+        def flow():
+            transfer = engine.start(20 * 1024 * 1024)
+            yield transfer.event
+            done["at"] = transfer.finished_at
+
+        sim.run_process(flow())
+        return done["at"], sim.steps
+
+    at_ff, steps_ff = run(True)
+    at_ev, steps_ev = run(False)
+    assert at_ff == at_ev
+    assert steps_ff < steps_ev / 2
+
+
+def test_constant_bandwidth_needs_no_plan():
+    """Infinite epoch (no boundaries): one timer either way."""
+    sim = Simulator()
+    engine = TransferEngine(sim, ConstantBandwidth(1e6))
+    done = []
+
+    def flow():
+        transfer = engine.start(10 * 1024 * 1024)
+        yield transfer.event
+        done.append(transfer.finished_at)
+
+    sim.run_process(flow())
+    assert done and math.isclose(done[0], 10 * 1024 * 1024 / 1e6)
+
+
+def test_call_at_orders_and_rejects_past():
+    sim = Simulator()
+    fired = []
+    sim.call_at(2.0, lambda: fired.append("b"))
+    sim.call_at(1.0, lambda: fired.append("a"))
+    sim.run(until=3.0)
+    assert fired == ["a", "b"]
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)

@@ -36,7 +36,18 @@ the simulation-substrate overhaul:
 * ``campaign_parallel``  — process-pool campaign fan-out vs serial:
                            byte-identical merged results always; >= 3x
                            wall-clock enforced on hosts with >= 4
-                           cores.
+                           cores; dispatch overhead (pickled submit
+                           bytes, submit latency, shared-state blob
+                           size) recorded alongside.
+* ``trial_rss``          — peak-RSS guard: a cohorted synthetic-payload
+                           fleet trial (100k users full, 10k quick) in
+                           a child interpreter must stay under the
+                           memory ceiling — streaming reduction bounds
+                           memory by cohort size, not population.
+* ``fastforward``        — analytic fast-forward over fault-free AR(1)
+                           epoch boundaries vs event-by-event timers:
+                           outcomes must be bit-identical; the event
+                           and wall reduction is recorded.
 
 The ``obs`` suite (results in ``BENCH_obs.json``) guards the tracing /
 metrics layer's overhead contract:
@@ -814,7 +825,10 @@ def bench_kernel_events(quick):
     epochs make timer re-arms — the per-decision-point allocation the
     overhaul removed — the dominant event class, as in real campaigns.
     Each side runs its whole previous/current substrate: kernel, engine
-    timer discipline, and bandwidth sampler together.
+    timer discipline, and bandwidth sampler together.  Fast-forward is
+    pinned off on the new engine: it would skip ~2/3 of the boundary
+    events outright, which makes events/second incomparable across the
+    two sides — the skipping win is measured by ``bench_fastforward``.
     """
     flows, transfers = (10, 20) if quick else (15, 80)
     rounds = 5  # interleaved best-of; quick mode keeps all rounds for noise immunity
@@ -827,6 +841,7 @@ def bench_kernel_events(quick):
                 sim,
                 BandwidthProcess(np.random.default_rng(6 + i), **params),
                 max_parallel=3,
+                fast_forward=False,
             )
             for i in range(_KERNEL_CLOUDS)
         ]
@@ -869,31 +884,42 @@ def bench_kernel_events(quick):
 
 
 def bench_campaign_parallel(quick):
-    """Campaign fan-out over a process pool vs inline serial."""
+    """Campaign fan-out over a process pool vs inline serial.
+
+    Besides the wall-clock speedup this records the dispatch-overhead
+    profile of the shared-state pool: pickled bytes crossing the pipe
+    per submitted chunk (indices only — cells travel once as shared
+    worker state), submit-call latency, and the shared-state blob size.
+    """
     from repro.workloads import campaign_cell, derive_seed, run_cells
 
     cores = os.cpu_count() or 1
     workers = min(4, cores) if cores >= 2 else 2
     locations = ["princeton", "beijing", "tokyo_pl", "virginia"]
     # Cells must be heavy enough to amortize pool startup, or the 3x
-    # wall-clock bar measures fork overhead instead of fan-out.
-    days = 1.0 if quick else 8.0
+    # wall-clock bar measures fork overhead instead of fan-out.  Two
+    # seeded repeats per location give the work-stealing chunker eight
+    # unit chunks to balance over four workers.
+    days = 6.0 if quick else 12.0
     cells = [
         campaign_cell(
             location, sizes=[512 * 1024], interval=1800.0,
-            duration_days=days, seed=derive_seed(2026, location),
+            duration_days=days, seed=derive_seed(2026, location, repeat),
         )
         for location in locations
+        for repeat in range(2)
     ]
 
     start = time.perf_counter()
     serial = run_cells(cells, max_workers=1)
     serial_wall = time.perf_counter() - start
+    dispatch = {}
     start = time.perf_counter()
-    parallel = run_cells(cells, max_workers=workers)
+    parallel = run_cells(cells, max_workers=workers, dispatch_stats=dispatch)
     parallel_wall = time.perf_counter() - start
 
     samples = sum(len(cell) for cell in serial)
+    chunks = max(dispatch.get("chunks", 0), 1)
     return {
         "cells": len(cells),
         "samples": samples,
@@ -906,6 +932,123 @@ def bench_campaign_parallel(quick):
         "speedup": serial_wall / parallel_wall,
         "identical": repr(serial) == repr(parallel),
         "speedup_enforced": cores >= 4,
+        "chunks": dispatch.get("chunks", 0),
+        "chunk_size": dispatch.get("chunk_size", 0),
+        "submit_payload_bytes": dispatch.get("submit_payload_bytes", 0),
+        "submit_payload_bytes_per_chunk":
+            dispatch.get("submit_payload_bytes", 0) / chunks,
+        "submit_latency_s": dispatch.get("submit_latency_s", 0.0),
+        "submit_latency_us_per_chunk":
+            dispatch.get("submit_latency_s", 0.0) * 1e6 / chunks,
+        "shared_state_bytes": dispatch.get("shared_state_bytes", 0),
+    }
+
+
+def bench_trial_rss(quick):
+    """Peak-RSS guard: a cohorted fleet trial must stay memory-bounded.
+
+    Runs a synthetic-payload ``run_trial`` in a child interpreter (so
+    this process's own allocator high-water mark — megabytes of bench
+    buffers — cannot mask the measurement) and reports the peak RSS
+    across the child and its pool workers.  The streaming reducer is
+    the point: per-user records are folded into fixed-size aggregates
+    cohort by cohort, so peak memory tracks the cohort size, not the
+    population.
+    """
+    import subprocess
+
+    users = 10_000 if quick else 100_000
+    cohort = 500
+    script = (
+        "import json, resource, sys, time\n"
+        "sys.path.insert(0, sys.argv[1])\n"
+        "from repro.workloads import TrialFleetStats, run_trial\n"
+        "start = time.perf_counter()\n"
+        "summary = run_trial(n_users=int(sys.argv[2]), days=1.0,\n"
+        "                    uploads_per_user=1, seed=2026,\n"
+        "                    reducer=TrialFleetStats(),\n"
+        "                    cohort_size=int(sys.argv[3]),\n"
+        "                    payload='synthetic', max_workers=2)\n"
+        "wall = time.perf_counter() - start\n"
+        "rss_kb = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,\n"
+        "             resource.getrusage(resource.RUSAGE_CHILDREN)"
+        ".ru_maxrss)\n"
+        "print(json.dumps({'wall_s': wall, 'peak_rss_mb': rss_kb / 1024.0,\n"
+        "                  'users': summary.users,\n"
+        "                  'uploads': summary.uploads,\n"
+        "                  'file_success_rate': summary.file_success_rate}))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script, _SRC, str(users), str(cohort)],
+        capture_output=True, text=True, check=True,
+    )
+    child = json.loads(out.stdout.strip().splitlines()[-1])
+    return {
+        "users": users,
+        "cohort_size": cohort,
+        "trial_wall_s": child["wall_s"],
+        "users_per_s": users / child["wall_s"],
+        "trial_peak_rss_mb": child["peak_rss_mb"],
+        "rss_limit_mb": _TRIAL_RSS_LIMIT_MB,
+        "uploads": child["uploads"],
+        "file_success_rate": child["file_success_rate"],
+    }
+
+
+#: Memory ceiling for the cohorted trial (MB).  A 2000-user run in
+#: 500-user cohorts peaks around 250 MB; the ceiling leaves headroom
+#: for interpreter/numpy baseline drift while still catching any
+#: regression that re-materializes per-user records.
+_TRIAL_RSS_LIMIT_MB = 512.0
+
+
+def bench_fastforward(quick):
+    """Analytic fast-forward vs event-by-event epoch advancement.
+
+    Fault-free AR(1) epoch boundaries where nothing completes are
+    computed arithmetically by ``TransferEngine._plan_ahead``; this
+    measures the event-count and wall-clock reduction on long transfers
+    over a volatile link, and asserts the outcomes are bit-identical.
+    """
+    from repro.netsim.bandwidth import BandwidthProcess
+    from repro.netsim.transfer import TransferEngine
+
+    n_transfers = 40 if quick else 160
+    size = 20 * 1024 * 1024  # ~400 epochs each at ~50 KB/s
+
+    def run(fast_forward):
+        sim = Simulator()
+        bandwidth = BandwidthProcess(
+            np.random.default_rng(7), mean_rate=50_000.0,
+            volatility=0.6, epoch=60.0,
+        )
+        engine = TransferEngine(sim, bandwidth, max_parallel=3,
+                                fast_forward=fast_forward)
+        finished = []
+
+        def flow():
+            for i in range(n_transfers):
+                transfer = engine.start(size * (1 + (i % 5)) / 3)
+                yield transfer.event
+                finished.append((transfer.started_at,
+                                 transfer.finished_at, transfer.nbytes))
+
+        start = time.perf_counter()
+        sim.run_process(flow())
+        wall = time.perf_counter() - start
+        return finished, sim.steps, wall
+
+    ff_result, ff_steps, ff_wall = run(True)
+    ev_result, ev_steps, ev_wall = run(False)
+    return {
+        "transfers": n_transfers,
+        "steps_fast_forward": ff_steps,
+        "steps_event_by_event": ev_steps,
+        "event_reduction": ev_steps / max(ff_steps, 1),
+        "wall_fast_forward_s": ff_wall,
+        "wall_event_by_event_s": ev_wall,
+        "speedup": ev_wall / ff_wall,
+        "identical": repr(ff_result) == repr(ev_result),
     }
 
 
@@ -1285,14 +1428,19 @@ def run_substrate(quick=False):
         "bandwidth_epochs": bench_bandwidth_epochs(quick),
         "kernel_events": bench_kernel_events(quick),
         "campaign_parallel": bench_campaign_parallel(quick),
+        "trial_rss": bench_trial_rss(quick),
+        "fastforward": bench_fastforward(quick),
     }
     campaign = results["campaign_parallel"]
-    # The 3x fan-out bar needs real cores AND full-size cells: quick
-    # mode's smoke cells finish in fractions of a second, where pool
-    # startup dominates whatever the fan-out saves.  When either is
-    # missing the check reports "skipped" — not a pass: on a 1-core
-    # host the fan-out measures ~1x and claiming ``true`` would be a
-    # lie.  Byte-identity is enforced everywhere.
+    ff = results["fastforward"]
+    # The 3x fan-out bar needs real cores; since the shared-state pool
+    # landed (cells travel once as worker state, submissions are index
+    # tuples) quick-mode cells amortize pool startup too, so the bar is
+    # enforced whenever >= 4 cores exist.  On smaller hosts the fan-out
+    # measures ~1x and claiming ``true`` would be a lie, so the check
+    # stays three-valued "skipped" there.  Byte-identity is enforced
+    # everywhere, as are the trial memory ceiling and fast-forward
+    # identity — neither depends on core count.
     checks = {
         "bandwidth_epochs_ge_5x":
             results["bandwidth_epochs"]["speedup"] >= 5.0,
@@ -1301,7 +1449,13 @@ def run_substrate(quick=False):
         "campaign_parallel_identical": campaign["identical"],
         "campaign_parallel_ge_3x":
             campaign["speedup"] >= 3.0
-            if campaign["speedup_enforced"] and not quick else "skipped",
+            if campaign["speedup_enforced"] else "skipped",
+        "trial_peak_rss_under_limit":
+            results["trial_rss"]["trial_peak_rss_mb"]
+            <= results["trial_rss"]["rss_limit_mb"],
+        "fastforward_identical": ff["identical"],
+        "fastforward_fewer_events":
+            ff["steps_fast_forward"] < ff["steps_event_by_event"],
     }
     results["checks"] = checks
     return results
@@ -1392,6 +1546,23 @@ def _print_substrate(results):
           f"{campaign['workers']} workers "
           f"({campaign['speedup']:.2f}x, identical="
           f"{campaign['identical']}){enforced}")
+    print(f"dispatch:   {campaign['chunks']} chunks of "
+          f"{campaign['chunk_size']} cell(s); "
+          f"{campaign['submit_payload_bytes_per_chunk']:.0f} B and "
+          f"{campaign['submit_latency_us_per_chunk']:.0f} us per submit; "
+          f"shared state {campaign['shared_state_bytes']} B")
+    trial = results["trial_rss"]
+    print(f"trial rss:  {trial['users']} users in {trial['cohort_size']}-"
+          f"user cohorts: peak {trial['trial_peak_rss_mb']:.1f} MB "
+          f"(limit {trial['rss_limit_mb']:.0f}), "
+          f"{trial['users_per_s']:.0f} users/s")
+    ff = results["fastforward"]
+    print(f"fastfwd:    {ff['steps_event_by_event']} -> "
+          f"{ff['steps_fast_forward']} events "
+          f"({ff['event_reduction']:.1f}x fewer), wall "
+          f"{ff['wall_event_by_event_s']:.2f}s -> "
+          f"{ff['wall_fast_forward_s']:.2f}s "
+          f"({ff['speedup']:.2f}x, identical={ff['identical']})")
 
 
 def _print_obs(results):

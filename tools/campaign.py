@@ -2,10 +2,11 @@
 """Run measurement campaigns in parallel across cores.
 
 Fans independent (location, seed, repeat) cells of the §3.2 probe
-campaign — or the §7 single-transfer comparison — over a process pool
-with deterministic per-cell seeding and ordered merge, then prints one
-summary row per cell.  The merged output is byte-identical to a serial
-run of the same cells (``--workers 1``).
+campaign — or the §7 single-transfer comparison, or the §7.3 user
+trial at fleet scale — over a process pool with deterministic per-cell
+seeding and ordered merge, then prints one summary row per cell.  The
+merged output is byte-identical to a serial run of the same cells
+(``--workers 1``), whatever the ``--chunk-size``.
 
 Examples::
 
@@ -19,6 +20,10 @@ Examples::
 
     # three seeds per location (replicated cells)
     python tools/campaign.py campaign princeton --repeats 3 --json out.json
+
+    # a 100k-user synthetic-payload trial in 250-user cohorts
+    python tools/campaign.py trial --users 100000 --cohort-size 250 \\
+        --days 7 --workers 8 --progress
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import argparse
 import json
 import os
 import sys
+import threading
 import time
 from dataclasses import asdict
 
@@ -35,12 +41,16 @@ _SRC = os.path.join(_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.obs import METRICS  # noqa: E402
+from repro.obs.metrics import Metrics  # noqa: E402
 from repro.workloads import (  # noqa: E402
     APPROACHES,
+    TrialFleetStats,
     campaign_cell,
     default_workers,
     derive_seed,
     run_cells,
+    run_trial,
     transfers_cell,
 )
 
@@ -70,6 +80,124 @@ def _build_cells(args):
                     repeats=args.probe_rounds, seed=seed,
                 ))
     return cells, labels
+
+
+class _Progress:
+    """Background reporter over the obs-metrics progress counters.
+
+    ``run_cells`` advances the ``cells_done`` / ``users_simulated``
+    counters as chunks complete; this thread samples them once a second
+    and rewrites one stderr status line.  Reading a snapshot never
+    perturbs the simulation (the metrics hub touches no randomness).
+    """
+
+    def __init__(self, metrics, total_cells: int, total_users: int):
+        self.metrics = metrics
+        self.total_cells = total_cells
+        self.total_users = total_users
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _line(self) -> str:
+        counters = self.metrics.snapshot()["counters"]
+        cells = int(counters.get("cells_done", 0))
+        users = int(counters.get("users_simulated", 0))
+        line = f"progress: {cells}/{self.total_cells} cells"
+        if self.total_users:
+            line += f", {users}/{self.total_users} users"
+        return line
+
+    def _loop(self):
+        while not self._stop.wait(1.0):
+            print(f"\r{self._line()}", end="", file=sys.stderr, flush=True)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join()
+        print(f"\r{self._line()}", file=sys.stderr, flush=True)
+
+
+def _run_trial_cli(args) -> int:
+    users = args.users
+    cohort = args.cohort_size
+    if cohort is None:
+        cohort = min(max(users // max(default_workers(), 1) // 4, 50), 500)
+    workers = default_workers() if args.workers is None else args.workers
+    cells = -(-users // cohort) if users else 1
+    print(f"{users} users in {cells} cohort(s) of <= {cohort} "
+          f"on {workers} worker(s), payload={args.payload}")
+    # Counters only — installing a tracer would also span-instrument
+    # every encode inside inline cells.
+    metrics = Metrics()
+    METRICS.install(metrics)
+    start = time.perf_counter()
+    with _Progress(metrics, cells, users) if args.progress \
+            else _null_context():
+        summary = run_trial(
+            n_users=users,
+            days=args.days,
+            uploads_per_user=args.uploads_per_user,
+            seed=args.seed or 0,
+            locations=args.locations or None,
+            reducer=TrialFleetStats(),
+            cohort_size=cohort if cohort < users else None,
+            payload=args.payload,
+            max_workers=workers,
+            chunk_size=args.chunk_size,
+        )
+    elapsed = time.perf_counter() - start
+    counters = metrics.snapshot()["counters"]
+    METRICS.install(None)
+
+    print(f"users: {summary.users}   uploads: {summary.uploads}   "
+          f"days: {summary.days:g}")
+    print(f"file success: {summary.file_success_rate:.2%}   "
+          f"api success: {summary.api_success_rate:.2%} "
+          f"({summary.api_requests} requests)")
+    print(f"{'bucket':<12}{'uploads':>9}{'ok':>9}{'median Mbps':>13}")
+    for label, entry in summary.by_bucket.items():
+        median = entry.get("median_mbps")
+        median_text = f"{median:.2f}" if median is not None else "-"
+        print(f"{label:<12}{entry['count']:>9}{entry['ok']:>9}"
+              f"{median_text:>13}")
+    print(f"{summary.uploads} uploads in {elapsed:.2f}s wall "
+          f"({summary.users / elapsed:.0f} users/s); counters: "
+          f"cells_done={counters.get('cells_done', 0):g} "
+          f"users_simulated={counters.get('users_simulated', 0):g}")
+
+    if args.json:
+        payload = {
+            "users": summary.users,
+            "uploads": summary.uploads,
+            "days": summary.days,
+            "file_success_rate": summary.file_success_rate,
+            "api_success_rate": summary.api_success_rate,
+            "api_requests": summary.api_requests,
+            "api_failures": summary.api_failures,
+            "by_bucket": {
+                label: {k: v for k, v in entry.items() if k != "hist"}
+                for label, entry in summary.by_bucket.items()
+            },
+            "by_day": summary.by_day,
+            "wall_seconds": elapsed,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+class _null_context:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
 
 
 def _summarize_campaign(samples):
@@ -103,11 +231,12 @@ def main(argv=None):
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="\n".join(__doc__.splitlines()[2:]),
     )
-    parser.add_argument("kind", choices=["campaign", "transfers"],
-                        help="probe campaign (§3.2) or approach "
-                             "comparison (§7)")
-    parser.add_argument("locations", nargs="+",
-                        help="vantage points (PlanetLab or EC2 node names)")
+    parser.add_argument("kind", choices=["campaign", "transfers", "trial"],
+                        help="probe campaign (§3.2), approach comparison "
+                             "(§7), or fleet trial (§7.3)")
+    parser.add_argument("locations", nargs="*",
+                        help="vantage points (PlanetLab or EC2 node names); "
+                             "optional for trial (defaults to all)")
     parser.add_argument("--size-mb", type=int, default=8,
                         help="probe size in MB (default 8)")
     parser.add_argument("--days", type=float, default=2.0,
@@ -122,9 +251,27 @@ def main(argv=None):
                         help="transfers mode: approaches to compare")
     parser.add_argument("--seed", type=int, default=None,
                         help="base seed for per-cell seed derivation")
+    parser.add_argument("--users", type=int, default=272,
+                        help="trial mode: simulated population "
+                             "(default 272, the paper's trial)")
+    parser.add_argument("--cohort-size", type=int, default=None,
+                        help="trial mode: users per independent cohort "
+                             "cell (default: sized from worker count)")
+    parser.add_argument("--uploads-per-user", type=int, default=8,
+                        help="trial mode: uploads per user (default 8)")
+    parser.add_argument("--payload", choices=["synthetic", "real"],
+                        default="synthetic",
+                        help="trial mode: synthetic (size-only, fleet "
+                             "scale) or real content (default synthetic)")
+    parser.add_argument("--progress", action="store_true",
+                        help="report live cells_done/users_simulated "
+                             "progress counters on stderr")
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool width (default: all cores, "
                              "or $REPRO_CAMPAIGN_WORKERS)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="cells batched per pool task (default: "
+                             "auto — ~4 claimable chunks per worker)")
     parser.add_argument("--json", default=None,
                         help="write per-sample results to this JSON file")
     parser.add_argument("--trace", default=None, metavar="JSONL",
@@ -133,18 +280,34 @@ def main(argv=None):
                              "tools/trace.py export --format=chrome")
     args = parser.parse_args(argv)
 
+    if args.kind == "trial":
+        return _run_trial_cli(args)
+    if not args.locations:
+        parser.error(f"{args.kind} mode needs at least one location")
+
     cells, labels = _build_cells(args)
     workers = (default_workers(len(cells)) if args.workers is None
                else args.workers)
     print(f"{len(cells)} cell(s) on {workers} worker(s)")
-    start = time.perf_counter()
-    if args.trace:
-        results, records, metrics = run_cells(
-            cells, max_workers=workers, collect_traces=True
-        )
+    if args.progress:
+        progress_metrics = Metrics()
+        METRICS.install(progress_metrics)
+        reporter = _Progress(progress_metrics, len(cells), 0)
     else:
-        results = run_cells(cells, max_workers=workers)
+        reporter = _null_context()
+    start = time.perf_counter()
+    with reporter:
+        if args.trace:
+            results, records, metrics = run_cells(
+                cells, max_workers=workers, chunk_size=args.chunk_size,
+                collect_traces=True,
+            )
+        else:
+            results = run_cells(cells, max_workers=workers,
+                                chunk_size=args.chunk_size)
     elapsed = time.perf_counter() - start
+    if args.progress:
+        METRICS.install(None)
 
     if args.trace:
         from repro.obs import export as obs_export

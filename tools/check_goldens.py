@@ -52,6 +52,8 @@ PERF_REPORTS = frozenset({
     "test_bandwidth_epoch_generation.txt",
     "test_kernel_event_throughput.txt",
     "test_campaign_parallel_identity.txt",
+    "test_trial_peak_rss_bounded.txt",
+    "test_fastforward_identity.txt",
     # benchmarks/test_perf_obs.py
     "test_disabled_guard_cost.txt",
     "test_disabled_overhead_le_2pct.txt",
