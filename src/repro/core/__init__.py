@@ -13,7 +13,15 @@ from .config import UniDriveConfig
 from .deltasync import DeltaLog, should_merge
 from .journal import SyncJournal
 from .lock import LockTimeout, QuorumLock
-from .merge import MergeResult, diff_images, merge_images
+from .merge import (
+    LAST_WRITER_WINS,
+    PER_PATH,
+    RETAIN_BOTH,
+    MergePolicy,
+    MergeResult,
+    diff_images,
+    merge_images,
+)
 from .metadata import (
     FileEntry,
     FileSnapshot,
@@ -62,8 +70,12 @@ __all__ = [
     "FileUpload",
     "FileUploadReport",
     "IntuitiveMultiCloud",
+    "LAST_WRITER_WINS",
     "LockTimeout",
+    "MergePolicy",
     "MergeResult",
+    "PER_PATH",
+    "RETAIN_BOTH",
     "MultiCloudBenchmark",
     "NATIVE_OVERHEAD",
     "NativeClient",

@@ -34,12 +34,18 @@ from .deltasync import (
     op_delete_file,
     op_resolve_conflict,
     op_set_version,
+    op_txn_round,
     op_upsert_file,
     should_merge,
 )
 from .journal import SyncJournal
 from .lock import QuorumLock
-from .merge import diff_images, merge_images, recompute_refcounts
+from .merge import (
+    MergePolicy,
+    diff_images,
+    merge_images,
+    recompute_refcounts,
+)
 from .metadata import (
     FileSnapshot,
     SegmentRecord,
@@ -113,6 +119,7 @@ class UniDriveClient:
         rng: Optional[np.random.Generator] = None,
         estimator: Optional[ThroughputEstimator] = None,
         journal: Optional[SyncJournal] = None,
+        conflict_resolver=None,
     ):
         self.sim = sim
         self.device = device
@@ -132,6 +139,14 @@ class UniDriveClient:
         # client starts are *pending changes* until the first sync's
         # bootstrap reconciles them against the cloud image.
         self.watcher = FolderWatcher(filesystem)
+        #: How divergent concurrent edits reconcile (see core.merge).
+        #: The policy name comes from config so every device on a folder
+        #: shares it; ``conflict_resolver`` supplies the callback the
+        #: "per-path" policy requires (and must be the same pure
+        #: function on every device).
+        self.merge_policy = MergePolicy(
+            self.config.conflict_policy, conflict_resolver
+        )
         #: v_o — the image both this device and the cloud agreed on last.
         self.image = SyncFolderImage(device)
         self._known_remote = VersionStamp(0, "")
@@ -376,7 +391,9 @@ class UniDriveClient:
                 cloud_image = yield from self._fetch_metadata(
                     expect=remote.counter
                 )
-                result = merge_images(self.image, local, cloud_image)
+                result = merge_images(
+                    self.image, local, cloud_image, self.merge_policy
+                )
                 merged = result.image
                 report.conflicts.extend(result.conflicts)
                 next_counter = max(
@@ -397,9 +414,7 @@ class UniDriveClient:
                 ops = [op_add_segment(r) for r in plan["new_records"]]
                 ops += [op_upsert_file(snap) for snap in plan["upserts"]]
                 ops += [op_delete_file(p) for p in plan["deletes"]]
-                ops.append(
-                    op_set_version(local.version.counter, self.device)
-                )
+                ops = self._seal_round(ops, local.version.counter)
                 yield from self._publish_delta(local, ops)
                 self.image = local
             self._known_remote = VersionStamp(
@@ -439,14 +454,25 @@ class UniDriveClient:
             pending_upload = []
             for segment in segments:
                 existing = local.segments.get(segment.segment_id)
-                if existing is not None and existing.locations:
+                if (
+                    existing is not None
+                    and existing.locations
+                    and existing.refcount > 0
+                ):
                     # Deduplicated: content already lives in the clouds.
+                    # The refcount guard matters: a record nothing
+                    # references is garbage whose blocks any committer
+                    # may already have reaped, so its locations cannot
+                    # be trusted — re-referencing identical content must
+                    # re-upload, not resurrect the stale placement.
                     continue
                 if existing is None:
                     record = self.pipeline.make_record(segment)
                     local.add_segment(record)
                 else:
                     record = existing
+                    record.locations.clear()
+                    record.block_hashes.clear()
                 pending_upload.append((record, segment.data))
             snapshot = FileSnapshot(
                 path=path,
@@ -611,6 +637,23 @@ class UniDriveClient:
             TRACE.end(span, t=self.sim.now, error="SyncError")
         raise SyncError(f"{self.device}: no cloud served metadata ({last_error})")
 
+    def _seal_round(self, ops: List[dict], counter: int) -> List[dict]:
+        """Stamp a round's ops with its version for publication.
+
+        Default mode appends a separate ``set_version`` record.
+        Transactional mode wraps the whole round into one
+        :func:`op_txn_round` record instead — a reader's replica either
+        carries the entire round or none of it, so a crash or lost lock
+        mid-publish can never expose a half-applied round.  The round id
+        is journaled first: a resumed incarnation can check the cloud
+        log for it to learn whether the commit made it out.
+        """
+        if not self.config.transactional_rounds:
+            return ops + [op_set_version(counter, self.device)]
+        round_id = f"{self.device}:{counter}"
+        self.journal.note_round(round_id)
+        return [op_txn_round(round_id, counter, self.device, ops)]
+
     def _publish_base(self, image: SyncFolderImage):
         """Replicate a fresh base everywhere; reset the delta.
 
@@ -754,10 +797,27 @@ class UniDriveClient:
                     self.fs.delete_file(path)
                     report.deleted_files.append(path)
                 continue
-            if snapshot.device == self.device:
-                continue  # our own commit; content already local
+            if snapshot.device == self.device and self._disk_matches(snapshot):
+                # Our own commit, fresh from this folder — already local.
+                # The content check matters: a snapshot can carry our
+                # device name without matching the disk (a *retained*
+                # edit of ours promoted back to current by another
+                # device's delete), and skipping on provenance alone
+                # would leave this folder diverged from the image.
+                continue
             to_fetch.append(path)
         yield from self._materialize(current, to_fetch, report)
+
+    def _disk_matches(self, snapshot: FileSnapshot) -> bool:
+        """Is the folder's copy of this path the snapshot's content?"""
+        try:
+            content = self.fs.read_file(snapshot.path)
+        except FileNotFoundError:
+            return False
+        if len(content) != snapshot.size:
+            return False
+        segments = self.pipeline.ingest_file(content)
+        return [s.segment_id for s in segments] == snapshot.segment_ids
 
     def _materialize(self, image: SyncFolderImage, paths: List[str],
                      report: SyncReport):
@@ -965,10 +1025,10 @@ class UniDriveClient:
             image.version = VersionStamp(
                 image.version.counter + 1, self.device
             )
-            ops = [
-                op_resolve_conflict(path, keep_index),
-                op_set_version(image.version.counter, self.device),
-            ]
+            ops = self._seal_round(
+                [op_resolve_conflict(path, keep_index)],
+                image.version.counter,
+            )
             yield from self._publish_delta(image, ops)
             self.image = image
         finally:

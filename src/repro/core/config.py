@@ -58,6 +58,15 @@ class UniDriveConfig:
     #: Consecutive failures after which a cloud is considered down for
     #: the remainder of a transfer job.
     cloud_failure_threshold: int = 3
+    #: Conflict-resolution policy for divergent concurrent edits:
+    #: "retain-both" (paper default), "last-writer-wins" (timestamp
+    #: then device-name tiebreak), or "per-path" (client-supplied
+    #: resolver callback — see core.merge.MergePolicy).
+    conflict_policy: str = "retain-both"
+    #: All-or-nothing sync rounds: publish each round's delta ops under
+    #: a single transactional commit marker so a crash or lost lock
+    #: mid-round leaves either the whole round visible or none of it.
+    transactional_rounds: bool = False
     #: Cloud-side directory layout.
     blocks_dir: str = "/unidrive/blocks"
     meta_dir: str = "/unidrive/meta"
@@ -84,6 +93,12 @@ class UniDriveConfig:
             raise ValueError(f"k must be >= 1, got {self.k_blocks}")
         if self.connections_per_cloud < 1:
             raise ValueError("connections_per_cloud must be >= 1")
+        if self.conflict_policy not in (
+            "retain-both", "last-writer-wins", "per-path"
+        ):
+            raise ValueError(
+                f"unknown conflict_policy {self.conflict_policy!r}"
+            )
         share = fair_share(self.k_blocks, self.k_reliability)
         cap = max_blocks_per_cloud(self.k_blocks, self.k_security)
         if share > cap:

@@ -31,6 +31,7 @@ __all__ = [
     "op_resolve_conflict",
     "op_set_version",
     "op_base_version",
+    "op_txn_round",
     "should_merge",
 ]
 
@@ -86,6 +87,28 @@ def op_resolve_conflict(path: str, keep_conflict_index=None) -> dict:
     }
 
 
+def op_txn_round(round_id: str, counter: int, device: str,
+                 ops: List[dict]) -> dict:
+    """One sync round's operations as a single all-or-nothing record.
+
+    Under ``UniDriveConfig.transactional_rounds`` the committer wraps
+    the whole round — segment registrations, upserts, deletes — into
+    one record carrying the round's version stamp, instead of appending
+    the ops individually.  The record is the commit marker: a reader
+    either replays the entire round (ops then version bump) or, if the
+    record never reached its replica, none of it.  ``round_id``
+    (``device:counter``) makes replay idempotent when a crash-resumed
+    publish lands the same round in a log twice.
+    """
+    return {
+        "op": "txn_round",
+        "round_id": round_id,
+        "counter": counter,
+        "device": device,
+        "ops": list(ops),
+    }
+
+
 class DeltaLog:
     """An ordered list of metadata operations, replayable onto an image."""
 
@@ -106,48 +129,68 @@ class DeltaLog:
 
     def apply_to(self, image: SyncFolderImage) -> None:
         """Replay every operation, in order, onto ``image`` (in place)."""
+        seen_rounds: set = set()
         for op in self.ops:
-            kind = op["op"]
-            if kind == "upsert_file":
-                image.upsert_file(FileSnapshot.from_dict(op["snapshot"]))
-            elif kind == "delete_file":
-                image.delete_file(op["path"])
-            elif kind == "add_conflict":
-                image.add_conflict(
-                    op["path"], FileSnapshot.from_dict(op["snapshot"])
-                )
-            elif kind == "add_segment":
-                image.add_segment(SegmentRecord.from_dict(op["segment"]))
-            elif kind == "set_location":
-                image.set_block_location(
-                    op["segment_id"], op["index"], op["cloud_id"]
-                )
-            elif kind == "drop_segment":
-                image.drop_segment(op["segment_id"])
-            elif kind == "set_version":
-                image.version.counter = op["counter"]
-                image.version.device = op["device"]
-            elif kind == "base_version":
-                pass  # pair-consistency marker; carries no state
-            elif kind == "resolve_conflict":
-                image.resolve_conflict(
-                    op["path"], op.get("keep_conflict_index")
-                )
-            else:
-                raise ValueError(f"unknown delta operation {kind!r}")
+            self._apply_op(image, op, seen_rounds)
+
+    def _apply_op(self, image: SyncFolderImage, op: dict,
+                  seen_rounds: set) -> None:
+        kind = op["op"]
+        if kind == "txn_round":
+            # All-or-nothing round: replay its ops then its version
+            # stamp.  A round already replayed in this pass (duplicated
+            # by a crash-resumed publish) is skipped wholesale.
+            round_id = op["round_id"]
+            if round_id in seen_rounds:
+                return
+            seen_rounds.add(round_id)
+            for inner in op["ops"]:
+                if inner["op"] == "txn_round":
+                    raise ValueError("txn_round records do not nest")
+                self._apply_op(image, inner, seen_rounds)
+            image.version.counter = op["counter"]
+            image.version.device = op["device"]
+        elif kind == "upsert_file":
+            image.upsert_file(FileSnapshot.from_dict(op["snapshot"]))
+        elif kind == "delete_file":
+            image.delete_file(op["path"])
+        elif kind == "add_conflict":
+            image.add_conflict(
+                op["path"], FileSnapshot.from_dict(op["snapshot"])
+            )
+        elif kind == "add_segment":
+            image.add_segment(SegmentRecord.from_dict(op["segment"]))
+        elif kind == "set_location":
+            image.set_block_location(
+                op["segment_id"], op["index"], op["cloud_id"]
+            )
+        elif kind == "drop_segment":
+            image.drop_segment(op["segment_id"])
+        elif kind == "set_version":
+            image.version.counter = op["counter"]
+            image.version.device = op["device"]
+        elif kind == "base_version":
+            pass  # pair-consistency marker; carries no state
+        elif kind == "resolve_conflict":
+            image.resolve_conflict(
+                op["path"], op.get("keep_conflict_index")
+            )
+        else:
+            raise ValueError(f"unknown delta operation {kind!r}")
 
     # -- version bookkeeping ----------------------------------------------
 
     def latest_version(self) -> int:
-        """Counter of the last ``set_version`` op (0 for none).
+        """Counter of the last version-bearing op (0 for none).
 
         Under the quorum lock every commit appends exactly one
-        ``set_version``, so this is the version a reader ends at after
-        replaying the log — the freshness criterion
+        version-bearing record — ``set_version``, or a ``txn_round``
+        carrying its stamp inline — so this is the version a reader
+        ends at after replaying the log: the freshness criterion
         :meth:`UniDriveClient._publish_delta` selects deltas by.
         """
         for op in reversed(self.ops):
-            if op["op"] == "set_version":
+            if op["op"] in ("set_version", "txn_round"):
                 return int(op["counter"])
         return 0
 

@@ -74,6 +74,18 @@ class QuorumLock:
             multiplier=1.6,
             jitter=0.75,
         )
+        # Withdrawal deletes must actually land before this contender
+        # sleeps: a lock file left behind by one transient delete failure
+        # reads as a live contender to every peer, stalling the winner's
+        # next acquisition until the ΔT staleness break.  A small retry
+        # budget absorbs blips; truly-down clouds still fail fast.
+        self._withdraw_retry = RetryPolicy(
+            max_attempts=3,
+            base_delay=0.2,
+            max_delay=2.0,
+            multiplier=2.0,
+            jitter=0.5,
+        )
 
     @property
     def lock_file_name(self) -> str:
@@ -242,9 +254,25 @@ class QuorumLock:
         return locked
 
     def _withdraw(self):
+        """Delete our lock files everywhere, retrying transient failures.
+
+        Ordered before the caller's backoff sleep (acquire() yields from
+        this *then* sleeps), so by the time a losing contender parks, its
+        files are gone from every reachable cloud and the round's winner
+        is not blocked until the staleness break.  Unreachable clouds
+        fail fast here exactly as in the data plane; their leftover files
+        age out via ΔT like any crashed device's.
+        """
         yield from gather_safe(
             self.sim,
-            [conn.delete(self.lock_path) for conn in self.connections],
+            [
+                self._withdraw_retry.run(
+                    self.sim,
+                    lambda conn=conn: conn.delete(self.lock_path),
+                    rng=self._rng,
+                )
+                for conn in self.connections
+            ],
         )
 
     def _refresh_loop(self):

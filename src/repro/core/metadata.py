@@ -205,10 +205,22 @@ class SyncFolderImage:
         self._ref(snapshot.segment_ids)
 
     def resolve_conflict(self, path: str, keep_conflict_index: Optional[int] = None) -> None:
-        """Drop retained conflicts; optionally promote one to current."""
+        """Drop retained conflicts; optionally promote one to current.
+
+        Idempotent: resolution ops replicate through the delta log, and
+        two devices resolving the same path concurrently replay each
+        other's op on an entry whose conflict list is already empty.  A
+        ``keep_conflict_index`` that no longer exists (stale against the
+        current conflict list) makes the whole op a no-op rather than
+        corrupting the entry or raising mid-replay.
+        """
         entry = self.files.get(path)
         if entry is None:
             return
+        if keep_conflict_index is not None and not (
+            0 <= keep_conflict_index < len(entry.conflicts)
+        ):
+            return  # already applied (or never valid): nothing to do
         conflicts, entry.conflicts = entry.conflicts, []
         if keep_conflict_index is not None:
             winner = conflicts.pop(keep_conflict_index)

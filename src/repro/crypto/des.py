@@ -132,6 +132,59 @@ def _rotate28(value: int, amount: int) -> int:
     return ((value << amount) | (value >> (28 - amount))) & 0x0FFFFFFF
 
 
+# -- precomputed lookup tables for the block hot path ---------------------
+#
+# The straightforward implementation above walks a permutation table
+# bit-by-bit: 34 `_permute` calls per block (IP, FP, and E+P in each of
+# the 16 rounds) dominate every metadata encrypt/decrypt.  All of DES's
+# permutations are linear over OR of disjoint bit sets, so each one
+# collapses into byte- (or 6-bit-) indexed table lookups built *from*
+# the reference `_permute` at import time — the tables are derived from
+# the same FIPS constants, and the NIST-vector tests pin the outputs as
+# bit-identical.
+#
+# * ``_SP[box][chunk]`` fuses S-box ``box`` with the P permutation: the
+#   P-image of that box's 4-bit output placed in its lane.  A Feistel
+#   round becomes 8 lookups XORed together.
+# * ``_IP_TAB[i][byte]`` / ``_FP_TAB[i][byte]`` give byte ``i``'s
+#   contribution to the initial/final permutation of a 64-bit block.
+# * The expansion E needs no table at all: its 6-bit chunks are sliding
+#   windows over the 32-bit half extended by one wraparound bit on each
+#   side (built inline in ``_feistel_fast``).
+
+_SP: List[List[int]] = []
+for _box in range(8):
+    _lane = []
+    for _chunk in range(64):
+        _row = ((_chunk >> 4) & 0x2) | (_chunk & 0x1)
+        _col = (_chunk >> 1) & 0xF
+        _out = _SBOXES[_box][_row][_col] << (28 - 4 * _box)
+        _lane.append(_permute(_out, 32, _P))
+    _SP.append(_lane)
+
+_IP_TAB: List[List[int]] = [
+    [_permute(_byte << (56 - 8 * _i), 64, _IP) for _byte in range(256)]
+    for _i in range(8)
+]
+_FP_TAB: List[List[int]] = [
+    [_permute(_byte << (56 - 8 * _i), 64, _FP) for _byte in range(256)]
+    for _i in range(8)
+]
+
+
+def _permute64_tab(value: int, tables: List[List[int]]) -> int:
+    return (
+        tables[0][(value >> 56) & 0xFF]
+        | tables[1][(value >> 48) & 0xFF]
+        | tables[2][(value >> 40) & 0xFF]
+        | tables[3][(value >> 32) & 0xFF]
+        | tables[4][(value >> 24) & 0xFF]
+        | tables[5][(value >> 16) & 0xFF]
+        | tables[6][(value >> 8) & 0xFF]
+        | tables[7][value & 0xFF]
+    )
+
+
 class DES:
     """A DES instance bound to one 8-byte key.
 
@@ -144,6 +197,13 @@ class DES:
             raise ValueError(f"DES key must be 8 bytes, got {len(key)}")
         self.key = bytes(key)
         self._subkeys = self._key_schedule(int.from_bytes(key, "big"))
+        # Each 48-bit subkey split into the 8 six-bit chunks consumed by
+        # the S-boxes, so the round loop never re-slices them.
+        self._subkeys6 = [
+            tuple((sk >> (42 - 6 * box)) & 0x3F for box in range(8))
+            for sk in self._subkeys
+        ]
+        self._subkeys6_rev = self._subkeys6[::-1]
 
     @staticmethod
     def _key_schedule(key64: int) -> List[int]:
@@ -159,6 +219,8 @@ class DES:
 
     @staticmethod
     def _feistel(half: int, subkey: int) -> int:
+        # Reference (table-free) round function; the hot path below inlines
+        # the equivalent combined-SP lookups.
         expanded = _permute(half, 32, _E) ^ subkey
         out = 0
         for box in range(8):
@@ -169,14 +231,28 @@ class DES:
         return _permute(out, 32, _P)
 
     def _crypt_block(self, block64: int, decrypt: bool) -> int:
-        value = _permute(block64, 64, _IP)
+        value = _permute64_tab(block64, _IP_TAB)
         left = (value >> 32) & 0xFFFFFFFF
         right = value & 0xFFFFFFFF
-        keys = self._subkeys[::-1] if decrypt else self._subkeys
-        for subkey in keys:
-            left, right = right, left ^ self._feistel(right, subkey)
+        keys = self._subkeys6_rev if decrypt else self._subkeys6
+        sp0, sp1, sp2, sp3, sp4, sp5, sp6, sp7 = _SP
+        for k0, k1, k2, k3, k4, k5, k6, k7 in keys:
+            # E(right) as eight overlapping 6-bit windows over ``right``
+            # extended by one wraparound bit on each side.
+            ext = ((right & 1) << 33) | (right << 1) | (right >> 31)
+            f = (
+                sp0[((ext >> 28) ^ k0) & 0x3F]
+                ^ sp1[((ext >> 24) ^ k1) & 0x3F]
+                ^ sp2[((ext >> 20) ^ k2) & 0x3F]
+                ^ sp3[((ext >> 16) ^ k3) & 0x3F]
+                ^ sp4[((ext >> 12) ^ k4) & 0x3F]
+                ^ sp5[((ext >> 8) ^ k5) & 0x3F]
+                ^ sp6[((ext >> 4) ^ k6) & 0x3F]
+                ^ sp7[(ext ^ k7) & 0x3F]
+            )
+            left, right = right, left ^ f
         # Halves are swapped before the final permutation.
-        return _permute((right << 32) | left, 64, _FP)
+        return _permute64_tab((right << 32) | left, _FP_TAB)
 
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt one 8-byte block."""

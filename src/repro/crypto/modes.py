@@ -7,6 +7,8 @@ byte string.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from .des import BLOCK_SIZE, DES
 
 __all__ = [
@@ -44,18 +46,43 @@ def _xor8(a: bytes, b: bytes) -> bytes:
     return bytes(x ^ y for x, y in zip(a, b))
 
 
+# Key schedules are deterministic per key, and every sync round encrypts
+# and decrypts with the same folder key, so cache the DES instances.
+_CIPHERS: "OrderedDict[bytes, DES]" = OrderedDict()
+_CIPHER_CACHE_MAX = 64
+
+# CBC decryption is a pure function of (key, blob), and the same metadata
+# blob is fetched and decrypted by every device sharing a folder — memoize
+# the most recent results.  Encryption is not cached: its IV is supplied
+# by the caller, and plaintexts rarely repeat.
+_PLAINTEXTS: "OrderedDict[tuple, bytes]" = OrderedDict()
+_PLAINTEXT_CACHE_MAX = 128
+
+
+def _cipher(key: bytes) -> DES:
+    cached = _CIPHERS.get(key)
+    if cached is None:
+        cached = _CIPHERS[key] = DES(key)
+        if len(_CIPHERS) > _CIPHER_CACHE_MAX:
+            _CIPHERS.popitem(last=False)
+    else:
+        _CIPHERS.move_to_end(key)
+    return cached
+
+
 def encrypt_cbc(key: bytes, plaintext: bytes, iv: bytes) -> bytes:
     """DES-CBC encrypt; returns ``iv || ciphertext``."""
     if len(iv) != BLOCK_SIZE:
         raise ValueError(f"IV must be 8 bytes, got {len(iv)}")
-    cipher = DES(key)
+    cipher = _cipher(bytes(key))
+    crypt = cipher._crypt_block
     padded = pad(plaintext)
     out = [iv]
-    previous = iv
+    previous = int.from_bytes(iv, "big")
     for offset in range(0, len(padded), BLOCK_SIZE):
-        block = _xor8(padded[offset:offset + BLOCK_SIZE], previous)
-        previous = cipher.encrypt_block(block)
-        out.append(previous)
+        block = int.from_bytes(padded[offset:offset + BLOCK_SIZE], "big")
+        previous = crypt(block ^ previous, False)
+        out.append(previous.to_bytes(BLOCK_SIZE, "big"))
     return b"".join(out)
 
 
@@ -63,12 +90,22 @@ def decrypt_cbc(key: bytes, blob: bytes) -> bytes:
     """Decrypt ``iv || ciphertext`` produced by :func:`encrypt_cbc`."""
     if len(blob) < 2 * BLOCK_SIZE or len(blob) % BLOCK_SIZE != 0:
         raise PaddingError("ciphertext too short or misaligned")
-    cipher = DES(key)
-    iv, body = blob[:BLOCK_SIZE], blob[BLOCK_SIZE:]
+    memo_key = (bytes(key), bytes(blob))
+    cached = _PLAINTEXTS.get(memo_key)
+    if cached is not None:
+        _PLAINTEXTS.move_to_end(memo_key)
+        return cached
+    cipher = _cipher(bytes(key))
+    crypt = cipher._crypt_block
+    body = blob[BLOCK_SIZE:]
     out = []
-    previous = iv
+    previous = int.from_bytes(blob[:BLOCK_SIZE], "big")
     for offset in range(0, len(body), BLOCK_SIZE):
-        block = body[offset:offset + BLOCK_SIZE]
-        out.append(_xor8(cipher.decrypt_block(block), previous))
+        block = int.from_bytes(body[offset:offset + BLOCK_SIZE], "big")
+        out.append((crypt(block, True) ^ previous).to_bytes(BLOCK_SIZE, "big"))
         previous = block
-    return unpad(b"".join(out))
+    plaintext = unpad(b"".join(out))
+    _PLAINTEXTS[memo_key] = plaintext
+    if len(_PLAINTEXTS) > _PLAINTEXT_CACHE_MAX:
+        _PLAINTEXTS.popitem(last=False)
+    return plaintext

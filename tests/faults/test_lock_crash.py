@@ -208,3 +208,54 @@ def test_sync_failure_inside_lock_releases_immediately():
     sim.run_process(contender.lock.acquire())
     assert contender.lock.held
     assert sim.now - started < 1.0
+
+
+def test_withdraw_retries_transient_delete_failures():
+    """Regression: one transient delete failure during withdrawal used
+    to leave that cloud's lock file behind — every peer read it as live
+    contention and had to wait out the full ΔT staleness break before
+    acquiring.  ``_withdraw`` must retry transient failures so a clean
+    release leaves no files on any reachable cloud."""
+    from repro.cloud.errors import RequestFailedError
+
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(5)]
+    first = make_client(sim, clouds, "first", seed=11)
+
+    # Every cloud's first delete fails transiently (an API blip), then
+    # the cloud recovers — exactly the shape a one-shot delete loses.
+    attempts = {}
+
+    def make_flaky(conn):
+        real = conn.delete
+
+        def flaky(path):
+            count = attempts[conn.cloud_id] = attempts.get(conn.cloud_id, 0) + 1
+            if count == 1:
+                yield sim.timeout(0.01)
+                raise RequestFailedError(conn.cloud_id, "transient blip")
+            yield from real(path)
+
+        conn.delete = flaky
+
+    for conn in first.connections:
+        make_flaky(conn)
+
+    sim.run_process(first.lock.acquire())
+    sim.run_process(first.lock.release())
+    # The retries landed: no lock file left anywhere.
+    for cloud in clouds:
+        names = [
+            entry.name for entry in cloud.store.list_folder(CONFIG.lock_dir)
+        ]
+        assert "lock_first" not in names
+    assert all(count >= 2 for count in attempts.values())
+
+    # A second writer therefore syncs without waiting out ΔT.
+    second = make_client(sim, clouds, "second", seed=12)
+    second.fs.write_file("/doc", payload(21), mtime=sim.now)
+    started = sim.now
+    report = sim.run_process(second.sync())
+    elapsed = sim.now - started
+    assert report.committed_version == 1
+    assert elapsed < CONFIG.lock_stale_seconds / 3

@@ -122,3 +122,78 @@ def test_reinstall_with_divergent_local_file_keeps_both():
     observer = make_client(sim, clouds, "observer", seed=10)
     sim.run_process(observer.sync())
     assert observer.fs.read_file("/doc.conflict-dev") == offline_edit
+
+
+def test_reused_content_survives_garbage_collection():
+    """Regression: re-referencing content whose segment was reaped must
+    re-upload the blocks, not resurrect the stale placement.
+
+    Content addressing means a peer that re-creates previously-deleted
+    bytes produces the *same* segment id.  Pre-fix, the planner saw the
+    leftover refcount-0 record (locations intact, blocks long gone) and
+    dedup-skipped the upload — committing a file no device could ever
+    fetch again.
+    """
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(5)]
+    writer = make_client(sim, clouds, "writer", seed=40)
+    reader = make_client(sim, clouds, "reader", seed=41)
+    data = payload(40)
+    writer.fs.write_file("/doc", data, mtime=sim.now)
+    sim.run_process(writer.sync())
+    sim.run_process(reader.sync())  # reader now holds /doc's records
+    # Overwrite: the old content's segments hit refcount 0 on the
+    # writer, whose end-of-round GC deletes their cloud blocks.
+    writer.fs.write_file("/doc", payload(41), mtime=sim.now)
+    sim.run_process(writer.sync())
+    sim.run()  # let the background block deletions land
+    # The reader adopts v2 (old records now unreferenced in its image
+    # too), then re-creates the identical bytes under a new name.
+    sim.run_process(reader.sync())
+    reader.fs.write_file("/doc.bak", data, mtime=sim.now)
+    sim.run_process(reader.sync())
+    # A newcomer must be able to materialize both files from the clouds.
+    newcomer = make_client(sim, clouds, "newcomer", seed=42)
+    sim.run_process(newcomer.sync())
+    assert newcomer.fs.read_file("/doc.bak") == data
+    assert newcomer.fs.read_file("/doc") == payload(41)
+
+
+def test_promoted_own_retention_rematerializes_on_disk():
+    """Regression: a device's own retained edit, promoted back to
+    current by another device's delete, must be re-fetched to disk.
+
+    The materialize path used to skip any snapshot carrying this
+    device's name ("our own commit; content already local") — but a
+    promoted retention carries our name while the disk holds the
+    content the conflict round reverted to, leaving folder bytes
+    diverged from converged metadata.
+    """
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(5)]
+    dev_a = make_client(sim, clouds, "devA", seed=50)
+    dev_b = make_client(sim, clouds, "devB", seed=51)
+    base = payload(50)
+    dev_a.fs.write_file("/f", base, mtime=sim.now)
+    sim.run_process(dev_a.sync())
+    sim.run_process(dev_b.sync())
+    # Divergent edits; B commits first, A's edit is retained and A's
+    # disk reverts to B's content (plus a /f.conflict-devA copy).
+    content_b = payload(51)
+    content_a = payload(52)
+    dev_b.fs.write_file("/f", content_b, mtime=sim.now)
+    dev_a.fs.write_file("/f", content_a, mtime=sim.now)
+    sim.run_process(dev_b.sync())
+    sim.run_process(dev_a.sync())
+    assert dev_a.fs.read_file("/f") == content_b
+    assert dev_a.fs.read_file("/f.conflict-devA") == content_a
+    # B deletes /f without having seen A's retention: the merge
+    # promotes the retained snapshot (device=devA) back to current.
+    dev_b.fs.delete_file("/f")
+    sim.run_process(dev_b.sync())
+    entry = dev_b.image.files["/f"]
+    assert entry.current.device == "devA"
+    assert entry.current.size == len(content_a)
+    # A must put the promoted content back on its own disk.
+    sim.run_process(dev_a.sync())
+    assert dev_a.fs.read_file("/f") == content_a

@@ -24,6 +24,10 @@ Examples::
     # a 100k-user synthetic-payload trial in 250-user cohorts
     python tools/campaign.py trial --users 100000 --cohort-size 250 \\
         --days 7 --workers 8 --progress
+
+    # 8 devices racing one shared folder for 20 rounds, every policy
+    python tools/campaign.py shared --writers 8 --rounds 20 \\
+        --policy each --json benchmarks/results/BENCH_shared.json
 """
 
 from __future__ import annotations
@@ -200,6 +204,84 @@ class _null_context:
         return False
 
 
+_SHARED_POLICIES = ("retain-both", "last-writer-wins", "per-path")
+
+
+def _run_shared_cli(args) -> int:
+    """Shared-folder scenario campaign (§5.2): N writers, one folder.
+
+    Exit status is the invariant check — non-zero if any policy run
+    loses an update, stalls a device, or fails to converge.
+    """
+    from repro.workloads.shared import (  # noqa: E402
+        SharedScenario,
+        churn_profile,
+        run_shared,
+    )
+
+    policies = (
+        _SHARED_POLICIES if args.policy == "each" else (args.policy,)
+    )
+    seed = args.seed or 0
+    crashes = (
+        churn_profile(args.writers, args.rounds, args.churners, seed)
+        if args.churners else ()
+    )
+    rows = []
+    violations = 0
+    print(f"{'policy':<18}{'writers':>8}{'rounds':>7}{'commits':>8}"
+          f"{'lost':>5}{'conv':>5}{'stall':>6}{'maxdiv s':>9}"
+          f"{'wall s':>8}")
+    for policy in policies:
+        scenario = SharedScenario(
+            writers=args.writers,
+            rounds=args.rounds,
+            policy=policy,
+            transactional=args.transactional,
+            crashes=crashes,
+            skip_rate=args.skip_rate,
+            seed=seed,
+        )
+        start = time.perf_counter()
+        res = run_shared(scenario)
+        wall = time.perf_counter() - start
+        ok = (res.converged and not res.lost_updates
+              and not res.stalled_devices)
+        violations += 0 if ok else 1
+        print(f"{policy:<18}{args.writers:>8}{args.rounds:>7}"
+              f"{len(res.committed):>8}{len(res.lost_updates):>5}"
+              f"{'y' if res.converged else 'N':>5}"
+              f"{len(res.stalled_devices):>6}"
+              f"{res.max_divergence:>9.1f}{wall:>8.2f}")
+        rows.append({
+            "policy": policy,
+            "writers": args.writers,
+            "rounds": args.rounds,
+            "transactional": args.transactional,
+            "crashes": len(crashes),
+            "skip_rate": args.skip_rate,
+            "seed": seed,
+            "commits": len(res.committed),
+            "lost_updates": len(res.lost_updates),
+            "converged": res.converged,
+            "stalled_devices": res.stalled_devices,
+            "quiesce_rounds": res.quiesce_rounds,
+            "max_divergence_s": res.max_divergence,
+            "virtual_duration_s": res.duration,
+            "wall_seconds": wall,
+        })
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"kind": "shared", "runs": rows}, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if violations:
+        print(f"{violations} run(s) violated the shared-folder "
+              "invariants", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _summarize_campaign(samples):
     ok = [s for s in samples if s.succeeded]
     durations = [s.duration for s in ok]
@@ -231,9 +313,11 @@ def main(argv=None):
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="\n".join(__doc__.splitlines()[2:]),
     )
-    parser.add_argument("kind", choices=["campaign", "transfers", "trial"],
+    parser.add_argument("kind",
+                        choices=["campaign", "transfers", "trial", "shared"],
                         help="probe campaign (§3.2), approach comparison "
-                             "(§7), or fleet trial (§7.3)")
+                             "(§7), fleet trial (§7.3), or shared-folder "
+                             "scenario (§5.2)")
     parser.add_argument("locations", nargs="*",
                         help="vantage points (PlanetLab or EC2 node names); "
                              "optional for trial (defaults to all)")
@@ -263,6 +347,25 @@ def main(argv=None):
                         default="synthetic",
                         help="trial mode: synthetic (size-only, fleet "
                              "scale) or real content (default synthetic)")
+    parser.add_argument("--writers", type=int, default=8,
+                        help="shared mode: devices editing the folder "
+                             "(default 8)")
+    parser.add_argument("--rounds", type=int, default=20,
+                        help="shared mode: edit rounds per device "
+                             "(default 20)")
+    parser.add_argument("--policy", default="each",
+                        choices=list(_SHARED_POLICIES) + ["each"],
+                        help="shared mode: conflict policy, or 'each' to "
+                             "run all three (default each)")
+    parser.add_argument("--churners", type=int, default=0,
+                        help="shared mode: devices that crash mid-sync "
+                             "once (default 0)")
+    parser.add_argument("--skip-rate", type=float, default=0.0,
+                        help="shared mode: probability a device sits out "
+                             "a round (default 0)")
+    parser.add_argument("--transactional", action="store_true",
+                        help="shared mode: commit each round as a single "
+                             "all-or-nothing txn_round record")
     parser.add_argument("--progress", action="store_true",
                         help="report live cells_done/users_simulated "
                              "progress counters on stderr")
@@ -282,6 +385,8 @@ def main(argv=None):
 
     if args.kind == "trial":
         return _run_trial_cli(args)
+    if args.kind == "shared":
+        return _run_shared_cli(args)
     if not args.locations:
         parser.error(f"{args.kind} mode needs at least one location")
 
