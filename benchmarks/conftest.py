@@ -23,6 +23,30 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "results")
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _global_telemetry():
+    """Optionally run every benchmark with fleet telemetry recording.
+
+    ``REPRO_TELEMETRY=1`` installs a live :class:`repro.obs.Telemetry`
+    into the process hub for the whole session.  The goldens check uses
+    this to *prove* the zero-interference contract end-to-end: rerun
+    the deterministic figure/table benchmarks with recording on and the
+    rendered results must stay byte-identical.
+    """
+    if os.environ.get("REPRO_TELEMETRY") != "1":
+        yield
+        return
+    from repro.obs import TELEMETRY
+    from repro.obs.telemetry import Telemetry
+
+    previous = TELEMETRY.telemetry
+    TELEMETRY.install(Telemetry())
+    try:
+        yield
+    finally:
+        TELEMETRY.install(previous)
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run an experiment exactly once under the benchmark timer."""

@@ -48,12 +48,21 @@ class CloudAPI(abc.ABC):
     retains_content: bool = True
 
     @abc.abstractmethod
-    def upload(self, path: str, content: bytes) -> Generator:
-        """Store ``content`` at ``path``, overwriting any existing file."""
+    def upload(self, path: str, content: bytes, ctx=None) -> Generator:
+        """Store ``content`` at ``path``, overwriting any existing file.
+
+        ``ctx`` is an optional ``(trace_id, parent sid)`` correlation
+        pair; implementations that emit netsim flow spans stamp it onto
+        the span and all implementations must accept (and may ignore)
+        it.  It is explicit — never ambient connection state — because
+        multiple scheduler workers interleave on one connection.
+        """
 
     @abc.abstractmethod
-    def download(self, path: str) -> Generator:
-        """Fetch the content at ``path``; generator returns bytes."""
+    def download(self, path: str, ctx=None) -> Generator:
+        """Fetch the content at ``path``; generator returns bytes.
+
+        ``ctx`` as in :meth:`upload`."""
 
     @abc.abstractmethod
     def create_folder(self, path: str) -> Generator:

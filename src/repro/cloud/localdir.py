@@ -33,14 +33,16 @@ class LocalDirCloud(CloudAPI):
     def _real(self, path: str) -> str:
         return os.path.join(self.root, normalize(path).lstrip("/"))
 
-    def upload(self, path: str, content: bytes) -> Generator:
+    def upload(self, path: str, content: bytes, ctx=None) -> Generator:
+        # ``ctx`` (trace correlation) is accepted for interface parity
+        # with the simulated connection; there is no flow span here.
         yield self.sim.timeout(0)
         real = self._real(path)
         os.makedirs(os.path.dirname(real), exist_ok=True)
         with open(real, "wb") as handle:
             handle.write(content)
 
-    def download(self, path: str) -> Generator:
+    def download(self, path: str, ctx=None) -> Generator:
         yield self.sim.timeout(0)
         real = self._real(path)
         if not os.path.isfile(real):

@@ -118,17 +118,17 @@ class CloudConnection(CloudAPI):
 
     # -- the five RESTful operations -------------------------------------
 
-    def upload(self, path: str, content: bytes) -> Generator:
-        yield from self._request(len(content), self.uplink)
+    def upload(self, path: str, content: bytes, ctx=None) -> Generator:
+        yield from self._request(len(content), self.uplink, ctx=ctx)
         self.cloud.store.put(path, content, mtime=self.sim.now)
         self.traffic.payload_up += len(content)
 
-    def download(self, path: str) -> Generator:
+    def download(self, path: str, ctx=None) -> Generator:
         # The server resolves the object before bytes flow, so a missing
         # path errors after latency, not after a transfer.
         yield from self._preamble()
         content = self.cloud.store.get(path)
-        yield from self._payload(len(content), self.downlink)
+        yield from self._payload(len(content), self.downlink, ctx=ctx)
         self.traffic.payload_down += len(content)
         return content
 
@@ -161,8 +161,16 @@ class CloudConnection(CloudAPI):
             self.traffic.failed_requests += 1
             raise RequestFailedError(self.cloud_id, "transient API failure")
 
-    def _payload(self, nbytes: int, engine: TransferEngine) -> Generator:
-        """Move payload bytes; may fail partway through (size-dependent)."""
+    def _payload(self, nbytes: int, engine: TransferEngine,
+                 ctx=None) -> Generator:
+        """Move payload bytes; may fail partway through (size-dependent).
+
+        ``ctx`` is an optional ``(trace_id, parent sid)`` correlation
+        pair stamped onto the netsim flow span — purely observational,
+        it never alters timing or outcomes.  It rides an explicit kwarg
+        (not ambient connection state) because several scheduler workers
+        interleave on one connection at yield points.
+        """
         if nbytes <= 0:
             return
         failure_probability = self.conditions.failures.failure_probability(
@@ -171,19 +179,20 @@ class CloudConnection(CloudAPI):
         will_fail = self._rng.random() < failure_probability
         if will_fail:
             fraction = self._rng.uniform(0.05, 0.9)
-            transfer = engine.start(nbytes * fraction)
+            transfer = engine.start(nbytes * fraction, ctx=ctx)
             yield transfer.event
             self.traffic.overhead += int(nbytes * fraction)
             self.traffic.failed_requests += 1
             raise RequestFailedError(
                 self.cloud_id, f"connection dropped mid-transfer ({nbytes} B)"
             )
-        transfer = engine.start(nbytes)
+        transfer = engine.start(nbytes, ctx=ctx)
         yield transfer.event
 
-    def _request(self, nbytes: int, engine: TransferEngine) -> Generator:
+    def _request(self, nbytes: int, engine: TransferEngine,
+                 ctx=None) -> Generator:
         yield from self._preamble()
-        yield from self._payload(nbytes, engine)
+        yield from self._payload(nbytes, engine, ctx=ctx)
 
 
 def make_instant_connection(

@@ -24,7 +24,8 @@ import numpy as np
 
 from ..cloud import CloudAPI, CloudError, NotFoundError
 from ..fsmodel import ChangeKind, FolderWatcher
-from ..obs import METRICS, TRACE
+from ..obs import METRICS, TELEMETRY, TRACE
+from ..obs.tracer import ctx_attrs as _ctx_attrs
 from ..simkernel import Simulator
 from .config import UniDriveConfig
 from .deltasync import (
@@ -163,6 +164,9 @@ class UniDriveClient:
         self.journal = journal if journal is not None else SyncJournal()
         #: The upload scheduler of the round in flight (crash modelling).
         self._active_upload = None
+        #: Trace-correlation context of the round in flight:
+        #: ``(trace_id, parent span id)`` while tracing, else None.
+        self._trace_ctx = None
         # Metadata traffic accounting (Table 3 experiments).
         self.metadata_bytes = 0
         self.block_bytes = 0
@@ -194,17 +198,27 @@ class UniDriveClient:
     def sync(self):
         """One synchronization round (Algorithm 1); returns a SyncReport."""
         report = SyncReport(device=self.device, started_at=self.sim.now)
-        span = (
-            TRACE.begin("sync_round", t=self.sim.now, track=self.device)
-            if TRACE.enabled
-            else None
-        )
+        span = None
+        if TRACE.enabled:
+            # The round is the root of this device's causal tree: every
+            # batch, block transfer, lock acquisition and netsim flow it
+            # spawns carries (trace_id, parent) back to this span.
+            sid = TRACE.tracer.next_id()
+            span = TRACE.begin("sync_round", t=self.sim.now,
+                               track=self.device, trace_id=sid, sid=sid)
+            self._trace_ctx = (sid, sid)
+            self.lock.trace_ctx = self._trace_ctx
         meta0, blocks0 = self.metadata_bytes, self.block_bytes
         try:
             yield from self._sync_round(report)
         except BaseException as exc:
             if span is not None:
                 TRACE.end(span, t=self.sim.now, error=type(exc).__name__)
+                self._trace_ctx = None
+                self.lock.trace_ctx = None
+            if TELEMETRY.enabled:
+                TELEMETRY.sync_round(self.device, report.started_at,
+                                     self.sim.now, ok=False)
             self._account_round(meta0, blocks0)
             raise
         report.finished_at = self.sim.now
@@ -217,6 +231,11 @@ class UniDriveClient:
                 conflicts=len(report.conflicts),
                 version=report.committed_version,
             )
+            self._trace_ctx = None
+            self.lock.trace_ctx = None
+        if TELEMETRY.enabled:
+            TELEMETRY.sync_round(self.device, report.started_at,
+                                 self.sim.now, ok=True)
         self._account_round(meta0, blocks0)
         return report
 
@@ -340,23 +359,26 @@ class UniDriveClient:
         self.journal.begin(self.image.version.counter, plan["new_records"])
         # Data blocks travel before any metadata becomes visible.
         if uploads:
+            span = None
+            batch_ctx = None
+            if TRACE.enabled:
+                sid = TRACE.tracer.next_id()
+                attrs = _ctx_attrs(self._trace_ctx, sid)
+                span = TRACE.begin(
+                    "upload_batch", t=self.sim.now, track=self.device,
+                    files=len(uploads),
+                    bytes=sum(u.size for u in uploads), **attrs,
+                )
+                batch_ctx = (attrs.get("trace_id", sid), sid)
             scheduler = UploadScheduler(
                 self.sim, self.connections, self.pipeline, self.config,
                 estimator=self.estimator, retry_policy=self.retry,
                 rng=self.rng,
                 on_block_uploaded=self.journal.record_block,
                 resume=resume,
+                trace_ctx=batch_ctx, tenant=self.device,
             )
             self._active_upload = scheduler
-            span = (
-                TRACE.begin(
-                    "upload_batch", t=self.sim.now, track=self.device,
-                    files=len(uploads),
-                    bytes=sum(u.size for u in uploads),
-                )
-                if TRACE.enabled
-                else None
-            )
             upload_report = yield from scheduler.run_batch(uploads)
             self._active_upload = None
             if span is not None:
@@ -837,18 +859,20 @@ class UniDriveClient:
             wants.append(FileDownload(path=path, segments=records))
         if not wants:
             return
+        span = None
+        batch_ctx = None
+        if TRACE.enabled:
+            sid = TRACE.tracer.next_id()
+            attrs = _ctx_attrs(self._trace_ctx, sid)
+            span = TRACE.begin(
+                "download_batch", t=self.sim.now, track=self.device,
+                files=len(wants), **attrs,
+            )
+            batch_ctx = (attrs.get("trace_id", sid), sid)
         scheduler = DownloadScheduler(
             self.sim, self.connections, self.pipeline, self.config,
             estimator=self.estimator, retry_policy=self.retry,
-            rng=self.rng,
-        )
-        span = (
-            TRACE.begin(
-                "download_batch", t=self.sim.now, track=self.device,
-                files=len(wants),
-            )
-            if TRACE.enabled
-            else None
+            rng=self.rng, trace_ctx=batch_ctx, tenant=self.device,
         )
         batch = yield from scheduler.run_batch(wants)
         if span is not None:
@@ -1009,7 +1033,7 @@ class UniDriveClient:
                 scheduler = DownloadScheduler(
                     self.sim, self.connections, self.pipeline, self.config,
                     estimator=self.estimator, retry_policy=self.retry,
-                    rng=self.rng,
+                    rng=self.rng, tenant=self.device,
                 )
                 batch = yield from scheduler.run_batch(
                     [FileDownload(path=path, segments=records)]

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..cloud import CloudAPI
 from ..obs import METRICS, TRACE
+from ..obs.tracer import ctx_attrs as _ctx_attrs
 from ..simkernel import Interrupt, Simulator
 from .config import UniDriveConfig
 from .retry import RetryPolicy
@@ -59,6 +60,16 @@ class QuorumLock:
         self._rng = rng
         self.held = False
         self._refresher = None
+        # Correlation context for the current sync round; the owning
+        # client stamps a (trace_id, parent sid) pair here before
+        # acquiring so lock spans join the round's trace.  Safe as an
+        # attribute (unlike connection-level state) because one lock
+        # belongs to exactly one client process.
+        self.trace_ctx = None
+        # (trace_id, lock_acquire sid) while an acquire/hold is in
+        # flight: the lock-file uploads it issues (quorum rounds and
+        # refresh keepalives) join the acquire's trace through this.
+        self._op_ctx = None
         # (cloud_id, file name, server mtime) -> local time first observed.
         # Pruned against every successful listing (see _try_once): a key
         # is only meaningful while its exact (name, mtime) pair is still
@@ -112,11 +123,15 @@ class QuorumLock:
         if self.held:
             raise RuntimeError(f"{self.device} already holds the lock")
         deadline = self.sim.now + self.config.lock_acquire_timeout
-        span = (
-            TRACE.begin("lock_acquire", t=self.sim.now, track=self.device)
-            if TRACE.enabled
-            else None
-        )
+        span = None
+        if TRACE.enabled:
+            sid = TRACE.tracer.next_id()
+            attrs = _ctx_attrs(self.trace_ctx, sid)
+            span = TRACE.begin(
+                "lock_acquire", t=self.sim.now, track=self.device,
+                **attrs,
+            )
+            self._op_ctx = (attrs.get("trace_id", sid), sid)
         attempt = 0
         try:
             while True:
@@ -135,6 +150,7 @@ class QuorumLock:
                     return
                 yield from self._withdraw()
                 if self.sim.now >= deadline:
+                    self._op_ctx = None
                     if span is not None:
                         TRACE.end(span, t=self.sim.now,
                                   rounds=attempt + 1, error="LockTimeout")
@@ -160,6 +176,7 @@ class QuorumLock:
             # propagating.  (A hard process kill skips this cleanup,
             # exactly like a real crash; the journal's lock_pending
             # flag lets the owner clean up on resume.)
+            self._op_ctx = None
             if span is not None:
                 TRACE.end(span, t=self.sim.now,
                           rounds=attempt + 1, error="aborted")
@@ -172,6 +189,7 @@ class QuorumLock:
             self._refresher.interrupt("released")
         self._refresher = None
         self.held = False
+        self._op_ctx = None
         yield from self._withdraw()
 
     def cleanup(self):
@@ -193,7 +211,8 @@ class QuorumLock:
         """One acquisition round; returns the number of clouds locked."""
         yield from gather_safe(
             self.sim,
-            [conn.upload(self.lock_path, b"") for conn in self.connections],
+            [conn.upload(self.lock_path, b"", ctx=self._op_ctx)
+             for conn in self.connections],
         )
         listings = yield from gather_safe(
             self.sim,
@@ -284,7 +303,7 @@ class QuorumLock:
                 yield from gather_safe(
                     self.sim,
                     [
-                        conn.upload(self.lock_path, b"")
+                        conn.upload(self.lock_path, b"", ctx=self._op_ctx)
                         for conn in self.connections
                     ],
                 )

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Generator, Optional, Tuple, Type
 
 from ..cloud import CloudError
-from ..obs import METRICS, TRACE
+from ..obs import METRICS, TELEMETRY, TRACE
 
 __all__ = ["RetryPolicy", "RETRY", "FAIL_FAST", "GIVE_UP"]
 
@@ -129,11 +129,17 @@ class RetryPolicy:
             except Exception as exc:
                 action = self.classify(exc)
                 if action is not RETRY or attempt >= self.max_attempts:
+                    outcome = action if action is not RETRY else "exhausted"
                     if METRICS.enabled:
                         METRICS.inc(
                             "retry_outcome",
-                            outcome=action if action is not RETRY else "exhausted",
+                            outcome=outcome,
                             error=type(exc).__name__,
+                        )
+                    if TELEMETRY.enabled:
+                        TELEMETRY.retry(
+                            sim.now, outcome,
+                            cloud=getattr(exc, "cloud_id", None),
                         )
                     raise
                 if METRICS.enabled:
@@ -141,6 +147,11 @@ class RetryPolicy:
                         "retry_outcome",
                         outcome=RETRY,
                         error=type(exc).__name__,
+                    )
+                if TELEMETRY.enabled:
+                    TELEMETRY.retry(
+                        sim.now, RETRY,
+                        cloud=getattr(exc, "cloud_id", None),
                     )
                 if on_failure is not None:
                     on_failure(exc, attempt)

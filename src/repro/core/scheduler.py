@@ -35,7 +35,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import math
 
 from ..cloud import CloudAPI, CloudError, NotFoundError
-from ..obs import METRICS, TRACE
+from ..obs import METRICS, TELEMETRY, TRACE
+from ..obs.tracer import ctx_attrs as _ctx_attrs
 from ..simkernel import AllOf, Simulator
 from .config import UniDriveConfig
 from .metadata import SegmentRecord
@@ -85,6 +86,21 @@ def _record_block_metrics(estimator, conn, cloud_id, direction, nbytes,
                 abs(est - true_rate) / true_rate,
                 direction=direction,
             )
+
+
+def _telemetry_estimator(estimator, conn, cloud_id, direction, now):
+    """Feed estimate-vs-true-link gauges to the telemetry windows
+    (callers guard on ``TELEMETRY.enabled``)."""
+    engine = getattr(
+        conn, "uplink" if direction == UPLOAD else "downlink", None
+    )
+    bandwidth = getattr(engine, "bandwidth", None)
+    if bandwidth is None:
+        return
+    true_rate = bandwidth.rate_at(now)
+    est = estimator.estimate(cloud_id, direction)
+    if math.isfinite(est):
+        TELEMETRY.estimator(cloud_id, now, direction, est, true_rate)
 
 
 # ---------------------------------------------------------------------------
@@ -372,6 +388,8 @@ class UploadScheduler:
         retry_policy: Optional[RetryPolicy] = None,
         rng=None,
         resume: Optional[Dict[str, Dict[int, str]]] = None,
+        trace_ctx=None,
+        tenant: Optional[str] = None,
     ):
         if not connections:
             raise ValueError("need at least one cloud connection")
@@ -384,6 +402,11 @@ class UploadScheduler:
         self.over_provision = over_provision
         self.dynamic = dynamic
         self.on_block_uploaded = on_block_uploaded
+        # Trace-correlation ancestry for this batch's transfer spans and
+        # tenant identity for per-tenant SLO accounting; both optional
+        # and inert unless the respective hub is enabled.
+        self.trace_ctx = trace_ctx
+        self.tenant = tenant
         # Journal resume: segment_id -> {index: cloud_id} of blocks a
         # previous (crashed) round already landed; they are credited as
         # uploaded at batch start and never re-transferred.
@@ -527,18 +550,20 @@ class UploadScheduler:
             path = self.pipeline.block_path(state.record, index)
             self._inflight_total += 1
             start = self.sim.now
-            span = (
-                TRACE.begin(
+            span = None
+            block_ctx = None
+            if TRACE.enabled:
+                sid = TRACE.tracer.next_id()
+                attrs = _ctx_attrs(self.trace_ctx, sid)
+                span = TRACE.begin(
                     "transfer", t=start, track=cloud_id,
                     dir=UPLOAD, seg=state.record.segment_id[:12],
                     block=index, bytes=len(block), fair=task.is_fair,
-                    attempt=self._dead[cloud_id] + 1,
+                    attempt=self._dead[cloud_id] + 1, **attrs,
                 )
-                if TRACE.enabled
-                else None
-            )
+                block_ctx = (attrs.get("trace_id", sid), sid)
             try:
-                yield from conn.upload(path, block)
+                yield from conn.upload(path, block, ctx=block_ctx)
             except CloudError as exc:
                 self._inflight_total -= 1
                 self._failed_requests += 1
@@ -560,6 +585,11 @@ class UploadScheduler:
                     METRICS.inc(
                         "scheduler_redispatch",
                         cloud=cloud_id, direction=UPLOAD,
+                    )
+                if TELEMETRY.enabled:
+                    TELEMETRY.transfer(
+                        cloud_id, self.sim.now, False, 0, UPLOAD,
+                        tenant=self.tenant, retry_action=action,
                     )
                 dead = self._note_failure(cloud_id, fatal=fatal)
                 state.fail(index, cloud_id, task.is_fair, cloud_dead=dead)
@@ -599,6 +629,14 @@ class UploadScheduler:
                 _record_block_metrics(
                     self.estimator, conn, cloud_id, UPLOAD,
                     len(block), task.is_fair, self.sim.now,
+                )
+            if TELEMETRY.enabled:
+                TELEMETRY.transfer(
+                    cloud_id, self.sim.now, True, len(block), UPLOAD,
+                    tenant=self.tenant, redundant=not task.is_fair,
+                )
+                _telemetry_estimator(
+                    self.estimator, conn, cloud_id, UPLOAD, self.sim.now
                 )
             state.complete(index, cloud_id, task.is_fair)
             if task.is_fair:
@@ -1008,6 +1046,8 @@ class DownloadScheduler:
         dynamic: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
         rng=None,
+        trace_ctx=None,
+        tenant: Optional[str] = None,
     ):
         if not connections:
             raise ValueError("need at least one cloud connection")
@@ -1019,6 +1059,8 @@ class DownloadScheduler:
         self.dynamic = dynamic
         self.retry = retry_policy or RetryPolicy.from_config(config)
         self.rng = rng
+        self.trace_ctx = trace_ctx
+        self.tenant = tenant
         self._files: List[FileDownload] = []
         self._reports: Dict[str, FileDownloadReport] = {}
         self._states: Dict[str, _SegmentDownloadState] = {}
@@ -1135,17 +1177,20 @@ class DownloadScheduler:
             self._inflight_total += 1
             path = self.pipeline.block_path(state.record, index)
             start = self.sim.now
-            span = (
-                TRACE.begin(
+            span = None
+            block_ctx = None
+            if TRACE.enabled:
+                sid = TRACE.tracer.next_id()
+                attrs = _ctx_attrs(self.trace_ctx, sid)
+                span = TRACE.begin(
                     "transfer", t=start, track=cloud_id,
                     dir=DOWNLOAD, seg=state.record.segment_id[:12],
                     block=index, attempt=self._dead[cloud_id] + 1,
+                    **attrs,
                 )
-                if TRACE.enabled
-                else None
-            )
+                block_ctx = (attrs.get("trace_id", sid), sid)
             try:
-                block = yield from conn.download(path)
+                block = yield from conn.download(path, ctx=block_ctx)
             except CloudError as exc:
                 self._inflight_total -= 1
                 self._failed_requests += 1
@@ -1170,6 +1215,18 @@ class DownloadScheduler:
                         "scheduler_redispatch",
                         cloud=cloud_id, direction=DOWNLOAD,
                     )
+                if TELEMETRY.enabled:
+                    if isinstance(exc, NotFoundError):
+                        # Deterministic miss: this cloud simply doesn't
+                        # hold the block (raced GC / placement) — the
+                        # dispatcher refetches another replica.  Not a
+                        # health or SLO signal.
+                        TELEMETRY.missing_block(cloud_id, self.sim.now)
+                    else:
+                        TELEMETRY.transfer(
+                            cloud_id, self.sim.now, False, 0, DOWNLOAD,
+                            tenant=self.tenant, retry_action=action,
+                        )
                 if action is not RETRY and not isinstance(exc, NotFoundError):
                     self._dead[cloud_id] = max(
                         self._dead[cloud_id],
@@ -1224,6 +1281,11 @@ class DownloadScheduler:
                         "scheduler_redispatch",
                         cloud=cloud_id, direction=DOWNLOAD,
                     )
+                if TELEMETRY.enabled:
+                    TELEMETRY.transfer(
+                        cloud_id, self.sim.now, False, 0, DOWNLOAD,
+                        tenant=self.tenant, retry_action="give-up",
+                    )
                 self._pulse()
                 continue
             self._dead[cloud_id] = 0
@@ -1237,6 +1299,14 @@ class DownloadScheduler:
                 _record_block_metrics(
                     self.estimator, conn, cloud_id, DOWNLOAD,
                     len(block), True, self.sim.now,
+                )
+            if TELEMETRY.enabled:
+                TELEMETRY.transfer(
+                    cloud_id, self.sim.now, True, len(block), DOWNLOAD,
+                    tenant=self.tenant,
+                )
+                _telemetry_estimator(
+                    self.estimator, conn, cloud_id, DOWNLOAD, self.sim.now
                 )
             state.inflight.pop(index, None)
             state.blocks[index] = block

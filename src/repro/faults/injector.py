@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..obs import TRACE
+from ..obs import TELEMETRY, TRACE
 
 __all__ = ["FaultInjector", "PinnedStress", "ForcedFailures", "FaultEvent"]
 
@@ -101,6 +101,8 @@ class FaultInjector:
         # ``<stem>-begin`` / ``<stem>-end`` pairs back into window spans.
         if TRACE.enabled:
             TRACE.event("fault", t=self.sim.now, track=target, kind=kind)
+        if TELEMETRY.enabled:
+            TELEMETRY.fault(target, self.sim.now, kind)
 
     def windows(self, kind: str, target: Optional[str] = None):
         """Closed [begin, end] windows reconstructed from the log.

@@ -20,6 +20,7 @@ import math
 from typing import List, Optional
 
 from ..obs import TRACE
+from ..obs.tracer import ctx_attrs as _ctx_attrs
 from ..simkernel import Event, Simulator
 
 __all__ = ["TransferEngine", "Transfer", "SharedNic"]
@@ -176,11 +177,13 @@ class TransferEngine:
             rate *= self.nic.scale()
         return rate
 
-    def start(self, nbytes: float) -> Transfer:
+    def start(self, nbytes: float, ctx=None) -> Transfer:
         """Begin transferring ``nbytes``; ``transfer.event`` fires at completion.
 
         Zero-byte transfers complete immediately (a control request's
         payload time is dominated by latency, handled elsewhere).
+        ``ctx`` is an optional ``(trace_id, parent sid)`` correlation
+        pair stamped onto the flow span; it never affects timing.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
@@ -190,9 +193,10 @@ class TransferEngine:
             transfer.event.succeed(transfer)
             return transfer
         if TRACE.enabled and self.trace_track is not None:
+            sid = TRACE.tracer.next_id()
             transfer.span = TRACE.begin(
                 self.trace_name, t=self.sim.now, track=self.trace_track,
-                bytes=transfer.nbytes,
+                bytes=transfer.nbytes, **_ctx_attrs(ctx, sid),
             )
         self._advance()
         self._active.append(transfer)

@@ -23,10 +23,14 @@ from __future__ import annotations
 
 import logging
 from contextlib import contextmanager
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple, Union
 
-from . import export
+from . import export, health, slo, timeseries
+from .health import HealthScoreboard
 from .metrics import DEFAULT_BUCKETS, METRICS, Metrics, MetricsHub, merge_snapshots
+from .slo import SLO, SLOEngine
+from .telemetry import TELEMETRY, Telemetry, TelemetryHub
+from .timeseries import TimeSeries, merge_window_snapshots
 from .tracer import (
     NULL_SPAN,
     EventRecord,
@@ -34,6 +38,7 @@ from .tracer import (
     TRACE,
     TraceHub,
     Tracer,
+    ctx_attrs,
 )
 
 __all__ = [
@@ -42,18 +47,31 @@ __all__ = [
     "isolated",
     "get_tracer",
     "get_metrics",
+    "get_telemetry",
     "TRACE",
     "METRICS",
+    "TELEMETRY",
     "Tracer",
     "Metrics",
+    "Telemetry",
     "TraceHub",
     "MetricsHub",
+    "TelemetryHub",
+    "TimeSeries",
+    "HealthScoreboard",
+    "SLO",
+    "SLOEngine",
     "SpanRecord",
     "EventRecord",
     "NULL_SPAN",
     "DEFAULT_BUCKETS",
     "merge_snapshots",
+    "merge_window_snapshots",
+    "ctx_attrs",
     "export",
+    "health",
+    "slo",
+    "timeseries",
 ]
 
 _LOG_HANDLER_FLAG = "_repro_obs_handler"
@@ -79,19 +97,26 @@ def configure(
     clock: Optional[Callable[[], float]] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[Metrics] = None,
+    telemetry: Union[bool, Telemetry, None] = None,
     log_level: Optional[int] = None,
 ) -> Tuple[Optional[Tracer], Optional[Metrics]]:
     """Install (or tear down) the process-global tracer and metrics.
 
     ``sim`` binds the tracer clock to ``sim.now``; an explicit ``clock``
-    callable wins over ``sim``.  Returns ``(tracer, metrics)`` — the
-    installed instances — or ``(None, None)`` when ``enabled=False``.
+    callable wins over ``sim``.  ``telemetry`` opts into the streaming
+    subsystem (windows + health scoreboard + SLO engine): pass ``True``
+    for a stock :class:`Telemetry` pipeline or a configured instance;
+    the default ``None`` leaves the telemetry hub untouched so existing
+    callers keep their exact behaviour.  Returns ``(tracer, metrics)``
+    — the installed instances — or ``(None, None)`` when
+    ``enabled=False`` (which also uninstalls telemetry).
     """
     if log_level is not None:
         _configure_logging(log_level)
     if not enabled:
         TRACE.install(None)
         METRICS.install(None)
+        TELEMETRY.install(None)
         return None, None
     if clock is None and sim is not None:
         clock = lambda: sim.now  # noqa: E731 - tiny closure over the sim
@@ -103,13 +128,21 @@ def configure(
         metrics = Metrics()
     TRACE.install(tracer)
     METRICS.install(metrics)
+    if telemetry is not None:
+        if telemetry is True:
+            TELEMETRY.install(Telemetry())
+        elif telemetry is False:
+            TELEMETRY.install(None)
+        else:
+            TELEMETRY.install(telemetry)
     return tracer, metrics
 
 
 def disable() -> None:
-    """Uninstall tracer and metrics; hot-path guards go back to False."""
+    """Uninstall tracer, metrics and telemetry; guards go back to False."""
     TRACE.install(None)
     METRICS.install(None)
+    TELEMETRY.install(None)
 
 
 def get_tracer() -> Optional[Tracer]:
@@ -120,19 +153,28 @@ def get_metrics() -> Optional[Metrics]:
     return METRICS.metrics
 
 
+def get_telemetry() -> Optional[Telemetry]:
+    return TELEMETRY.telemetry
+
+
 @contextmanager
 def isolated(
     sim: Optional[Any] = None,
     clock: Optional[Callable[[], float]] = None,
+    telemetry: Union[bool, Telemetry, None] = None,
 ):
     """Install a fresh tracer+metrics pair for the dynamic extent of the
     block, restoring whatever was installed before.  Used by the parallel
     campaign runner (each worker cell gets its own buffer) and by tests.
+    ``telemetry`` follows :func:`configure`'s convention (``None`` keeps
+    the surrounding hub installed; ``True``/an instance isolates one).
     Yields ``(tracer, metrics)``."""
     prev_tracer = TRACE.tracer
     prev_metrics = METRICS.metrics
+    prev_telemetry = TELEMETRY.telemetry
     try:
-        yield configure(sim=sim, clock=clock)
+        yield configure(sim=sim, clock=clock, telemetry=telemetry)
     finally:
         TRACE.install(prev_tracer)
         METRICS.install(prev_metrics)
+        TELEMETRY.install(prev_telemetry)

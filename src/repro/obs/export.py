@@ -19,7 +19,14 @@ and https://ui.perfetto.dev):
 * point events become ``"ph": "i"`` instants on lane 0;
 * fault begin/end event pairs (from :class:`repro.faults.FaultInjector`)
   are stitched into synthetic ``fault:<kind>`` spans so outage windows
-  are visible as bars on the affected cloud's track.
+  are visible as bars on the affected cloud's track;
+* spans whose attrs carry a ``parent`` sid (the trace-correlation
+  chain: ``sync_round`` → batch → ``transfer`` → netsim flow) emit
+  ``"ph": "s"`` / ``"ph": "f"`` **flow arrows**, so Perfetto draws the
+  causal path across device and cloud tracks;
+* ``health_transition`` events render a ``"ph": "C"`` per-cloud score
+  counter track, and an optional telemetry window snapshot adds counter
+  tracks for every windowed series (one ``telemetry`` process).
 """
 
 from __future__ import annotations
@@ -130,8 +137,17 @@ def _stitch_fault_windows(
     return spans
 
 
-def chrome_trace(records: Iterable[Any]) -> Dict[str, Any]:
-    """Convert records to a Chrome trace-event document."""
+def chrome_trace(
+    records: Iterable[Any],
+    windows: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Convert records to a Chrome trace-event document.
+
+    ``windows`` is an optional :meth:`TimeSeries.snapshot` (or the
+    ``"windows"`` member of a full telemetry snapshot): every windowed
+    counter/gauge series becomes a ``"ph": "C"`` counter track under a
+    synthetic ``telemetry`` process, sampled once per window.
+    """
     rows = records_to_json(records)
     rows = [r for r in rows if r.get("type") in ("span", "event")]
     end_of_trace = _trace_end(rows)
@@ -160,7 +176,10 @@ def chrome_trace(records: Iterable[Any]) -> Dict[str, Any]:
         })
 
     # Greedy interval colouring per track: overlapping spans get
-    # distinct lanes (tids >= 1); instants live on lane 0.
+    # distinct lanes (tids >= 1); instants live on lane 0.  Placement
+    # of correlated spans (those stamped with a ``sid``) is remembered
+    # for the flow-arrow pass below.
+    placed: Dict[Any, Dict[str, float]] = {}
     for track, pid in pids.items():
         spans = [
             r for r in rows
@@ -188,6 +207,64 @@ def chrome_trace(records: Iterable[Any]) -> Dict[str, Any]:
                 "tid": lane + 1,
                 "args": span["attrs"],
             })
+            sid = span["attrs"].get("sid")
+            if sid is not None:
+                placed[sid] = {
+                    "pid": pid, "tid": lane + 1, "t0": t0, "t1": t1,
+                    "name": span["name"],
+                }
+
+    # Flow arrows along the correlation chain: every span carrying a
+    # ``parent`` sid gets an arrow from its parent span's lane to its
+    # own.  The start timestamp is the child's begin time clamped into
+    # the parent's interval — Chrome requires the "s" phase to land
+    # inside the emitting slice.
+    for row in rows:
+        if row["type"] != "span":
+            continue
+        parent = row["attrs"].get("parent")
+        sid = row["attrs"].get("sid")
+        if parent is None or sid is None:
+            continue
+        src = placed.get(parent)
+        dst = placed.get(sid)
+        if src is None or dst is None:
+            continue
+        start_ts = min(max(dst["t0"], src["t0"]), src["t1"])
+        events.append({
+            "name": f"{src['name']}->{dst['name']}",
+            "cat": "flow",
+            "ph": "s",
+            "id": sid,
+            "ts": start_ts * _US,
+            "pid": src["pid"],
+            "tid": src["tid"],
+        })
+        events.append({
+            "name": f"{src['name']}->{dst['name']}",
+            "cat": "flow",
+            "ph": "f",
+            "bp": "e",
+            "id": sid,
+            "ts": dst["t0"] * _US,
+            "pid": dst["pid"],
+            "tid": dst["tid"],
+        })
+
+    # Per-cloud health-score counter tracks from transition events.
+    for row in rows:
+        if (row["type"] == "event"
+                and row["name"] == "health_transition"
+                and "score" in row["attrs"]):
+            events.append({
+                "name": f"health_score:{row['track']}",
+                "cat": "counter",
+                "ph": "C",
+                "ts": row["t"] * _US,
+                "pid": pids[row["track"]],
+                "tid": 0,
+                "args": {"score": row["attrs"]["score"]},
+            })
 
     for row in rows:
         if row["type"] != "event":
@@ -209,14 +286,71 @@ def chrome_trace(records: Iterable[Any]) -> Dict[str, Any]:
             "args": row["attrs"],
         })
 
+    if windows:
+        events.extend(_window_counter_events(windows, len(pids) + 1))
+
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _window_counter_events(
+    windows: Dict[str, Any], pid: int
+) -> List[Dict[str, Any]]:
+    """Counter-track events from a :meth:`TimeSeries.snapshot`.
+
+    Counters sample their per-window total at the window's start time;
+    gauges sample their last-write value at its observation time.  All
+    series share one synthetic ``telemetry`` process so they group
+    together in the Perfetto track list.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "telemetry"},
+        },
+        {
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"sort_index": pid},
+        },
+    ]
+    body = windows.get("windows", {})
+    for index in sorted(body, key=int):
+        window = body[index]
+        t0 = window["t0"]
+        for key, value in sorted(window.get("counters", {}).items()):
+            events.append({
+                "name": key,
+                "cat": "counter",
+                "ph": "C",
+                "ts": t0 * _US,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": value},
+            })
+        for key, (t, value) in sorted(window.get("gauges", {}).items()):
+            events.append({
+                "name": key,
+                "cat": "counter",
+                "ph": "C",
+                "ts": t * _US,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": value},
+            })
+    return events
 
 
 def write_chrome(
     records: Iterable[Any],
     target: Union[str, IO[str]],
+    windows: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    doc = chrome_trace(records)
+    doc = chrome_trace(records, windows=windows)
     if isinstance(target, str):
         with open(target, "w", encoding="utf-8") as fp:
             json.dump(doc, fp)

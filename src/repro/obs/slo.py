@@ -1,0 +1,229 @@
+"""SLI/SLO definitions and multi-window burn-rate alerting.
+
+The survey axes this repo reproduces — sync latency, traffic overhead,
+error rates — become *service level indicators* here, counted per
+tenant (device or folder) into the windowed time series
+(:mod:`repro.obs.timeseries`) as good/total event pairs:
+
+* ``slo_sync_latency``   — a sync round is *good* iff its duration is
+  at or under the latency target (the p95 objective rides on the
+  good-event ratio, the standard request-based SLI encoding);
+* ``slo_block_errors``   — a block transfer is *good* iff it completed
+  without an error;
+* ``slo_redundancy``     — an uploaded byte is *good* iff it was not
+  redundant (fair-share payload rather than extra parity copies).
+
+**Burn rate** is the classic SRE quantity: with objective ``o`` the
+error budget is ``1 - o``, and over a look-back window
+
+    burn = bad_fraction(window) / (1 - o)
+
+``burn == 1`` spends the budget exactly at sustainable pace; an alert
+*fires* when burn exceeds a rule's threshold on **both** a long and a
+short window — the long window proves the problem is material, the
+short window proves it is still happening (no alerts for long-healed
+incidents).  Windows are spans of the virtual clock, evaluated from the
+tumbling-window counters, so evaluation is deterministic, mergeable
+across campaign cells, and equally computable live or from a recorded
+snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .timeseries import TimeSeries
+
+__all__ = ["SLO", "SLOEngine", "BurnRule", "default_slos"]
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One multi-window burn-rate alert rule."""
+
+    long_window: float     # sim seconds of the material window
+    short_window: float    # sim seconds of the still-happening window
+    threshold: float       # fire when both burns exceed this
+
+    def __post_init__(self):
+        if self.short_window > self.long_window:
+            raise ValueError(
+                f"short window {self.short_window} exceeds long window "
+                f"{self.long_window}"
+            )
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A good/total-counter objective for one indicator."""
+
+    name: str              # e.g. "sync_latency"; counters are slo_<name>
+    objective: float       # target good-event ratio, e.g. 0.95
+    description: str = ""
+    rules: Tuple[BurnRule, ...] = (
+        BurnRule(long_window=600.0, short_window=120.0, threshold=2.0),
+    )
+
+    def __post_init__(self):
+        if not 0 < self.objective < 1:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+
+    @property
+    def good_counter(self) -> str:
+        return f"slo_{self.name}_good"
+
+    @property
+    def total_counter(self) -> str:
+        return f"slo_{self.name}_total"
+
+
+def default_slos(latency_target: float = 10.0) -> Tuple[SLO, ...]:
+    """The stock fleet SLOs (latency target in sim seconds)."""
+    return (
+        SLO(
+            name="sync_latency",
+            objective=0.9,
+            description=(
+                f"sync rounds complete within {latency_target:g}s "
+                "(p95-style latency objective)"
+            ),
+        ),
+        SLO(
+            name="block_errors",
+            objective=0.95,
+            description="block transfers complete without error",
+        ),
+        SLO(
+            name="redundancy",
+            objective=0.5,
+            description="uploaded bytes are fair-share payload, not parity",
+        ),
+    )
+
+
+class SLOEngine:
+    """Counts SLI events into a :class:`TimeSeries` and evaluates burns."""
+
+    def __init__(
+        self,
+        timeseries: TimeSeries,
+        slos: Optional[Tuple[SLO, ...]] = None,
+        latency_target: float = 10.0,
+    ):
+        self.timeseries = timeseries
+        self.latency_target = latency_target
+        self.slos: Dict[str, SLO] = {
+            slo.name: slo for slo in (slos or default_slos(latency_target))
+        }
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, name: str, tenant: str, t: float, good: bool,
+               weight: float = 1.0) -> None:
+        """Count one SLI event for ``tenant`` at sim time ``t``."""
+        slo = self.slos.get(name)
+        if slo is None:
+            return
+        self.timeseries.inc(slo.total_counter, t, weight, tenant=tenant)
+        if good:
+            self.timeseries.inc(slo.good_counter, t, weight, tenant=tenant)
+
+    def sync_round(self, tenant: str, t: float, duration: float,
+                   ok: bool = True) -> None:
+        self.record("sync_latency", tenant, t,
+                    ok and duration <= self.latency_target)
+
+    def block_transfer(self, tenant: str, t: float, ok: bool) -> None:
+        self.record("block_errors", tenant, t, ok)
+
+    def upload_bytes(self, tenant: str, t: float, nbytes: float,
+                     redundant: bool) -> None:
+        self.record("redundancy", tenant, t, not redundant, weight=nbytes)
+
+    # -- evaluation -------------------------------------------------------
+
+    def _bad_fraction(self, slo: SLO, tenant: str, t: float,
+                      window: float) -> Optional[float]:
+        """Bad-event fraction over sim-time ``[t - window, t]``.
+
+        Uses every tumbling window overlapping the range; returns None
+        when no events were counted (no data is not an alert).
+        """
+        ts = self.timeseries
+        first = int(math.floor((t - window) / ts.width))
+        last = int(math.floor(t / ts.width))
+        good = total = 0.0
+        for index in ts.window_indices():
+            if first <= index <= last:
+                good += ts.counter_value(slo.good_counter, index,
+                                         tenant=tenant)
+                total += ts.counter_value(slo.total_counter, index,
+                                          tenant=tenant)
+        if total <= 0:
+            return None
+        return max(0.0, 1.0 - good / total)
+
+    def tenants(self, slo: SLO) -> List[str]:
+        """Every tenant label that counted events for ``slo``."""
+        found = set()
+        for index in self.timeseries.window_indices():
+            win = self.timeseries._windows[index]
+            for key in win.counters:
+                if (len(key) == 2 and key[0] == slo.total_counter
+                        and key[1][0] == "tenant"):
+                    found.add(str(key[1][1]))
+        return sorted(found)
+
+    def evaluate(self, t: float) -> List[Dict[str, Any]]:
+        """Evaluate every (SLO, tenant, rule) at sim time ``t``.
+
+        Returns one dict per pair with the burn rates and whether the
+        alert fired; deterministic order (slo name, tenant).
+        """
+        out: List[Dict[str, Any]] = []
+        for name in sorted(self.slos):
+            slo = self.slos[name]
+            for tenant in self.tenants(slo):
+                fired_rules = []
+                burns: List[Dict[str, Any]] = []
+                for rule in slo.rules:
+                    bad_long = self._bad_fraction(slo, tenant, t,
+                                                  rule.long_window)
+                    bad_short = self._bad_fraction(slo, tenant, t,
+                                                   rule.short_window)
+                    budget = 1.0 - slo.objective
+                    burn_long = (None if bad_long is None
+                                 else bad_long / budget)
+                    burn_short = (None if bad_short is None
+                                  else bad_short / budget)
+                    fired = (
+                        burn_long is not None and burn_short is not None
+                        and burn_long > rule.threshold
+                        and burn_short > rule.threshold
+                    )
+                    burns.append({
+                        "long_window": rule.long_window,
+                        "short_window": rule.short_window,
+                        "threshold": rule.threshold,
+                        "burn_long": burn_long,
+                        "burn_short": burn_short,
+                        "fired": fired,
+                    })
+                    if fired:
+                        fired_rules.append(rule)
+                out.append({
+                    "slo": name,
+                    "tenant": tenant,
+                    "objective": slo.objective,
+                    "rules": burns,
+                    "fired": bool(fired_rules),
+                })
+        return out
+
+    def alerts(self, t: float) -> List[Dict[str, Any]]:
+        """Only the (SLO, tenant) pairs whose alert fired at ``t``."""
+        return [row for row in self.evaluate(t) if row["fired"]]

@@ -1,0 +1,189 @@
+"""The streaming-telemetry hub: windows + health + SLOs behind one guard.
+
+:class:`Telemetry` bundles the three continuous subsystems —
+:class:`~repro.obs.timeseries.TimeSeries` windows,
+:class:`~repro.obs.health.HealthScoreboard`, and the
+:class:`~repro.obs.slo.SLOEngine` — and :data:`TELEMETRY` is the
+process-global dispatch point, mirroring :data:`~repro.obs.tracer.TRACE`
+exactly: hot paths pay one attribute read (``if TELEMETRY.enabled:``)
+when telemetry is off, and recording never draws randomness, schedules
+simulator events, or mutates domain state, so simulation results are
+byte-identical with telemetry enabled, disabled, or absent.
+
+Queries are safe while disabled and return optimistic defaults
+(``health_state`` says ``healthy``): a scheduler may consult the signal
+unconditionally without perturbing un-instrumented runs.  This is the
+read side the future asyncio service's admission control and
+backpressure will hang off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .health import HEALTHY, HealthScoreboard
+from .slo import SLO, SLOEngine
+from .timeseries import TimeSeries
+
+__all__ = ["Telemetry", "TelemetryHub", "TELEMETRY"]
+
+UPLOAD = "up"
+
+
+class Telemetry:
+    """One enabled telemetry pipeline (windows + scoreboard + SLOs)."""
+
+    def __init__(
+        self,
+        window: float = 60.0,
+        ring: int = 256,
+        latency_target: float = 10.0,
+        scoreboard: Optional[HealthScoreboard] = None,
+        slos: Optional[Tuple[SLO, ...]] = None,
+    ):
+        self.timeseries = TimeSeries(width=window, ring=ring)
+        self.health = scoreboard if scoreboard is not None else HealthScoreboard()
+        self.slo = SLOEngine(self.timeseries, slos=slos,
+                             latency_target=latency_target)
+        self.last_t = 0.0
+
+    # -- recording fan-out ------------------------------------------------
+
+    def transfer(self, cloud: str, t: float, ok: bool, nbytes: float,
+                 direction: str, tenant: Optional[str] = None,
+                 redundant: bool = False,
+                 retry_action: Optional[str] = None) -> None:
+        """One block transfer outcome, fanned to every subsystem."""
+        self.last_t = t
+        self.health.transfer(cloud, t, ok, retry_action=retry_action)
+        ts = self.timeseries
+        ts.inc("blocks_ok" if ok else "blocks_failed", t, cloud=cloud)
+        if ok and nbytes:
+            ts.inc("window_bytes", t, nbytes, cloud=cloud, dir=direction)
+        who = tenant if tenant is not None else "-"
+        self.slo.block_transfer(who, t, ok)
+        if ok and direction == UPLOAD and nbytes:
+            self.slo.upload_bytes(who, t, nbytes, redundant)
+
+    def sync_round(self, tenant: str, t0: float, t1: float,
+                   ok: bool = True) -> None:
+        self.last_t = t1
+        duration = t1 - t0
+        self.timeseries.observe("round_duration", t1, duration,
+                                device=tenant)
+        self.slo.sync_round(tenant, t1, duration, ok=ok)
+
+    def missing_block(self, cloud: str, t: float) -> None:
+        """A deterministic per-(index, cloud) miss — the scheduler falls
+        back to another replica.  Counted, but never a health or SLO
+        penalty: the cloud answered correctly that it lacks the block."""
+        self.last_t = t
+        self.timeseries.inc("blocks_missing", t, cloud=cloud)
+
+    def retry(self, t: float, outcome: str,
+              cloud: Optional[str] = None) -> None:
+        self.last_t = t
+        self.timeseries.inc("window_retries", t, outcome=outcome)
+        if cloud is not None:
+            self.health.retry_outcome(cloud, t, outcome)
+
+    def estimator(self, cloud: str, t: float, direction: str,
+                  estimate: float, true_rate: float) -> None:
+        self.last_t = t
+        ts = self.timeseries
+        ts.gauge("estimator_bps", t, estimate, cloud=cloud, dir=direction)
+        ts.gauge("link_bps", t, true_rate, cloud=cloud, dir=direction)
+        if true_rate > 0:
+            self.health.estimator_error(
+                cloud, t, abs(estimate - true_rate) / true_rate
+            )
+
+    def fault(self, target: str, t: float, kind: str) -> None:
+        self.last_t = t
+        self.timeseries.inc("window_faults", t, kind=kind, target=target)
+        self.health.fault(target, t, kind)
+
+    # -- snapshot ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe end-of-run view of all three subsystems."""
+        return {
+            "windows": self.timeseries.snapshot(),
+            "health": self.health.snapshot(),
+            "slo": self.slo.evaluate(self.last_t),
+            "latency_target": self.slo.latency_target,
+            "last_t": self.last_t,
+        }
+
+
+class TelemetryHub:
+    """Process-global dispatch point mirroring :class:`TraceHub`."""
+
+    __slots__ = ("enabled", "telemetry")
+
+    def __init__(self):
+        self.enabled = False
+        self.telemetry: Optional[Telemetry] = None
+
+    def install(self, telemetry: Optional[Telemetry]) -> None:
+        self.telemetry = telemetry
+        self.enabled = telemetry is not None
+
+    # -- guarded writes ---------------------------------------------------
+
+    def transfer(self, cloud: str, t: float, ok: bool, nbytes: float,
+                 direction: str, tenant: Optional[str] = None,
+                 redundant: bool = False,
+                 retry_action: Optional[str] = None) -> None:
+        if self.enabled:
+            self.telemetry.transfer(cloud, t, ok, nbytes, direction,
+                                    tenant, redundant, retry_action)
+
+    def sync_round(self, tenant: str, t0: float, t1: float,
+                   ok: bool = True) -> None:
+        if self.enabled:
+            self.telemetry.sync_round(tenant, t0, t1, ok)
+
+    def missing_block(self, cloud: str, t: float) -> None:
+        if self.enabled:
+            self.telemetry.missing_block(cloud, t)
+
+    def retry(self, t: float, outcome: str,
+              cloud: Optional[str] = None) -> None:
+        if self.enabled:
+            self.telemetry.retry(t, outcome, cloud)
+
+    def estimator(self, cloud: str, t: float, direction: str,
+                  estimate: float, true_rate: float) -> None:
+        if self.enabled:
+            self.telemetry.estimator(cloud, t, direction, estimate,
+                                     true_rate)
+
+    def fault(self, target: str, t: float, kind: str) -> None:
+        if self.enabled:
+            self.telemetry.fault(target, t, kind)
+
+    # -- safe-while-disabled queries --------------------------------------
+
+    def health_state(self, cloud: str) -> str:
+        if not self.enabled:
+            return HEALTHY
+        return self.telemetry.health.state(cloud)
+
+    def health_score(self, cloud: str) -> float:
+        if not self.enabled:
+            return 1.0
+        return self.telemetry.health.score(cloud)
+
+    def alerts(self) -> List[Dict[str, Any]]:
+        if not self.enabled:
+            return []
+        return self.telemetry.slo.alerts(self.telemetry.last_t)
+
+    def snapshot(self) -> Optional[Dict[str, Any]]:
+        return self.telemetry.snapshot() if self.enabled else None
+
+
+#: The process-global telemetry hub.  Disabled (no-op) by default;
+#: install a pipeline with ``repro.obs.configure(telemetry=True)``.
+TELEMETRY = TelemetryHub()

@@ -35,7 +35,21 @@ __all__ = [
     "TraceHub",
     "TRACE",
     "NULL_SPAN",
+    "ctx_attrs",
 ]
+
+
+def ctx_attrs(ctx, sid: int) -> Dict[str, Any]:
+    """Correlation attrs for a span: its own ``sid`` plus its ancestry.
+
+    ``ctx`` is a ``(trace_id, parent sid)`` pair — or None, in which
+    case the span roots a fresh trace (``trace_id`` = its own id).  The
+    exporter stitches ``parent``/``sid`` chains into Perfetto flow
+    arrows; see ``repro.obs.export.chrome_trace``.
+    """
+    if ctx is None:
+        return {"sid": sid, "trace_id": sid}
+    return {"sid": sid, "trace_id": ctx[0], "parent": ctx[1]}
 
 
 def _zero_clock() -> float:
@@ -175,11 +189,23 @@ class _SpanContext:
 class Tracer:
     """An enabled trace buffer bound to a clock (usually ``sim.now``)."""
 
-    __slots__ = ("clock", "records")
+    __slots__ = ("clock", "records", "_seq")
 
     def __init__(self, clock: Callable[[], float] = _zero_clock):
         self.clock = clock
         self.records: List[Record] = []
+        self._seq = 0
+
+    def next_id(self) -> int:
+        """Allocate a span/trace id, unique within this tracer.
+
+        Correlated call sites stamp ids into span *attrs* (``sid`` for
+        the span's own id, ``trace_id``/``parent`` for its ancestry), so
+        records stay plain and uncorrelated spans pay nothing.  Ids are
+        a deterministic counter — identical runs allocate identical ids.
+        """
+        self._seq += 1
+        return self._seq
 
     # -- spans -----------------------------------------------------------
 

@@ -191,27 +191,41 @@ def _run_cell(cell: Cell, reducer=None):
     raise ValueError(f"unknown cell kind {cell.kind!r}")
 
 
-def _run_cell_traced(cell: Cell, reducer=None):
+def _run_cell_traced(cell: Cell, reducer=None, telemetry: bool = False):
     """Execute one cell under a fresh per-process trace buffer.
 
-    Returns ``(result, records, metrics_snapshot)``.  Each cell gets its
-    own isolated tracer/metrics pair, so worker processes (and inline
-    runs) buffer identically; instrumented call sites stamp spans with
-    explicit sim times, so records carry each cell's own virtual clock.
+    Returns ``(result, records, metrics_snapshot, windows)``.  Each cell
+    gets its own isolated tracer/metrics pair, so worker processes (and
+    inline runs) buffer identically; instrumented call sites stamp spans
+    with explicit sim times, so records carry each cell's own virtual
+    clock.  With ``telemetry`` the cell also runs under an isolated
+    :class:`~repro.obs.Telemetry` pipeline and its window snapshot comes
+    back for the parent's submission-order merge (``windows`` is None
+    otherwise).
     """
     from repro import obs
 
-    with obs.isolated() as (tracer, metrics):
+    with obs.isolated(telemetry=True if telemetry else None) as (
+        tracer, metrics,
+    ):
         result = _run_cell(cell, reducer)
-        return result, tracer.drain(), metrics.snapshot()
+        windows = (
+            obs.get_telemetry().timeseries.snapshot() if telemetry else None
+        )
+        return result, tracer.drain(), metrics.snapshot(), windows
 
 
-def _run_chunk(indices: Tuple[int, ...], collect_traces: bool) -> list:
+def _run_chunk(indices: Tuple[int, ...], collect_traces: bool,
+               collect_telemetry: bool = False) -> list:
     """Execute a batch of cells from the shared table, in index order."""
     cells = _SHARED_CELLS
     reducer = _SHARED_REDUCER
-    runner = _run_cell_traced if collect_traces else _run_cell
-    return [runner(cells[index], reducer) for index in indices]
+    if collect_traces:
+        return [
+            _run_cell_traced(cells[index], reducer, collect_telemetry)
+            for index in indices
+        ]
+    return [_run_cell(cells[index], reducer) for index in indices]
 
 
 # -- parent side ----------------------------------------------------------
@@ -231,6 +245,7 @@ def _cell_users(cell: Cell) -> int:
 def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
               chunk_size: Optional[int] = None,
               collect_traces: bool = False,
+              collect_telemetry: bool = False,
               reducer=None,
               dispatch_stats: Optional[dict] = None):
     """Run ``cells`` and return their results in submission order.
@@ -253,6 +268,12 @@ def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
     concatenated in submission order (each prefixed by a ``cell``
     boundary event), plus the per-cell metrics snapshots merged in the
     same order — deterministic regardless of worker scheduling.
+    ``collect_telemetry=True`` (implies trace collection) additionally
+    runs each cell under an isolated telemetry pipeline and appends a
+    fourth element: the per-cell window snapshots merged in submission
+    order via :func:`repro.obs.merge_window_snapshots` — the same
+    partition-invariance law the streaming reducers obey, so worker
+    count and chunk size never change the merged windows.
 
     Pass an empty dict as ``dispatch_stats`` to have it filled with
     dispatch-overhead measurements (submitted payload bytes, submit
@@ -264,6 +285,7 @@ def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
     complete.
     """
     cells = list(cells)
+    collect_traces = collect_traces or collect_telemetry
     if not cells:
         if dispatch_stats is not None:
             dispatch_stats.update(
@@ -271,6 +293,8 @@ def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
                 submit_payload_bytes=0, submit_latency_s=0.0,
                 shared_state_bytes=0,
             )
+        if collect_telemetry:
+            return [], [], None, None
         return ([], [], None) if collect_traces else []
     workers = default_workers(len(cells)) if max_workers is None else min(
         max(int(max_workers), 1), len(cells)
@@ -306,7 +330,11 @@ def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
         # through _run_chunk here would materialize every per-cell
         # state before the fold (the memory the streaming path exists
         # to avoid) and hold progress at zero until the very end.
-        runner = _run_cell_traced if collect_traces else _run_cell
+        if collect_traces:
+            def runner(cell, reducer):
+                return _run_cell_traced(cell, reducer, collect_telemetry)
+        else:
+            runner = _run_cell
         if streaming:
             chunk_outs = None
             for index, cell in enumerate(cells):
@@ -340,17 +368,19 @@ def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
                 for indices in chunks:
                     if dispatch_stats is not None:
                         submit_payload += len(pickle.dumps(
-                            (indices, collect_traces),
+                            (indices, collect_traces, collect_telemetry),
                             protocol=pickle.HIGHEST_PROTOCOL,
                         ))
                         began = time.perf_counter()
                         future = pool.submit(
-                            _run_chunk, indices, collect_traces
+                            _run_chunk, indices, collect_traces,
+                            collect_telemetry,
                         )
                         submit_latency += time.perf_counter() - began
                     else:
                         future = pool.submit(
-                            _run_chunk, indices, collect_traces
+                            _run_chunk, indices, collect_traces,
+                            collect_telemetry,
                         )
                     futures[future] = indices
                 order = {indices: pos for pos, indices
@@ -396,12 +426,19 @@ def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
         outs.extend(chunk)
 
     if collect_traces:
-        from repro.obs import EventRecord, merge_snapshots
+        from repro.obs import (
+            EventRecord,
+            merge_snapshots,
+            merge_window_snapshots,
+        )
 
         results: List[Any] = []
         records: List[Any] = []
         snapshots = []
-        for index, (result, cell_records, snapshot) in enumerate(outs):
+        window_snaps = []
+        for index, (result, cell_records, snapshot, windows) in enumerate(
+            outs
+        ):
             results.append(result)
             records.append(EventRecord(
                 "cell", "runner", 0.0,
@@ -409,12 +446,17 @@ def run_cells(cells: Sequence[Cell], max_workers: Optional[int] = None,
             ))
             records.extend(cell_records)
             snapshots.append(snapshot)
+            window_snaps.append(windows)
         if reducer is not None:
             merged = reducer.init()
             for state in results:
                 merged = reducer.merge(merged, state)
-            return reducer.finalize(merged), records, \
-                merge_snapshots(snapshots)
+            results = reducer.finalize(merged)
+        if collect_telemetry:
+            return results, records, merge_snapshots(snapshots), \
+                merge_window_snapshots(
+                    [w for w in window_snaps if w is not None]
+                )
         return results, records, merge_snapshots(snapshots)
 
     return outs

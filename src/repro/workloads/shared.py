@@ -49,7 +49,7 @@ from ..core import (
 from ..core.lock import LockTimeout
 from ..faults import FaultInjector
 from ..fsmodel import VirtualFileSystem
-from ..obs import METRICS
+from ..obs import METRICS, TELEMETRY, Telemetry
 from ..simkernel import Simulator
 from .parallel import derive_seed
 
@@ -148,6 +148,9 @@ class SharedResult:
     crash_count: int = 0
     quiesce_rounds: int = 0
     duration: float = 0.0
+    #: Telemetry snapshot (windows + health + SLO burn rates + per-device
+    #: throughput-estimator state); None unless the run opted in.
+    telemetry: Optional[Dict] = None
 
     @property
     def converged(self) -> bool:
@@ -257,12 +260,29 @@ class _Device:
         )
 
 
-def run_shared(scenario: SharedScenario) -> SharedResult:
+def run_shared(scenario: SharedScenario,
+               telemetry: bool = False) -> SharedResult:
     """Execute the scenario; returns the collected evidence.
 
     Deterministic: two runs of the same scenario produce identical
-    ledgers, fingerprints, and divergence windows.
+    ledgers, fingerprints, and divergence windows.  ``telemetry=True``
+    installs a fresh :class:`~repro.obs.Telemetry` pipeline for the
+    run's extent (restoring whatever was installed before) and attaches
+    its snapshot — windows, per-cloud health timeline, SLO burn rates,
+    and each device's throughput-estimator state — as
+    ``result.telemetry``; simulated outcomes are byte-identical either
+    way (the overhead contract).
     """
+    prev_telemetry = TELEMETRY.telemetry
+    if telemetry:
+        TELEMETRY.install(Telemetry())
+    try:
+        return _run_shared(scenario)
+    finally:
+        TELEMETRY.install(prev_telemetry)
+
+
+def _run_shared(scenario: SharedScenario) -> SharedResult:
     if scenario.policy == "per-path":
         resolver = resolver_prefer_earlier_device
     else:
@@ -436,6 +456,12 @@ def run_shared(scenario: SharedScenario) -> SharedResult:
     if METRICS.enabled:
         for span in windows.values():
             METRICS.observe("divergence_window", span)
+    telemetry_snapshot = None
+    if TELEMETRY.enabled:
+        telemetry_snapshot = TELEMETRY.snapshot()
+        telemetry_snapshot["estimators"] = {
+            d.name: d.client.estimator.snapshot() for d in live
+        }
     return SharedResult(
         scenario=scenario,
         committed=ledger,
@@ -447,6 +473,7 @@ def run_shared(scenario: SharedScenario) -> SharedResult:
         crash_count=crash_count,
         quiesce_rounds=quiesce_rounds,
         duration=sim.now,
+        telemetry=telemetry_snapshot,
     )
 
 

@@ -1,0 +1,109 @@
+"""SLO burn-rate engine: burn math, the multi-window AND, per-tenant
+separation, and byte-weighted redundancy accounting."""
+
+import pytest
+
+from repro.obs.slo import SLO, BurnRule, SLOEngine, default_slos
+from repro.obs.timeseries import TimeSeries
+
+
+def _engine(**kwargs):
+    return SLOEngine(TimeSeries(width=60.0), **kwargs)
+
+
+def _entry(rows, slo, tenant):
+    for row in rows:
+        if row["slo"] == slo and row["tenant"] == tenant:
+            return row
+    raise AssertionError(f"no evaluation row for {slo}/{tenant}")
+
+
+def test_burn_rate_is_bad_fraction_over_budget():
+    engine = _engine()
+    # block_errors objective 0.95 -> budget 0.05.  30 transfers, 3 bad:
+    # bad fraction 0.1, burn 2.0 on every window containing the events.
+    for i in range(30):
+        engine.block_transfer("dev0", 10.0 + i, i % 10 != 0)
+    rule = _entry(engine.evaluate(50.0), "block_errors", "dev0")["rules"][0]
+    assert rule["burn_long"] == pytest.approx(0.1 / 0.05)
+    assert rule["burn_short"] == pytest.approx(0.1 / 0.05)
+
+
+def test_alert_needs_both_windows_dirty():
+    # One rule: long 600s, short 120s, threshold 2.  An incident that
+    # ended 200s ago still burns the long window but not the short one:
+    # material, but no longer happening -> no alert.
+    engine = _engine()
+    for i in range(20):
+        engine.sync_round("dev0", 100.0 + i, 100.0)   # all bad (>10s)
+    for i in range(10):
+        engine.sync_round("dev0", 400.0 + i, 1.0)     # recovered
+    rows = engine.evaluate(450.0)
+    rule = _entry(rows, "sync_latency", "dev0")["rules"][0]
+    assert rule["burn_long"] > rule["threshold"]
+    assert rule["burn_short"] == 0.0
+    assert not rule["fired"]
+    # Evaluated mid-incident, both windows burn and the alert fires.
+    mid = _entry(engine.evaluate(130.0), "sync_latency", "dev0")["rules"][0]
+    assert mid["burn_long"] > mid["threshold"]
+    assert mid["burn_short"] > mid["threshold"]
+    assert mid["fired"]
+    assert engine.alerts(130.0) and not engine.alerts(450.0)
+
+
+def test_no_data_is_not_an_alert():
+    engine = _engine()
+    assert engine.evaluate(1000.0) == []
+    engine.sync_round("dev0", 10.0, 1.0)
+    # Evaluating far past the data: short window has no events -> the
+    # burn is None there and the alert cannot fire.
+    rule = _entry(engine.evaluate(10_000.0), "sync_latency",
+                  "dev0")["rules"][0]
+    assert rule["burn_long"] is None
+    assert rule["burn_short"] is None
+    assert not rule["fired"]
+
+
+def test_tenants_are_evaluated_independently():
+    engine = _engine()
+    for i in range(10):
+        engine.block_transfer("noisy", 10.0 + i, False)
+        engine.block_transfer("quiet", 10.0 + i, True)
+    rows = engine.evaluate(30.0)
+    assert _entry(rows, "block_errors", "noisy")["fired"]
+    assert not _entry(rows, "block_errors", "quiet")["fired"]
+
+
+def test_redundancy_is_byte_weighted():
+    engine = _engine()
+    engine.upload_bytes("dev0", 10.0, 700.0, redundant=False)
+    engine.upload_bytes("dev0", 11.0, 300.0, redundant=True)
+    # 30% redundant bytes against a 0.5 objective: burn 0.3/0.5 = 0.6.
+    rule = _entry(engine.evaluate(20.0), "redundancy", "dev0")["rules"][0]
+    assert rule["burn_long"] == pytest.approx(0.3 / 0.5)
+    assert not rule["fired"]
+
+
+def test_latency_target_splits_good_from_bad():
+    engine = _engine(latency_target=5.0)
+    engine.sync_round("dev0", 10.0, 5.0)    # at target: good
+    engine.sync_round("dev0", 11.0, 5.001)  # over: bad
+    engine.sync_round("dev0", 12.0, 2.0, ok=False)  # failed round: bad
+    rule = _entry(engine.evaluate(20.0), "sync_latency", "dev0")["rules"][0]
+    budget = 1.0 - 0.9
+    assert rule["burn_long"] == pytest.approx((2.0 / 3.0) / budget)
+
+
+def test_rule_and_objective_validation():
+    with pytest.raises(ValueError):
+        BurnRule(long_window=60.0, short_window=120.0, threshold=1.0)
+    with pytest.raises(ValueError):
+        SLO(name="x", objective=1.0)
+    names = sorted(slo.name for slo in default_slos())
+    assert names == ["block_errors", "redundancy", "sync_latency"]
+
+
+def test_unknown_sli_is_ignored():
+    engine = _engine()
+    engine.record("not_an_slo", "dev0", 10.0, True)
+    assert engine.evaluate(20.0) == []

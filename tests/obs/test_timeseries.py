@@ -1,0 +1,228 @@
+"""Windowed time-series units + the reduction laws, property-tested.
+
+The laws mirror ``repro/workloads/reduce.py``: merging per-cell window
+snapshots over any contiguous partition of one observation stream — in
+any merge order, when gauge timestamps are unique — equals aggregating
+the whole stream in a single :class:`TimeSeries`, and window quantiles
+equal a brute-force recompute over the bucketed raw values.
+
+Counter/histogram values are drawn as integers so sums are exact in
+floats regardless of association order — the laws are about *semantics*,
+not float rounding.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.timeseries import (
+    LogHist,
+    TimeSeries,
+    counter_series,
+    merge_window_snapshots,
+    snapshot_percentile,
+)
+
+WIDTH = 60.0
+
+
+# -- units ------------------------------------------------------------------
+
+
+def test_counters_bucket_by_tumbling_window():
+    ts = TimeSeries(width=WIDTH)
+    ts.inc("blocks", 5.0, 2.0, cloud="c0")
+    ts.inc("blocks", 59.999, 1.0, cloud="c0")
+    ts.inc("blocks", 60.0, 4.0, cloud="c0")
+    assert ts.window_indices() == [0, 1]
+    assert ts.counter_value("blocks", 0, cloud="c0") == 3.0
+    assert ts.counter_value("blocks", 1, cloud="c0") == 4.0
+    assert ts.counter_value("blocks", 2, cloud="c0") == 0.0
+    assert counter_series(ts.snapshot(), "blocks{cloud=c0}") == [
+        (0.0, 3.0), (60.0, 4.0),
+    ]
+
+
+def test_gauge_last_writer_by_observation_time():
+    ts = TimeSeries(width=WIDTH)
+    ts.gauge("rate", 10.0, 1.0)
+    ts.gauge("rate", 30.0, 2.0)
+    ts.gauge("rate", 20.0, 9.0)        # older observation: ignored
+    ts.gauge("rate", 30.0, 3.0)        # tie: later submission wins
+    snap = ts.snapshot()
+    assert snap["windows"]["0"]["gauges"]["rate"] == [30.0, 3.0]
+
+
+def test_ring_evicts_oldest_window():
+    ts = TimeSeries(width=WIDTH, ring=2)
+    for index in range(3):
+        ts.inc("n", index * WIDTH + 1.0)
+    assert ts.window_indices() == [1, 2]
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        TimeSeries(width=0.0)
+    with pytest.raises(ValueError):
+        TimeSeries(ring=0)
+    narrow, wide = TimeSeries(width=30.0), TimeSeries(width=60.0)
+    narrow.inc("n", 1.0)
+    wide.inc("n", 1.0)
+    with pytest.raises(ValueError):
+        merge_window_snapshots([narrow.snapshot(), wide.snapshot()])
+
+
+def test_snapshot_is_json_safe_and_percentile_reads_back():
+    ts = TimeSeries(width=WIDTH)
+    for value in (1.0, 2.0, 4.0, 1000.0):
+        ts.observe("lat", 10.0, value, device="d0")
+    snap = json.loads(json.dumps(ts.snapshot()))
+    direct = ts.percentile("lat", 0.5, device="d0")
+    assert direct is not None
+    assert snapshot_percentile(snap, "lat{device=d0}", 0.5) == direct
+
+
+# -- property: partition/order invariance -----------------------------------
+
+_OP = st.tuples(
+    st.sampled_from(["inc", "gauge", "observe"]),
+    st.sampled_from(["a", "b"]),
+    st.integers(min_value=1, max_value=1000),       # exact-in-float value
+    st.sampled_from(["x", "y"]),
+)
+
+
+@st.composite
+def partitioned_stream(draw):
+    """One time-ordered stream with unique timestamps, cut into
+    contiguous parts, plus a merge order for the parts."""
+    ops = draw(st.lists(_OP, max_size=40))
+    times = sorted(draw(st.lists(
+        st.floats(min_value=0.0, max_value=600.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=len(ops), max_size=len(ops), unique=True,
+    )))
+    stream = [(kind, name, t, float(value), label)
+              for (kind, name, value, label), t in zip(ops, times)]
+    n_cuts = draw(st.integers(min_value=0, max_value=3))
+    cuts = sorted(draw(st.lists(
+        st.integers(min_value=0, max_value=len(stream)),
+        min_size=n_cuts, max_size=n_cuts,
+    )))
+    parts, prev = [], 0
+    for cut in cuts + [len(stream)]:
+        parts.append(stream[prev:cut])
+        prev = cut
+    order = draw(st.permutations(range(len(parts))))
+    return stream, parts, order
+
+
+def _aggregate(ops):
+    ts = TimeSeries(width=WIDTH)
+    for kind, name, t, value, label in ops:
+        getattr(ts, kind)(name, t, value, tag=label)
+    return ts
+
+
+def _canon(snapshot):
+    return json.dumps(snapshot, sort_keys=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=partitioned_stream())
+def test_merge_of_contiguous_partition_equals_single_stream(data):
+    stream, parts, _ = data
+    whole = _aggregate(stream).snapshot()
+    merged = merge_window_snapshots(
+        [_aggregate(part).snapshot() for part in parts]
+    )
+    assert _canon(merged) == _canon(whole)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=partitioned_stream())
+def test_merge_order_does_not_matter_with_unique_timestamps(data):
+    stream, parts, order = data
+    whole = _aggregate(stream).snapshot()
+    shuffled = merge_window_snapshots(
+        [_aggregate(parts[i]).snapshot() for i in order]
+    )
+    assert _canon(shuffled) == _canon(whole)
+
+
+def test_merge_is_not_double_counting():
+    # Merging a snapshot with itself must NOT equal the snapshot —
+    # guards against a merge that overwrites instead of sums being
+    # accepted by the identity properties above.
+    ts = _aggregate([("inc", "a", 1.0, 5.0, "x")])
+    doubled = merge_window_snapshots([ts.snapshot(), ts.snapshot()])
+    assert doubled["windows"]["0"]["counters"]["a{tag=x}"] == 10.0
+
+
+# -- property: percentiles match brute force --------------------------------
+
+_VALUES = st.lists(
+    st.floats(min_value=1e-9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=80,
+)
+
+
+def _brute_quantile(values, q):
+    """Order statistic over bucket midpoints, straight from the spec."""
+    mids = sorted(
+        LogHist.bucket_value(LogHist.bucket_index(v)) for v in values
+    )
+    want = min(max(q, 0.0), 1.0) * len(values)
+    return mids[max(0, math.ceil(want) - 1)]
+
+
+@settings(max_examples=150, deadline=None)
+@given(values=_VALUES, q=st.floats(min_value=0.0, max_value=1.0))
+def test_loghist_quantile_matches_bruteforce(values, q):
+    hist = LogHist()
+    for value in values:
+        hist.add(value)
+    assert hist.quantile(q) == _brute_quantile(values, q)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    obs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=600.0,
+                      allow_nan=False, allow_infinity=False),
+            st.floats(min_value=1e-6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1, max_size=60,
+    ),
+    q=st.sampled_from([0.5, 0.95, 0.99]),
+)
+def test_window_percentile_matches_bruteforce(obs, q):
+    ts = TimeSeries(width=WIDTH)
+    for t, value in obs:
+        ts.observe("lat", t, value)
+    for window in ts.window_indices():
+        raw = [v for t, v in obs if math.floor(t / WIDTH) == window]
+        assert ts.percentile("lat", q, window=window) == \
+            _brute_quantile(raw, q)
+    # Pooled across windows equals brute force over everything.
+    assert ts.percentile("lat", q) == _brute_quantile(
+        [v for _, v in obs], q
+    )
+
+
+def test_quantile_ignores_null_observations():
+    hist = LogHist()
+    hist.add(4.0)
+    for bad in (None, 0.0, -1.0, float("nan"), float("inf")):
+        hist.add(bad)
+    assert hist.nulls == 5
+    assert hist.total == 1
+    assert hist.quantile(0.5) == LogHist.bucket_value(
+        LogHist.bucket_index(4.0)
+    )

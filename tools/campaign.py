@@ -228,6 +228,7 @@ def _run_shared_cli(args) -> int:
         if args.churners else ()
     )
     rows = []
+    telemetry_runs = []
     violations = 0
     print(f"{'policy':<18}{'writers':>8}{'rounds':>7}{'commits':>8}"
           f"{'lost':>5}{'conv':>5}{'stall':>6}{'maxdiv s':>9}"
@@ -243,8 +244,16 @@ def _run_shared_cli(args) -> int:
             seed=seed,
         )
         start = time.perf_counter()
-        res = run_shared(scenario)
+        res = run_shared(scenario, telemetry=bool(args.telemetry))
         wall = time.perf_counter() - start
+        if args.telemetry:
+            telemetry_runs.append({
+                "policy": policy,
+                "writers": args.writers,
+                "rounds": args.rounds,
+                "seed": seed,
+                "telemetry": res.telemetry,
+            })
         ok = (res.converged and not res.lost_updates
               and not res.stalled_devices)
         violations += 0 if ok else 1
@@ -275,6 +284,13 @@ def _run_shared_cli(args) -> int:
             json.dump({"kind": "shared", "runs": rows}, handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.json}")
+    if args.telemetry:
+        with open(args.telemetry, "w") as handle:
+            json.dump({"kind": "shared-telemetry", "runs": telemetry_runs},
+                      handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.telemetry} "
+              "(render with tools/health.py)")
     if violations:
         print(f"{violations} run(s) violated the shared-folder "
               "invariants", file=sys.stderr)
@@ -381,6 +397,12 @@ def main(argv=None):
                         help="record per-cell traces (merged in submission "
                              "order) to this JSONL file; convert with "
                              "tools/trace.py export --format=chrome")
+    parser.add_argument("--telemetry", default=None, metavar="JSON",
+                        help="shared mode: run with the streaming "
+                             "telemetry pipeline and write its snapshot "
+                             "(windows + health + SLO burn rates + "
+                             "estimator state) to this JSON file; render "
+                             "with tools/health.py")
     args = parser.parse_args(argv)
 
     if args.kind == "trial":

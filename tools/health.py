@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Render a telemetry snapshot as a fleet health dashboard.
+
+Reads the JSON written by ``tools/campaign.py shared --telemetry`` (or
+any bare :meth:`repro.obs.Telemetry.snapshot` document) and prints a
+per-cloud health scoreboard, the SLO burn-rate table, the estimator
+drift table, and the windowed traffic summary.  ``--json`` additionally
+writes a machine-readable report (the CI artifact).
+
+The exit status is a **flapping gate**: with ``--max-transitions N``
+(default 6) the tool exits non-zero if any cloud's health state machine
+transitioned more than N times, or if any cloud ends the run outside
+``healthy`` while unpinned — hysteresis (score thresholds + minimum
+dwell) is supposed to make transitions rare and recovery complete.
+
+Examples::
+
+    python tools/campaign.py shared --writers 8 --rounds 20 \\
+        --telemetry telemetry.json
+    python tools/health.py telemetry.json
+    python tools/health.py telemetry.json --json health_report.json \\
+        --max-transitions 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.obs.export import _fmt_table  # noqa: E402
+
+
+def _load_runs(path: str) -> List[Dict[str, Any]]:
+    """Normalize the input to a list of labelled telemetry snapshots."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    if isinstance(doc, dict) and doc.get("kind") == "shared-telemetry":
+        return [
+            {"label": run.get("policy", f"run{i}"),
+             "snapshot": run["telemetry"]}
+            for i, run in enumerate(doc["runs"])
+            if run.get("telemetry") is not None
+        ]
+    if isinstance(doc, dict) and "health" in doc:
+        return [{"label": None, "snapshot": doc}]
+    raise SystemExit(
+        f"{path}: not a telemetry snapshot (expected a 'health' member "
+        "or a shared-telemetry wrapper)"
+    )
+
+
+def _final_gauges(windows: Dict[str, Any]) -> Dict[str, Tuple[float, float]]:
+    """Last-written (t, value) per gauge series across all windows."""
+    final: Dict[str, Tuple[float, float]] = {}
+    body = windows.get("windows", {})
+    for index in sorted(body, key=int):
+        for key, (t, value) in body[index].get("gauges", {}).items():
+            have = final.get(key)
+            if have is None or t >= have[0]:
+                final[key] = (t, value)
+    return final
+
+
+def _counter_totals(windows: Dict[str, Any]) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for window in windows.get("windows", {}).values():
+        for key, value in window.get("counters", {}).items():
+            totals[key] = totals.get(key, 0.0) + value
+    return totals
+
+
+def _gauge_series(key: str) -> Optional[Tuple[str, Dict[str, str]]]:
+    """Parse ``name{k=v,...}`` back into (name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    rest = rest.rstrip("}")
+    labels = {}
+    for part in rest.split(","):
+        if "=" in part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+def _estimator_drift(windows: Dict[str, Any]) -> List[List[str]]:
+    """Per (cloud, dir): final estimate vs true simulated link rate."""
+    final = _final_gauges(windows)
+    estimates: Dict[Tuple[str, str], float] = {}
+    links: Dict[Tuple[str, str], float] = {}
+    for key, (_, value) in final.items():
+        name, labels = _gauge_series(key)
+        coord = (labels.get("cloud", "?"), labels.get("dir", "?"))
+        if name == "estimator_bps":
+            estimates[coord] = value
+        elif name == "link_bps":
+            links[coord] = value
+    body = []
+    for coord in sorted(set(estimates) | set(links)):
+        est = estimates.get(coord)
+        link = links.get(coord)
+        drift = (
+            f"{abs(est - link) / link:.1%}"
+            if est is not None and link not in (None, 0) else "-"
+        )
+        body.append([
+            coord[0], coord[1],
+            f"{est / 1e6:.2f}" if est is not None else "-",
+            f"{link / 1e6:.2f}" if link is not None else "-",
+            drift,
+        ])
+    return body
+
+
+def _render(snapshot: Dict[str, Any], label: Optional[str]) -> List[str]:
+    lines: List[str] = []
+    if label:
+        lines.append(f"=== {label} ===")
+        lines.append("")
+
+    health = snapshot.get("health", {})
+    if health:
+        body = []
+        for cloud in sorted(health):
+            entry = health[cloud]
+            timeline = " ".join(
+                f"{t['t']:.0f}s:{t['from']}->{t['to']}"
+                for t in entry.get("transitions", [])
+            ) or "-"
+            body.append([
+                cloud,
+                entry["state"] + ("*" if entry.get("pinned") else ""),
+                f"{entry['score']:.3f}",
+                str(entry.get("samples", 0)),
+                str(entry.get("failures", 0)),
+                str(len(entry.get("transitions", []))),
+                timeline,
+            ])
+        lines.append("cloud health  (* = pinned by an active fault)")
+        lines.extend(_fmt_table(
+            ["cloud", "state", "score", "samples", "failures",
+             "trans", "timeline"], body,
+        ))
+        lines.append("")
+
+    slo = snapshot.get("slo", [])
+    if slo:
+        body = []
+        for entry in slo:
+            for rule in entry.get("rules", []):
+                body.append([
+                    entry["slo"], str(entry.get("tenant", "-")),
+                    f"{entry['objective']:.2f}",
+                    f"{rule['long_window']:.0f}/{rule['short_window']:.0f}s",
+                    f"{rule['burn_long']:.2f}" if rule["burn_long"]
+                    is not None else "-",
+                    f"{rule['burn_short']:.2f}" if rule["burn_short"]
+                    is not None else "-",
+                    "FIRED" if rule["fired"] else "",
+                ])
+        lines.append("slo burn rates")
+        lines.extend(_fmt_table(
+            ["slo", "tenant", "obj", "windows", "burn-long",
+             "burn-short", "alert"], body,
+        ))
+        lines.append("")
+
+    windows = snapshot.get("windows", {})
+    drift = _estimator_drift(windows) if windows else []
+    if drift:
+        lines.append("throughput estimator vs simulated link (final)")
+        lines.extend(_fmt_table(
+            ["cloud", "dir", "est MB/s", "link MB/s", "drift"], drift,
+        ))
+        lines.append("")
+
+    estimators = snapshot.get("estimators", {})
+    if estimators:
+        body = []
+        for device in sorted(estimators):
+            for channel in sorted(estimators[device]):
+                entry = estimators[device][channel]
+                body.append([
+                    device, channel,
+                    f"{entry['estimate'] / 1e6:.2f}",
+                    str(entry.get("samples", 0)),
+                ])
+        lines.append("per-device estimator state")
+        lines.extend(_fmt_table(
+            ["device", "channel", "est MB/s", "samples"], body,
+        ))
+        lines.append("")
+
+    totals = _counter_totals(windows) if windows else {}
+    traffic = {
+        key: value for key, value in totals.items()
+        if key.startswith(("blocks_ok", "blocks_failed", "window_bytes",
+                           "window_retries", "window_faults"))
+    }
+    if traffic:
+        lines.append("windowed totals")
+        lines.extend(_fmt_table(
+            ["series", "total"],
+            [[k, f"{v:g}"] for k, v in sorted(traffic.items())],
+        ))
+        lines.append("")
+    return lines
+
+
+def _gate(runs: List[Dict[str, Any]], max_transitions: int) -> List[str]:
+    """Flapping-gate violations across all runs (empty = pass)."""
+    problems = []
+    for run in runs:
+        label = run["label"] or "run"
+        for cloud, entry in sorted(run["snapshot"].get("health",
+                                                       {}).items()):
+            count = len(entry.get("transitions", []))
+            if count > max_transitions:
+                problems.append(
+                    f"{label}: {cloud} flapped — {count} health "
+                    f"transitions (bound {max_transitions})"
+                )
+            if entry["state"] != "healthy" and not entry.get("pinned"):
+                problems.append(
+                    f"{label}: {cloud} ended {entry['state']} "
+                    "(unpinned — recovery incomplete)"
+                )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="\n".join(__doc__.splitlines()[2:]),
+    )
+    parser.add_argument("input", help="telemetry JSON (bare snapshot or "
+                                      "campaign --telemetry output)")
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="also write a machine-readable health "
+                             "report to this file")
+    parser.add_argument("--max-transitions", type=int, default=6,
+                        help="flapping gate: max health transitions per "
+                             "cloud before a non-zero exit (default 6)")
+    args = parser.parse_args(argv)
+
+    runs = _load_runs(args.input)
+    for run in runs:
+        for line in _render(run["snapshot"], run["label"]):
+            print(line)
+
+    problems = _gate(runs, args.max_transitions)
+
+    if args.json:
+        report = {
+            "kind": "health-report",
+            "max_transitions": args.max_transitions,
+            "flapping": problems,
+            "runs": [
+                {
+                    "label": run["label"],
+                    "health": run["snapshot"].get("health", {}),
+                    "alerts": [
+                        entry for entry in run["snapshot"].get("slo", [])
+                        if entry.get("fired")
+                    ],
+                    "estimator_drift": _estimator_drift(
+                        run["snapshot"].get("windows", {})
+                    ),
+                    "estimators": run["snapshot"].get("estimators", {}),
+                    "last_t": run["snapshot"].get("last_t"),
+                }
+                for run in runs
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if problems:
+        for problem in problems:
+            print(f"FLAPPING: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
