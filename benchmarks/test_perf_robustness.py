@@ -1,0 +1,70 @@
+"""Degradation-control-plane performance benchmarks.
+
+Pytest wrapper around the ``robustness`` suite of :mod:`tools.bench`:
+runs each section once under the pytest-benchmark timer, renders the
+table, and asserts the degradation contracts from the PR-10 acceptance
+bar — the breaker admission guard stays nanosecond-scale (and the
+degrade-disabled branch costs only a predicate check), hedged reads cut
+p99 block-fetch latency by >= 30% over the no-hedging baseline while
+spending <= 10% extra download bytes, and a single scrub round repays
+all redundancy debt recorded by a brownout commit once the cloud
+recovers and its breaker cooldown elapses.
+
+Run with ``BENCH_QUICK=1`` for the CI-sized variant.
+"""
+
+import os
+import sys
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools"
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import bench  # noqa: E402
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def test_breaker_guard_nanosecond_scale(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_breaker_guard(QUICK))
+    report("Breaker admission guard (per-dispatch cost)", [
+        f"{'iterations':<22}{result['iters']}",
+        f"{'admit ns':<22}{fmt_cell(result['admit_ns'])}",
+        f"{'dispatch+outcome ns':<22}{fmt_cell(result['outcome_cycle_ns'])}",
+        f"{'disabled branch ns':<22}{fmt_cell(result['disabled_branch_ns'])}",
+    ])
+    assert result["admit_ns"] < 2000.0
+    assert result["disabled_branch_ns"] < result["admit_ns"]
+
+
+def test_hedged_reads_cut_p99(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_hedged_reads(QUICK))
+    plain, hedged = result["plain"], result["hedged"]
+    report("Hedged block fetches (1 slow cloud of 5)", [
+        f"{'files':<22}{result['files']}",
+        f"{'slow factor':<22}{result['slow_factor']}",
+        f"{'plain p99 s':<22}{fmt_cell(plain['p99_s'])}",
+        f"{'hedged p99 s':<22}{fmt_cell(hedged['p99_s'])}",
+        f"{'p99 win':<22}{result['p99_win_fraction'] * 100:.1f}%",
+        f"{'hedges fired':<22}{hedged['hedges_fired']}",
+        f"{'extra bytes':<22}{result['extra_bytes_fraction'] * 100:.1f}%",
+    ])
+    assert hedged["hedges_fired"] > 0
+    assert result["p99_win_fraction"] >= 0.30
+    assert result["extra_bytes_fraction"] <= 0.10
+
+
+def test_debt_repaid_in_one_scrub_round(run_once, report, fmt_cell):
+    result = run_once(lambda: bench.bench_debt_repayment(QUICK))
+    report("Brownout debt repayment (scrub convergence)", [
+        f"{'files':<22}{result['files']}",
+        f"{'debt recorded':<22}{result['debt_recorded']}",
+        f"{'debt outstanding':<22}{result['debt_outstanding']}",
+        f"{'scrub rounds':<22}{result['convergence_rounds']}",
+        f"{'wall s':<22}{fmt_cell(result['wall_seconds'])}",
+    ])
+    assert result["debt_recorded"] > 0
+    assert result["debt_outstanding"] == 0
+    assert result["convergence_rounds"] == 1

@@ -10,6 +10,11 @@ from .baselines import (
 )
 from .client import SyncError, SyncReport, UniDriveClient
 from .config import UniDriveConfig
+from .degrade import (
+    CircuitBreaker,
+    DeadlineBudget,
+    DegradeController,
+)
 from .deltasync import DeltaLog, should_merge
 from .journal import SyncJournal
 from .lock import LockTimeout, QuorumLock
@@ -55,7 +60,10 @@ from .scheduler import (
 
 __all__ = [
     "BlockPipeline",
+    "CircuitBreaker",
     "DOWNLOAD",
+    "DeadlineBudget",
+    "DegradeController",
     "DeltaLog",
     "FAIL_FAST",
     "GIVE_UP",

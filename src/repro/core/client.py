@@ -28,6 +28,7 @@ from ..obs import METRICS, TELEMETRY, TRACE
 from ..obs.tracer import ctx_attrs as _ctx_attrs
 from ..simkernel import Simulator
 from .config import UniDriveConfig
+from .degrade import DegradeController
 from .deltasync import (
     DeltaLog,
     op_add_segment,
@@ -54,7 +55,7 @@ from .metadata import (
     VersionStamp,
 )
 from .pipeline import BlockPipeline, block_hash_many
-from .placement import fair_share
+from .placement import fair_share, normal_block_count
 from .probing import ThroughputEstimator
 from .retry import RetryPolicy
 from .scheduler import (
@@ -132,6 +133,21 @@ class UniDriveClient:
         self.estimator = estimator or ThroughputEstimator()
         #: Unified failure policy for every metadata-plane request.
         self.retry = RetryPolicy.from_config(self.config)
+        #: Degradation control plane (circuit breakers shared across
+        #: every batch and metadata operation of this device); None —
+        #: and the whole data path byte-identical to pre-degradation
+        #: behaviour — unless config.degrade_enabled.
+        self.degrade = (
+            DegradeController(self.config)
+            if self.config.degrade_enabled else None
+        )
+        #: The in-flight round's DeadlineBudget (None when unbounded
+        #: or outside a round).
+        self._budget = None
+        #: Lifetime hedged-read tallies across download batches (only
+        #: advanced when the degradation plane is on).
+        self.hedges_fired = 0
+        self.hedged_bytes = 0
         self.pipeline = BlockPipeline(self.config, len(self.connections))
         self.lock = QuorumLock(
             sim, self.connections, device, self.config, self.rng
@@ -198,6 +214,9 @@ class UniDriveClient:
     def sync(self):
         """One synchronization round (Algorithm 1); returns a SyncReport."""
         report = SyncReport(device=self.device, started_at=self.sim.now)
+        if self.degrade is not None:
+            self._budget = self.degrade.round_budget(self.sim)
+            self.lock.budget = self._budget
         span = None
         if TRACE.enabled:
             # The round is the root of this device's causal tree: every
@@ -220,6 +239,8 @@ class UniDriveClient:
                 TELEMETRY.sync_round(self.device, report.started_at,
                                      self.sim.now, ok=False)
             self._account_round(meta0, blocks0)
+            self._budget = None
+            self.lock.budget = None
             raise
         report.finished_at = self.sim.now
         if span is not None:
@@ -237,6 +258,8 @@ class UniDriveClient:
             TELEMETRY.sync_round(self.device, report.started_at,
                                  self.sim.now, ok=True)
         self._account_round(meta0, blocks0)
+        self._budget = None
+        self.lock.budget = None
         return report
 
     def _sync_round(self, report: SyncReport):
@@ -377,6 +400,7 @@ class UniDriveClient:
                 on_block_uploaded=self.journal.record_block,
                 resume=resume,
                 trace_ctx=batch_ctx, tenant=self.device,
+                degrade=self.degrade, budget=self._budget,
             )
             self._active_upload = scheduler
             upload_report = yield from scheduler.run_batch(uploads)
@@ -397,6 +421,8 @@ class UniDriveClient:
                 raise SyncError(
                     f"{self.device}: blocks unavailable for {unavailable}"
                 )
+            if self.degrade is not None:
+                self._record_debt(plan["new_records"])
         self.journal.mark_lock(True)
         try:
             yield from self.lock.acquire()
@@ -450,6 +476,55 @@ class UniDriveClient:
             self._pending_changes.pop(path, None)
         self._collect_garbage()
         yield from self._journal_sweep()
+
+    def _record_debt(self, records: List[SegmentRecord]) -> None:
+        """Brownout accounting: planned blocks that did not land become
+        redundancy debt on their segment records.
+
+        Runs after the upload batch, before the round's ops are
+        serialized, so the debt travels inside the committed metadata
+        and any device's scrubber can repay it once the missing cloud
+        readmits traffic.  Only the *fair-share* indices count as debt:
+        indices past ``fair_share * N`` are the dynamic scheduler's
+        opportunistic over-provisioning pool and are legitimately
+        unplaced on a healthy run.  A commit below ``k +
+        brownout_floor`` placed blocks is refused outright — debt is
+        for lost *redundancy*, never for lost *readability margin*.
+        """
+        floor = self.config.k_blocks + self.config.brownout_floor
+        for record in records:
+            normal = min(
+                record.n,
+                normal_block_count(
+                    record.k, self.config.k_reliability,
+                    len(self.connections),
+                ),
+            )
+            missing = sorted(
+                i for i in range(normal) if i not in record.locations
+            )
+            if not missing:
+                continue
+            if len(record.locations) < floor:
+                raise SyncError(
+                    f"{self.device}: brownout floor violated for "
+                    f"{record.segment_id}: {len(record.locations)}/"
+                    f"{record.n} blocks placed, floor is {floor}"
+                )
+            record.debt = missing
+            if METRICS.enabled:
+                METRICS.inc(
+                    "debt_recorded", len(missing), device=self.device
+                )
+            if TELEMETRY.enabled:
+                TELEMETRY.debt(
+                    self.sim.now, record.segment_id, len(missing)
+                )
+            if TRACE.enabled:
+                TRACE.event(
+                    "brownout_commit", t=self.sim.now, track=self.device,
+                    seg=record.segment_id[:12], owed=len(missing),
+                )
 
     def _build_local_image(
         self, local: SyncFolderImage, report: SyncReport
@@ -582,11 +657,19 @@ class UniDriveClient:
         )
         last_error: Optional[object] = None
         for conn in self.connections:
+            if self._budget is not None and self._budget.expired:
+                last_error = "round deadline budget exhausted"
+                break
+            if self.degrade is not None and not self.degrade.admits(
+                conn.cloud_id, self.sim.now
+            ):
+                continue  # breaker open: don't burn a retry budget here
             try:
                 base_blob = yield from self.retry.run(
                     self.sim,
                     lambda c=conn: c.download(self._base_path),
                     rng=self.rng,
+                    budget=self._budget,
                 )
             except CloudError as exc:
                 last_error = exc
@@ -603,6 +686,7 @@ class UniDriveClient:
                     self.sim,
                     lambda c=conn: c.download(self._delta_path),
                     rng=self.rng,
+                    budget=self._budget,
                 )
             except NotFoundError:
                 delta_blob = None
@@ -785,7 +869,27 @@ class UniDriveClient:
         full unavailability timeout, so hammering it ``max_retries``
         times back-to-back only multiplied the stall; the quorum
         tolerates the miss and a later round heals the replica.
+
+        With the degradation control plane on, clouds whose breaker is
+        open are skipped entirely (their retry budget is not burned);
+        if fewer than a quorum of clouds admit traffic the write fails
+        fast instead of timing out against known-bad replicas.
         """
+        conns = self.connections
+        if self.degrade is not None:
+            now = self.sim.now
+            conns = [
+                c for c in self.connections
+                if self.degrade.admits(c.cloud_id, now)
+            ]
+            if len(conns) < self.quorum:
+                raise SyncError(
+                    f"{self.device}: only {len(conns)}/"
+                    f"{len(self.connections)} clouds admit metadata "
+                    f"writes (need quorum {self.quorum})"
+                )
+            for conn in conns:
+                self.degrade.note_dispatch(conn.cloud_id, now)
 
         def upload_all(conn):
             for path, blob in payloads:
@@ -793,12 +897,23 @@ class UniDriveClient:
                     self.sim,
                     lambda c=conn, p=path, b=blob: c.upload(p, b),
                     rng=self.rng,
+                    budget=self._budget,
                 )
             return True
 
         outcomes = yield from gather_safe(
-            self.sim, [upload_all(conn) for conn in self.connections]
+            self.sim, [upload_all(conn) for conn in conns]
         )
+        if self.degrade is not None:
+            for conn, (ok, _res) in zip(conns, outcomes):
+                if ok:
+                    self.degrade.on_success(conn.cloud_id, self.sim.now)
+                else:
+                    # The unified policy already exhausted its attempt
+                    # budget on this cloud — conclusive evidence.
+                    self.degrade.on_failure(
+                        conn.cloud_id, self.sim.now, fatal=True
+                    )
         successes = sum(1 for ok, _ in outcomes if ok)
         if successes < self.quorum:
             raise SyncError(
@@ -873,8 +988,12 @@ class UniDriveClient:
             self.sim, self.connections, self.pipeline, self.config,
             estimator=self.estimator, retry_policy=self.retry,
             rng=self.rng, trace_ctx=batch_ctx, tenant=self.device,
+            degrade=self.degrade, budget=self._budget,
         )
         batch = yield from scheduler.run_batch(wants)
+        if self.degrade is not None:
+            self.hedges_fired += scheduler.hedges_fired
+            self.hedged_bytes += scheduler.hedged_bytes
         if span is not None:
             TRACE.end(
                 span, t=self.sim.now,
@@ -1034,6 +1153,7 @@ class UniDriveClient:
                     self.sim, self.connections, self.pipeline, self.config,
                     estimator=self.estimator, retry_policy=self.retry,
                     rng=self.rng, tenant=self.device,
+                    degrade=self.degrade,
                 )
                 batch = yield from scheduler.run_batch(
                     [FileDownload(path=path, segments=records)]

@@ -67,6 +67,38 @@ class UniDriveConfig:
     #: a single transactional commit marker so a crash or lost lock
     #: mid-round leaves either the whole round visible or none of it.
     transactional_rounds: bool = False
+    #: Master switch for the degradation control plane (circuit
+    #: breakers, deadline budgets, hedged fetches, brownout writes).
+    #: Off by default: the disabled data path is byte-identical to the
+    #: pre-degradation behaviour (the deterministic goldens depend on
+    #: this).
+    degrade_enabled: bool = False
+    #: Consecutive transient failures that open a cloud's breaker
+    #: (fatal classifications open it immediately).
+    breaker_failure_threshold: int = 3
+    #: Virtual seconds an open breaker waits before admitting
+    #: half-open probes.
+    breaker_cooldown_seconds: float = 30.0
+    #: Maximum probe dispatches per half-open episode.
+    breaker_probe_quota: int = 1
+    #: Probe successes required to close a half-open breaker.
+    breaker_close_after: int = 1
+    #: Per-sync-round deadline budget, virtual seconds (0 = unbounded).
+    #: Propagated through metadata fetch, upload/download batches, and
+    #: lock acquisition so a round aborts cleanly instead of stacking
+    #: worst-case timeouts.
+    round_deadline_seconds: float = 0.0
+    #: Hedged block fetches: a duplicate request races to the
+    #: next-healthiest cloud once an in-flight fetch exceeds this
+    #: multiple of its estimator-predicted duration.
+    hedge_latency_factor: float = 3.0
+    #: Cap on hedge traffic as a fraction of the batch's expected
+    #: fetch bytes (0 disables hedging even with degrade_enabled).
+    hedge_bytes_fraction: float = 0.1
+    #: Brownout floor: commits during a brownout must place at least
+    #: ``k + brownout_floor`` blocks of every segment; the indices left
+    #: unplaced are recorded as redundancy debt for scrub to repay.
+    brownout_floor: int = 0
     #: Cloud-side directory layout.
     blocks_dir: str = "/unidrive/blocks"
     meta_dir: str = "/unidrive/meta"
@@ -105,4 +137,35 @@ class UniDriveConfig:
             raise ValueError(
                 f"reliability needs {share} blocks/cloud but security "
                 f"allows at most {cap}; relax K_s or K_r"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown_seconds <= 0:
+            raise ValueError("breaker_cooldown_seconds must be > 0")
+        if self.breaker_probe_quota < 1:
+            raise ValueError("breaker_probe_quota must be >= 1")
+        if not 1 <= self.breaker_close_after <= self.breaker_probe_quota:
+            raise ValueError(
+                "require 1 <= breaker_close_after <= breaker_probe_quota"
+            )
+        if self.round_deadline_seconds < 0:
+            raise ValueError("round_deadline_seconds must be >= 0")
+        if self.hedge_latency_factor < 1.0:
+            raise ValueError("hedge_latency_factor must be >= 1")
+        if not 0.0 <= self.hedge_bytes_fraction <= 1.0:
+            raise ValueError("hedge_bytes_fraction must be in [0, 1]")
+        if self.brownout_floor < 0:
+            raise ValueError("brownout_floor must be >= 0")
+        # A brownout commit may never demand more blocks than a segment
+        # has: k + floor must stay within the normal placement's
+        # n = fair_share * N total blocks.
+        from .placement import normal_block_count
+
+        surplus = normal_block_count(
+            self.k_blocks, self.k_reliability, n_clouds
+        ) - self.k_blocks
+        if self.brownout_floor > surplus:
+            raise ValueError(
+                f"brownout_floor {self.brownout_floor} exceeds the "
+                f"redundancy surplus n - k = {surplus}"
             )

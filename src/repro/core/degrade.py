@@ -1,0 +1,308 @@
+"""Degradation control plane: breakers, deadlines, hedging, debt.
+
+The PR-9 :class:`~repro.obs.health.HealthScoreboard` *observes* cloud
+degradation; this module *acts* on it.  Four mechanisms close the
+health-to-action loop, all inert unless ``config.degrade_enabled``:
+
+* **Per-cloud circuit breakers** — a closed/open/half-open state
+  machine driven purely by the failure evidence the data path already
+  produces (RetryPolicy classifications from scheduler workers and
+  ``client._replicate``) plus the health scoreboard's score.  An open
+  cloud receives *no* regular dispatch — only a bounded number of
+  half-open probes after a deterministic sim-clock cooldown — instead
+  of a fresh full retry budget every sync round.
+
+* **Deadline budgets** — :class:`DeadlineBudget` carries one sync
+  round's remaining time through metadata fetch, upload/download
+  batches, and lock acquisition, so a round degrades or aborts cleanly
+  instead of stacking worst-case timeouts.
+
+* **Hedged fetches** — the download scheduler consults
+  :meth:`DegradeController.hedge_threshold` to race a duplicate block
+  request (a *different* erasure-coded index of the same segment, since
+  any k of n reconstruct) to the next-healthiest cloud once an
+  in-flight fetch exceeds a multiple of its estimator-predicted
+  duration, cancelling the loser and capping hedge bytes.
+
+* **Brownout writes** — when fewer than n blocks can be placed, the
+  commit proceeds with the reachable subset (never below
+  ``k + brownout_floor``) and the missing indices are recorded as
+  *redundancy debt* in segment metadata for ``core/scrub.py`` to repay
+  once breakers close.
+
+Everything here is pure bookkeeping on the caller's sim clock: no
+randomness is drawn and no events are scheduled, so consulting the
+controller can never perturb a deterministic run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import TELEMETRY, TRACE
+from .config import UniDriveConfig
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "DegradeController",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One cloud's closed/open/half-open admission state machine.
+
+    The breaker only ever opens on *failure evidence*: a transient
+    failure count reaching ``failure_threshold``, a fatal (fail-fast /
+    give-up) classification, or a half-open probe failing.  Time alone
+    moves it from open to half-open (after ``cooldown`` virtual
+    seconds); only probe successes close it again.  All transitions are
+    a pure function of the (timestamped) call sequence — no randomness,
+    no scheduled events — so breaker behaviour is deterministic under
+    the deterministic simulator.
+    """
+
+    __slots__ = (
+        "cloud_id", "failure_threshold", "cooldown", "probe_quota",
+        "close_after", "state", "failures", "probes_issued",
+        "probe_successes", "opened_at", "transitions",
+    )
+
+    def __init__(
+        self,
+        cloud_id: str,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        probe_quota: int = 1,
+        close_after: int = 1,
+    ):
+        self.cloud_id = cloud_id
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.probe_quota = probe_quota
+        self.close_after = close_after
+        self.state = CLOSED
+        self.failures = 0
+        self.probes_issued = 0
+        self.probe_successes = 0
+        self.opened_at: Optional[float] = None
+        #: ``(t, from_state, to_state)`` history, for tests and the
+        #: flapping gate.
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    def _transition(self, t: float, to_state: str) -> None:
+        if to_state == self.state:
+            return
+        self.transitions.append((t, self.state, to_state))
+        if TRACE.enabled:
+            TRACE.event(
+                "breaker_transition", t=t, track=self.cloud_id,
+                src=self.state, dst=to_state,
+            )
+        self.state = to_state
+
+    def _maybe_half_open(self, t: float) -> None:
+        if (
+            self.state == OPEN
+            and self.opened_at is not None
+            and t - self.opened_at >= self.cooldown
+        ):
+            self.probes_issued = 0
+            self.probe_successes = 0
+            self._transition(t, HALF_OPEN)
+
+    def admits(self, t: float) -> bool:
+        """Whether a request to this cloud may be dispatched at ``t``.
+
+        Open-to-half-open is a deterministic function of ``t``, so the
+        check is idempotent and safe to call from peeking code paths;
+        it never consumes a probe slot (see :meth:`note_dispatch`).
+        """
+        self._maybe_half_open(t)
+        if self.state == CLOSED:
+            return True
+        if self.state == HALF_OPEN:
+            return self.probes_issued < self.probe_quota
+        return False
+
+    def note_dispatch(self, t: float) -> None:
+        """Account one committed dispatch (consumes a half-open probe)."""
+        self._maybe_half_open(t)
+        if self.state == HALF_OPEN:
+            self.probes_issued += 1
+
+    def record_success(self, t: float) -> None:
+        if self.state == HALF_OPEN:
+            self.probe_successes += 1
+            if self.probe_successes >= self.close_after:
+                self.failures = 0
+                self.opened_at = None
+                self._transition(t, CLOSED)
+        elif self.state == CLOSED:
+            self.failures = 0
+        # A success while OPEN is a straggler from before the breaker
+        # tripped; the cooldown clock keeps running unperturbed.
+
+    def record_failure(self, t: float, fatal: bool = False) -> None:
+        self._maybe_half_open(t)
+        if self.state == HALF_OPEN:
+            # A failed probe re-opens immediately and re-arms cooldown.
+            self.opened_at = t
+            self._transition(t, OPEN)
+            return
+        if self.state == CLOSED:
+            if fatal:
+                self.failures = max(self.failures, self.failure_threshold)
+            else:
+                self.failures += 1
+            if self.failures >= self.failure_threshold:
+                self.opened_at = t
+                self._transition(t, OPEN)
+        # Failures while already OPEN are stragglers: ignoring them
+        # keeps the cooldown bounded (re-arming on every late failure
+        # could hold a breaker open forever under pipelined traffic).
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "probes_issued": self.probes_issued,
+            "opened_at": self.opened_at,
+            "transitions": [
+                {"t": t, "from": src, "to": dst}
+                for t, src, dst in self.transitions
+            ],
+        }
+
+
+class DeadlineBudget:
+    """One sync round's remaining-time budget on the sim clock."""
+
+    __slots__ = ("sim", "deadline")
+
+    def __init__(self, sim, seconds: float):
+        self.sim = sim
+        self.deadline = sim.now + seconds
+
+    @property
+    def expired(self) -> bool:
+        return self.sim.now >= self.deadline
+
+    def remaining(self) -> float:
+        return max(0.0, self.deadline - self.sim.now)
+
+    def clamp(self, timeout: float) -> float:
+        """Shrink a step's own timeout to the round's remaining budget."""
+        return min(timeout, self.remaining())
+
+
+class DegradeController:
+    """Fleet-wide admission control consulted by the data path.
+
+    One controller lives on the client (sharing breaker state across
+    every upload/download batch and metadata operation of that client),
+    and is handed to both schedulers and ``_replicate``.  Admission
+    combines two signals:
+
+    * the cloud's own :class:`CircuitBreaker` (failure evidence from
+      this client's requests), and
+    * the health scoreboard, through the process telemetry hub's
+      safe-while-disabled queries — a cloud the scoreboard pins
+      ``unavailable`` gets no regular dispatch even before this
+      client's own breaker has gathered evidence.
+    """
+
+    def __init__(self, config: UniDriveConfig,
+                 health_gate: bool = True):
+        self.config = config
+        self.health_gate = health_gate
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    # -- breaker plumbing --------------------------------------------------
+
+    def breaker(self, cloud_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(cloud_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                cloud_id,
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown=self.config.breaker_cooldown_seconds,
+                probe_quota=self.config.breaker_probe_quota,
+                close_after=self.config.breaker_close_after,
+            )
+            self._breakers[cloud_id] = breaker
+        return breaker
+
+    def admits(self, cloud_id: str, t: float) -> bool:
+        """Whether regular dispatch (or a probe slot) is available."""
+        breaker = self.breaker(cloud_id)
+        if not breaker.admits(t):
+            return False
+        if (
+            self.health_gate
+            and TELEMETRY.enabled
+            and TELEMETRY.health_pinned(cloud_id)
+        ):
+            # The scoreboard is inside an authoritative outage window
+            # for this cloud — don't burn a fresh failure budget
+            # rediscovering it.  Only the *pin* denies here: once the
+            # window closes traffic resumes immediately, because the
+            # sticky unavailable state can only recover through the
+            # very evidence a hard gate would starve it of.
+            return False
+        return True
+
+    def note_dispatch(self, cloud_id: str, t: float) -> None:
+        self.breaker(cloud_id).note_dispatch(t)
+
+    def on_success(self, cloud_id: str, t: float) -> None:
+        self.breaker(cloud_id).record_success(t)
+
+    def on_failure(self, cloud_id: str, t: float,
+                   fatal: bool = False) -> None:
+        self.breaker(cloud_id).record_failure(t, fatal=fatal)
+
+    def state(self, cloud_id: str) -> str:
+        return self.breaker(cloud_id).state
+
+    def all_closed(self) -> bool:
+        return all(b.state == CLOSED for b in self._breakers.values())
+
+    # -- deadline budgets --------------------------------------------------
+
+    def round_budget(self, sim) -> Optional[DeadlineBudget]:
+        seconds = self.config.round_deadline_seconds
+        if seconds <= 0:
+            return None
+        return DeadlineBudget(sim, seconds)
+
+    # -- hedging -----------------------------------------------------------
+
+    @property
+    def hedging(self) -> bool:
+        return self.config.hedge_bytes_fraction > 0.0
+
+    def hedge_threshold(self, estimate_bps: float,
+                        nbytes: int) -> Optional[float]:
+        """Seconds after which an in-flight fetch is hedge-eligible.
+
+        ``None`` when the primary cloud has no finite throughput
+        estimate yet — without a prediction there is no basis to call
+        the fetch slow.
+        """
+        if estimate_bps <= 0 or estimate_bps == float("inf"):
+            return None
+        return (nbytes / estimate_bps) * self.config.hedge_latency_factor
+
+    def snapshot(self) -> dict:
+        return {
+            cloud: breaker.snapshot()
+            for cloud, breaker in sorted(self._breakers.items())
+        }

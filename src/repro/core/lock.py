@@ -70,6 +70,11 @@ class QuorumLock:
         # flight: the lock-file uploads it issues (quorum rounds and
         # refresh keepalives) join the acquire's trace through this.
         self._op_ctx = None
+        # Optional DeadlineBudget the owning client stamps per sync
+        # round (degradation control plane): acquire() clamps its own
+        # timeout to the round's remaining time so a contended lock
+        # cannot outspend the round deadline.
+        self.budget = None
         # (cloud_id, file name, server mtime) -> local time first observed.
         # Pruned against every successful listing (see _try_once): a key
         # is only meaningful while its exact (name, mtime) pair is still
@@ -122,7 +127,10 @@ class QuorumLock:
         """
         if self.held:
             raise RuntimeError(f"{self.device} already holds the lock")
-        deadline = self.sim.now + self.config.lock_acquire_timeout
+        timeout = self.config.lock_acquire_timeout
+        if self.budget is not None:
+            timeout = self.budget.clamp(timeout)
+        deadline = self.sim.now + timeout
         span = None
         if TRACE.enabled:
             sid = TRACE.tracer.next_id()
@@ -160,8 +168,7 @@ class QuorumLock:
                             METRICS.inc("lock_contention_cycles", attempt,
                                         device=self.device)
                     raise LockTimeout(
-                        f"{self.device}: no quorum within "
-                        f"{self.config.lock_acquire_timeout:.0f}s"
+                        f"{self.device}: no quorum within {timeout:.0f}s"
                     )
                 backoff = self._backoff.backoff(attempt, self._rng)
                 attempt += 1

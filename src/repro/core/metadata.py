@@ -99,6 +99,14 @@ class SegmentRecord:
     #: same hash for the same index — the map merges trivially.  Absent
     #: entries (pre-durability metadata) simply skip verification.
     block_hashes: Dict[int, str] = field(default_factory=dict)
+    #: Redundancy debt: block indices a brownout commit could not place
+    #: (fewer than n clouds writable).  The segment stays readable
+    #: (>= k blocks landed) but below target redundancy until
+    #: ``core.scrub`` re-encodes and places exactly these indices, then
+    #: clears the list.  Empty for every commit made outside a
+    #: brownout, and omitted from the serialized form when empty so
+    #: pre-degradation metadata bytes are unchanged.
+    debt: List[int] = field(default_factory=list)
 
     def clouds_holding(self) -> List[str]:
         return sorted(set(self.locations.values()))
@@ -113,7 +121,7 @@ class SegmentRecord:
         return f"{self.segment_id}.{index}"
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "segment_id": self.segment_id,
             "size": self.size,
             "n": self.n,
@@ -124,6 +132,9 @@ class SegmentRecord:
                 str(i): h for i, h in sorted(self.block_hashes.items())
             },
         }
+        if self.debt:
+            out["debt"] = sorted(self.debt)
+        return out
 
     @staticmethod
     def from_dict(data: dict) -> "SegmentRecord":
@@ -138,6 +149,7 @@ class SegmentRecord:
                 int(i): h
                 for i, h in data.get("block_hashes", {}).items()
             },
+            debt=[int(i) for i in data.get("debt", [])],
         )
 
 
@@ -242,6 +254,14 @@ class SyncFolderImage:
             # Same content chunked twice: merge placements conservatively.
             existing.locations.update(record.locations)
             existing.block_hashes.update(record.block_hashes)
+            # Debt is the union of both sides' unplaced indices, minus
+            # anything a placement (either side's, or a scrub repay)
+            # has since landed — a placed index is never owed.
+            if existing.debt or record.debt:
+                existing.debt = sorted(
+                    (set(existing.debt) | set(record.debt))
+                    - set(existing.locations)
+                )
 
     def set_block_location(self, segment_id: str, index: int, cloud_id: str) -> None:
         """The asynchronous Cloud-ID callback after a block upload."""
@@ -251,6 +271,8 @@ class SyncFolderImage:
         if not 0 <= index < record.n:
             raise IndexError(f"block index {index} outside [0, {record.n})")
         record.locations[index] = cloud_id
+        if record.debt and index in record.debt:
+            record.debt.remove(index)
 
     def garbage_segments(self) -> List[SegmentRecord]:
         """Segments no file references; their cloud blocks can be deleted."""

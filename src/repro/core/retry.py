@@ -110,6 +110,7 @@ class RetryPolicy:
         operation: Callable[[], Generator],
         rng=None,
         on_failure: Optional[Callable[[BaseException, int], None]] = None,
+        budget=None,
     ) -> Generator:
         """Drive ``operation`` to completion under this policy.
 
@@ -120,7 +121,11 @@ class RetryPolicy:
         re-attempted up to ``max_attempts`` times with jittered
         exponential backoff in virtual time.  ``on_failure(exc, attempt)``
         is invoked before each backoff — schedulers use it to feed the
-        throughput estimator.
+        throughput estimator.  ``budget`` (a
+        :class:`~repro.core.degrade.DeadlineBudget`) stops further
+        retries once the round's deadline passes: the current error
+        propagates instead of backing off into a deadline the caller
+        has already blown.
         """
         attempt = 1
         while True:
@@ -128,7 +133,10 @@ class RetryPolicy:
                 value = yield from operation()
             except Exception as exc:
                 action = self.classify(exc)
-                if action is not RETRY or attempt >= self.max_attempts:
+                exhausted = attempt >= self.max_attempts or (
+                    budget is not None and budget.expired
+                )
+                if action is not RETRY or exhausted:
                     outcome = action if action is not RETRY else "exhausted"
                     if METRICS.enabled:
                         METRICS.inc(

@@ -37,8 +37,9 @@ import math
 from ..cloud import CloudAPI, CloudError, NotFoundError
 from ..obs import METRICS, TELEMETRY, TRACE
 from ..obs.tracer import ctx_attrs as _ctx_attrs
-from ..simkernel import AllOf, Simulator
+from ..simkernel import AllOf, AnyOf, Simulator
 from .config import UniDriveConfig
+from .degrade import DeadlineBudget, DegradeController
 from .metadata import SegmentRecord
 from .pipeline import BlockPipeline, block_hash
 from .placement import fair_share, fair_share_assignment, max_blocks_per_cloud
@@ -390,12 +391,18 @@ class UploadScheduler:
         resume: Optional[Dict[str, Dict[int, str]]] = None,
         trace_ctx=None,
         tenant: Optional[str] = None,
+        degrade: Optional[DegradeController] = None,
+        budget: Optional[DeadlineBudget] = None,
     ):
         if not connections:
             raise ValueError("need at least one cloud connection")
         self.sim = sim
         self.connections = list(connections)
         self.cloud_ids = [c.cloud_id for c in self.connections]
+        # Degradation control plane (None = disabled, the default): the
+        # breaker gate in _next_task and the per-round deadline budget.
+        self._degrade = degrade
+        self._budget = budget
         self.pipeline = pipeline
         self.config = config
         self.estimator = estimator or ThroughputEstimator()
@@ -528,6 +535,15 @@ class UploadScheduler:
     def _worker(self, conn: CloudAPI):
         cloud_id = conn.cloud_id
         while True:
+            if (
+                self._budget is not None
+                and not self._aborted
+                and self._budget.expired
+            ):
+                # Round deadline reached: stop dispatching; the batch
+                # winds down with whatever blocks already landed
+                # (brownout debt or a SyncError pick it up upstream).
+                self.abort()
             if self._aborted:
                 return
             task = self._next_task(cloud_id)
@@ -591,6 +607,10 @@ class UploadScheduler:
                         cloud_id, self.sim.now, False, 0, UPLOAD,
                         tenant=self.tenant, retry_action=action,
                     )
+                if self._degrade is not None:
+                    self._degrade.on_failure(
+                        cloud_id, self.sim.now, fatal=fatal
+                    )
                 dead = self._note_failure(cloud_id, fatal=fatal)
                 state.fail(index, cloud_id, task.is_fair, cloud_dead=dead)
                 # A failure restores candidacy: the failed index went
@@ -619,6 +639,8 @@ class UploadScheduler:
                 continue
             self._inflight_total -= 1
             self._dead[cloud_id] = 0
+            if self._degrade is not None:
+                self._degrade.on_success(cloud_id, self.sim.now)
             self.estimator.record(
                 cloud_id, UPLOAD, len(block), self.sim.now - start,
                 now=self.sim.now,
@@ -663,15 +685,31 @@ class UploadScheduler:
         Both walk the same ladder in peek and commit mode, so a
         successful peek guarantees the subsequent commit would succeed.
         """
-        if not self.dynamic:
-            return self._next_task_reference(cloud_id, peek)
-        if self._is_dead(cloud_id):
+        if self._aborted:
             return None
-        task = self._scan_phase_a(cloud_id, peek)
-        if task is None:
-            task = self._scan_phase_b(cloud_id, peek)
-        if task is None and self.over_provision:
-            task = self._scan_phase_c(cloud_id, peek)
+        if self._degrade is not None and not self._degrade.admits(
+            cloud_id, self.sim.now
+        ):
+            # Breaker open (or the scoreboard pins the cloud
+            # unavailable): no regular dispatch — the fix for the
+            # degraded-cloud retry burn, where every fresh batch used
+            # to grant a known-bad cloud a full paced retry budget.
+            # Half-open probes pass through admits() bounded by the
+            # probe quota and are accounted in the non-peek commit
+            # below.
+            return None
+        if not self.dynamic:
+            task = self._next_task_reference(cloud_id, peek)
+        else:
+            if self._is_dead(cloud_id):
+                return None
+            task = self._scan_phase_a(cloud_id, peek)
+            if task is None:
+                task = self._scan_phase_b(cloud_id, peek)
+            if task is None and self.over_provision:
+                task = self._scan_phase_c(cloud_id, peek)
+        if task is not None and not peek and self._degrade is not None:
+            self._degrade.note_dispatch(cloud_id, self.sim.now)
         return task
 
     # The three phase scans share one structure: walk the flattened
@@ -985,6 +1023,13 @@ class _SegmentDownloadState:
         self.blocks: Dict[int, bytes] = {}
         self.inflight: Dict[int, str] = {}
         self.exhausted: set = set()  # (index, cloud) pairs that failed
+        # Hedged-fetch bookkeeping (only populated when the degradation
+        # control plane is on): dispatch time of each in-flight fetch,
+        # its killable child process, and the set of slow in-flight
+        # indices already hedged (one hedge per slow fetch).
+        self.inflight_since: Dict[int, float] = {}
+        self.inflight_proc: Dict[int, object] = {}
+        self.hedged: set = set()
         # Cursor-dispatch bookkeeping (see DownloadScheduler): position
         # in the flattened scan order, the per-cloud block-index lists
         # frozen at batch start (locations do not change mid-download),
@@ -1048,6 +1093,8 @@ class DownloadScheduler:
         rng=None,
         trace_ctx=None,
         tenant: Optional[str] = None,
+        degrade: Optional[DegradeController] = None,
+        budget: Optional[DeadlineBudget] = None,
     ):
         if not connections:
             raise ValueError("need at least one cloud connection")
@@ -1061,6 +1108,18 @@ class DownloadScheduler:
         self.rng = rng
         self.trace_ctx = trace_ctx
         self.tenant = tenant
+        # Degradation control plane (None = disabled, the default).
+        self._degrade = degrade
+        self._budget = budget
+        self._aborted = False
+        self._hedge_budget: Optional[float] = None
+        #: Hedge accounting for benchmarks and acceptance tests.
+        self.hedges_fired = 0
+        self.hedged_bytes = 0
+        #: Wall-clock (virtual) duration of every successful block
+        #: fetch in the last batch — the p99 input for the hedging
+        #: benchmark.  Cancelled losers do not appear.
+        self.fetch_latencies: List[float] = []
         self._files: List[FileDownload] = []
         self._reports: Dict[str, FileDownloadReport] = {}
         self._states: Dict[str, _SegmentDownloadState] = {}
@@ -1092,6 +1151,11 @@ class DownloadScheduler:
         self._inflight_total = 0
         self._dead = {c.cloud_id: 0 for c in self.connections}
         self._failed_requests = 0
+        self._aborted = False
+        self._hedge_budget = None
+        self.hedges_fired = 0
+        self.hedged_bytes = 0
+        self.fetch_latencies = []
         self._wake = self.sim.event()
         self._ordered = []
         self._state_files = {}
@@ -1129,6 +1193,16 @@ class DownloadScheduler:
             self._pending_complete[file.path] = len(unique)
             if not unique:
                 self._complete_flush.append(file.path)
+        if self._degrade is not None and self._degrade.hedging:
+            # Hedge traffic is capped as a fraction of the batch's
+            # expected fetch volume (k blocks per unique segment).
+            expected = sum(
+                s.k * self.pipeline.block_size(s.record)
+                for s in self._ordered
+            )
+            self._hedge_budget = (
+                self.config.hedge_bytes_fraction * expected
+            )
         workers = []
         for conn in self._ranked_connections():
             for _slot in range(self.config.connections_per_cloud):
@@ -1166,35 +1240,178 @@ class DownloadScheduler:
     def _worker(self, conn: CloudAPI):
         cloud_id = conn.cloud_id
         while True:
+            if (
+                self._budget is not None
+                and not self._aborted
+                and self._budget.expired
+            ):
+                # Round deadline reached: stop dispatching and let the
+                # batch wind down; unfinished files report content=None
+                # and the client degrades or aborts the round cleanly.
+                self.abort()
+            if self._aborted:
+                return
             pick = self._next_request(cloud_id)
+            hedge = False
+            eta = None
+            if (
+                pick is None
+                and self._degrade is not None
+                and self._degrade.hedging
+            ):
+                pick, eta = self._next_hedge(cloud_id)
+                hedge = pick is not None
             if pick is None:
                 if self._done():
                     return
-                yield self._wake
+                if eta is not None and eta > self.sim.now:
+                    # An in-flight fetch becomes hedge-eligible at a
+                    # known future instant; park on whichever of
+                    # (progress pulse, eligibility) fires first.
+                    yield AnyOf(
+                        self.sim,
+                        [self._wake,
+                         self.sim.timeout(eta - self.sim.now)],
+                    )
+                else:
+                    yield self._wake
                 continue
             state, index = pick
+            # Entry bookkeeping happens here — not inside _fetch_block —
+            # so another worker scanning between dispatch and the child
+            # process's first step can never double-pick the index.
             state.inflight[index] = cloud_id
+            state.inflight_since[index] = self.sim.now
             self._inflight_total += 1
-            path = self.pipeline.block_path(state.record, index)
-            start = self.sim.now
-            span = None
-            block_ctx = None
-            if TRACE.enabled:
-                sid = TRACE.tracer.next_id()
-                attrs = _ctx_attrs(self.trace_ctx, sid)
-                span = TRACE.begin(
-                    "transfer", t=start, track=cloud_id,
-                    dir=DOWNLOAD, seg=state.record.segment_id[:12],
-                    block=index, attempt=self._dead[cloud_id] + 1,
-                    **attrs,
+            if self._degrade is None:
+                yield from self._fetch_block(conn, state, index)
+            else:
+                self._degrade.note_dispatch(cloud_id, self.sim.now)
+                proc = self.sim.process(
+                    self._fetch_block(conn, state, index, hedge=hedge)
                 )
-                block_ctx = (attrs.get("trace_id", sid), sid)
+                state.inflight_proc[index] = proc
+                yield proc
+
+    def abort(self) -> None:
+        """Stop issuing new requests; in-flight transfers drain."""
+        self._aborted = True
+        self._pulse()
+
+    def _next_hedge(self, cloud_id: str):
+        """Find a hedge-worthy block for an otherwise idle connection.
+
+        A segment is hedge-worthy when one of its in-flight fetches (on
+        another cloud) has outrun its estimator-predicted duration by
+        ``hedge_latency_factor`` and this cloud holds a spare index of
+        the same segment (any k of n reconstruct, so fetching a
+        *different* index races the slow fetch).  Returns
+        ``(pick, eta)``: ``pick`` is ``(state, index)`` to dispatch now
+        or None; ``eta`` is the earliest sim time any current fetch
+        becomes hedge-eligible, letting the worker park on a timeout
+        instead of only on the progress pulse.
+        """
+        if self._hedge_budget is None:
+            return None, None
+        if self._dead.get(cloud_id, 0) >= self.config.cloud_failure_threshold:
+            return None, None
+        if not self._degrade.admits(cloud_id, self.sim.now):
+            return None, None
+        now = self.sim.now
+        eta = None
+        for state in self._cloud_states[cloud_id]:
+            if state.complete or not state.inflight:
+                continue
+            index, _exhausted = state.candidate_for(cloud_id)
+            if index is None:
+                continue
+            nbytes = self.pipeline.block_size(state.record)
+            if self.hedged_bytes + nbytes > self._hedge_budget:
+                continue
+            for slow_index, holder in state.inflight.items():
+                if holder == cloud_id or slow_index in state.hedged:
+                    continue
+                since = state.inflight_since.get(slow_index)
+                if since is None:
+                    continue
+                threshold = self._degrade.hedge_threshold(
+                    self.estimator.estimate(holder, DOWNLOAD), nbytes
+                )
+                if threshold is None:
+                    continue
+                ready_at = since + threshold
+                if now >= ready_at:
+                    state.hedged.add(slow_index)
+                    self.hedged_bytes += nbytes
+                    self.hedges_fired += 1
+                    # The outrun fetch is itself a probe: the holder
+                    # has moved at most ``nbytes`` in ``now - since``
+                    # seconds, so fold that throughput ceiling into
+                    # the estimator.  _defer_to_faster then steers new
+                    # picks away from the slow cloud instead of
+                    # burning the hedge budget rediscovering it one
+                    # block at a time — without it, every cancelled
+                    # loser frees a worker that immediately picks
+                    # another doomed-slow block on a stale estimate.
+                    self.estimator.record(
+                        holder, DOWNLOAD, nbytes, now - since, now=now
+                    )
+                    if METRICS.enabled:
+                        METRICS.inc("hedged_fetch", cloud=cloud_id)
+                    return (state, index), None
+                if eta is None or ready_at < eta:
+                    eta = ready_at
+        return None, eta
+
+    def _cancel_losers(self, state: _SegmentDownloadState) -> None:
+        """A segment just completed: kill its still-racing fetches
+        (the hedge loser, or the outrun primary) so no further virtual
+        time or bandwidth is spent on redundant blocks."""
+        for proc in list(state.inflight_proc.values()):
+            if proc.is_alive:
+                proc.kill()
+
+    def _fetch_block(self, conn: CloudAPI, state: _SegmentDownloadState,
+                     index: int, hedge: bool = False):
+        """Fetch one block of ``state`` from ``conn``, settling all
+        scheduler bookkeeping on every exit path.
+
+        Entry bookkeeping (inflight maps, the in-flight total) is done
+        by the dispatching worker *before* this generator first runs,
+        because with degradation enabled it executes as a killable
+        child process that starts one event later.  The ``finally``
+        clause settles the books when a hedge win kills the fetch
+        mid-flight; it contains no yields, so :meth:`Process.kill`
+        runs it to completion.
+        """
+        cloud_id = conn.cloud_id
+        path = self.pipeline.block_path(state.record, index)
+        start = self.sim.now
+        span = None
+        block_ctx = None
+        if TRACE.enabled:
+            sid = TRACE.tracer.next_id()
+            attrs = _ctx_attrs(self.trace_ctx, sid)
+            if hedge:
+                attrs = {**attrs, "hedge": True}
+            span = TRACE.begin(
+                "transfer", t=start, track=cloud_id,
+                dir=DOWNLOAD, seg=state.record.segment_id[:12],
+                block=index, attempt=self._dead[cloud_id] + 1,
+                **attrs,
+            )
+            block_ctx = (attrs.get("trace_id", sid), sid)
+        settled = False
+        try:
             try:
                 block = yield from conn.download(path, ctx=block_ctx)
             except CloudError as exc:
+                settled = True
                 self._inflight_total -= 1
                 self._failed_requests += 1
                 state.inflight.pop(index, None)
+                state.inflight_since.pop(index, None)
+                state.inflight_proc.pop(index, None)
                 state.exhausted.add((index, cloud_id))
                 self.estimator.record_failure(
                     cloud_id, DOWNLOAD, now=self.sim.now
@@ -1227,6 +1444,13 @@ class DownloadScheduler:
                             cloud_id, self.sim.now, False, 0, DOWNLOAD,
                             tenant=self.tenant, retry_action=action,
                         )
+                if self._degrade is not None and not isinstance(
+                    exc, NotFoundError
+                ):
+                    self._degrade.on_failure(
+                        cloud_id, self.sim.now,
+                        fatal=action is not RETRY,
+                    )
                 if action is not RETRY and not isinstance(exc, NotFoundError):
                     self._dead[cloud_id] = max(
                         self._dead[cloud_id],
@@ -1253,8 +1477,11 @@ class DownloadScheduler:
                         yield self.sim.timeout(delay)
                         if wait is not None:
                             TRACE.end(wait, t=self.sim.now)
-                continue
+                return
+            settled = True
             self._inflight_total -= 1
+            state.inflight_since.pop(index, None)
+            state.inflight_proc.pop(index, None)
             expected = state.record.block_hashes.get(index)
             if (
                 expected is not None
@@ -1286,9 +1513,13 @@ class DownloadScheduler:
                         cloud_id, self.sim.now, False, 0, DOWNLOAD,
                         tenant=self.tenant, retry_action="give-up",
                     )
+                if self._degrade is not None:
+                    self._degrade.on_failure(cloud_id, self.sim.now)
                 self._pulse()
-                continue
+                return
             self._dead[cloud_id] = 0
+            if self._degrade is not None:
+                self._degrade.on_success(cloud_id, self.sim.now)
             self.estimator.record(
                 cloud_id, DOWNLOAD, len(block), self.sim.now - start,
                 now=self.sim.now,
@@ -1310,8 +1541,26 @@ class DownloadScheduler:
                 )
             state.inflight.pop(index, None)
             state.blocks[index] = block
+            self.fetch_latencies.append(self.sim.now - start)
             self._note_block_completed(state)
+            if self._degrade is not None and state.complete:
+                self._cancel_losers(state)
             self._pulse()
+        finally:
+            if not settled:
+                # Killed mid-flight (the other side of the hedge race
+                # won): settle the books so _done() and the cursor
+                # dispatcher see a consistent world.
+                self._inflight_total -= 1
+                if state.inflight.get(index) == cloud_id:
+                    state.inflight.pop(index, None)
+                state.inflight_since.pop(index, None)
+                state.inflight_proc.pop(index, None)
+                if span is not None:
+                    TRACE.end(
+                        span, t=self.sim.now, error="HedgeCancelled",
+                        retry_action="cancelled",
+                    )
 
     def _next_request(self, cloud_id: str):
         """Pick the next (state, block index) for an idle connection.
@@ -1324,6 +1573,14 @@ class DownloadScheduler:
         they can become requestable again.  The static baseline keeps
         the reference file-gated scan.
         """
+        if self._aborted:
+            return None
+        if self._degrade is not None and not self._degrade.admits(
+            cloud_id, self.sim.now
+        ):
+            # Breaker open or scoreboard-pinned unavailable: no regular
+            # dispatch; bounded half-open probes pass through admits().
+            return None
         if not self.dynamic:
             return self._next_request_reference(cloud_id)
         if self._dead.get(cloud_id, 0) >= self.config.cloud_failure_threshold:

@@ -35,10 +35,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..cloud import CloudAPI, CloudError, NotFoundError
-from ..obs import METRICS, TRACE
+from ..obs import METRICS, TELEMETRY, TRACE
 from .lock import QuorumLock
 from .pipeline import block_hash, block_hash_many
-from .placement import rebalance_on_add, rebalance_on_remove
+from .placement import (
+    max_blocks_per_cloud,
+    rebalance_on_add,
+    rebalance_on_remove,
+)
 from .util import gather_safe
 
 __all__ = ["Scrubber", "ScrubReport", "RepairReport"]
@@ -330,10 +334,135 @@ class Scrubber:
         out.finished_at = client.sim.now
         return out
 
+    # -- redundancy debt (brownout commits) --------------------------------
+
+    def owed_segments(self) -> List[str]:
+        """Segments carrying redundancy debt, in deterministic order."""
+        return sorted(
+            sid for sid, record in self.client.image.segments.items()
+            if record.debt and record.refcount > 0
+        )
+
+    def _debt_target(self, record) -> Optional[str]:
+        """Pick the cloud to place one owed block on.
+
+        Deterministic: the admitted cloud holding the fewest blocks of
+        this segment (sorted-id tie-break), respecting the security cap
+        on blocks per cloud.  After a brownout that starved exactly one
+        cloud, that cloud holds zero blocks and wins — repayment
+        restores the original fair-share placement exactly.  ``None``
+        when no admitted cloud has room (e.g. breakers still open):
+        the debt stays recorded for a later pass.
+        """
+        client = self.client
+        degrade = getattr(client, "degrade", None)
+        counts = {c.cloud_id: 0 for c in client.connections}
+        for cloud in record.locations.values():
+            if cloud in counts:
+                counts[cloud] += 1
+        cap = max_blocks_per_cloud(record.k, client.config.k_security)
+        best = None
+        for cloud_id in sorted(counts):
+            if counts[cloud_id] >= cap:
+                continue
+            if degrade is not None and not degrade.admits(
+                cloud_id, client.sim.now
+            ):
+                continue
+            if best is None or counts[cloud_id] < counts[best]:
+                best = cloud_id
+        return best
+
+    def repay_debt(self, commit: bool = True):
+        """Repay redundancy debt left behind by brownout commits.
+
+        For every segment owing indices, the content is decoded from
+        any ``k`` verified blocks, exactly the owed indices re-encoded
+        (blocks are deterministic in ``(content, index)``), and each
+        placed via :meth:`_debt_target`.  Repaid indices leave the debt
+        list through ``set_block_location``; with ``commit`` the
+        updated image is republished so every device sees the restored
+        placement.  Idempotent: an image with no debt is a no-op, and
+        re-running after a partial repayment only touches the
+        still-owed indices.
+
+        Returns a :class:`RepairReport` (repaid blocks in
+        ``repaired``).
+        """
+        client = self.client
+        degrade = getattr(client, "degrade", None)
+        out = RepairReport(started_at=client.sim.now)
+        from .client import SyncError
+
+        repaid_any = False
+        for segment_id in self.owed_segments():
+            record = client.image.segments[segment_id]
+            span = (
+                TRACE.begin(
+                    "repair", t=client.sim.now, track=client.device,
+                    kind="debt", seg=segment_id[:12],
+                    owed=len(record.debt),
+                )
+                if TRACE.enabled
+                else None
+            )
+            try:
+                blocks = yield from client._fetch_blocks(
+                    record, record.k, client.connections
+                )
+            except SyncError:
+                out.unrecoverable.append(segment_id)
+                if span is not None:
+                    TRACE.end(span, t=client.sim.now,
+                              error="unrecoverable")
+                continue
+            content = client.pipeline.decode_segment(record, blocks)
+            state = client.pipeline.encode_state(segment_id, content)
+            for index in sorted(record.debt):
+                target = self._debt_target(record)
+                if target is None:
+                    continue  # nowhere admitted to place it; later pass
+                conn = client._connection(target)
+                if conn is None:
+                    continue
+                if degrade is not None:
+                    degrade.note_dispatch(target, client.sim.now)
+                block = state.block(index)
+                record.block_hashes.setdefault(index, block_hash(block))
+                try:
+                    yield from conn.upload(
+                        client.pipeline.block_path(record, index), block
+                    )
+                except CloudError:
+                    if degrade is not None:
+                        degrade.on_failure(target, client.sim.now)
+                    continue  # still owed; a later pass retries
+                if degrade is not None:
+                    degrade.on_success(target, client.sim.now)
+                client.image.set_block_location(segment_id, index, target)
+                out.repaired.append((segment_id, index, target))
+                repaid_any = True
+                if METRICS.enabled:
+                    METRICS.inc("debt_repaid", cloud=target)
+            if TELEMETRY.enabled:
+                TELEMETRY.debt(
+                    client.sim.now, segment_id, len(record.debt)
+                )
+            if span is not None:
+                TRACE.end(span, t=client.sim.now,
+                          remaining=len(record.debt))
+        if commit and repaid_any:
+            yield from client._commit_rebalanced_image()
+        out.finished_at = client.sim.now
+        return out
+
     def scrub_round(self, deep: bool = False, repair: bool = True):
         """One audit pass, optionally followed by a repair pass.
 
-        Returns ``(ScrubReport, RepairReport | None)``.
+        When segments carry redundancy debt (brownout commits), the
+        repair phase also runs :meth:`repay_debt`, folding its results
+        into the returned report.  Returns
+        ``(ScrubReport, RepairReport | None)``.
         """
         span = (
             TRACE.begin(
@@ -347,6 +476,14 @@ class Scrubber:
         fixed: Optional[RepairReport] = None
         if repair and not audit.clean:
             fixed = yield from self.repair(audit)
+        if repair and self.owed_segments():
+            debt_fixed = yield from self.repay_debt()
+            if fixed is None:
+                fixed = debt_fixed
+            else:
+                fixed.repaired.extend(debt_fixed.repaired)
+                fixed.unrecoverable.extend(debt_fixed.unrecoverable)
+                fixed.finished_at = debt_fixed.finished_at
         if span is not None:
             TRACE.end(
                 span, t=self.client.sim.now,

@@ -169,6 +169,47 @@ class FaultInjector:
 
         self.sim.process(script())
 
+    def slow_cloud(self, connections, factor: float, start: float = 0.0,
+                   end: Optional[float] = None) -> None:
+        """Degrade a cloud's links without errors during [start, end).
+
+        Latency is multiplied by ``factor`` and both link directions'
+        mean bandwidth divided by it — the cloud keeps answering
+        correctly, only slowly, which is the brownout regime circuit
+        breakers must *not* trip on (no failure evidence) but hedged
+        reads should route around.  ``connections`` is one connection
+        or a sequence of them (every device's link to the slowed
+        cloud); originals are restored when the window closes.
+        """
+        if factor <= 1.0:
+            raise ValueError(f"factor must exceed 1.0, got {factor}")
+        if not isinstance(connections, (list, tuple)):
+            connections = [connections]
+        connections = list(connections)
+        if not connections:
+            raise ValueError("slow_cloud needs at least one connection")
+
+        def script():
+            if start > self.sim.now:
+                yield self.sim.timeout(start - self.sim.now)
+            saved = []
+            for conn in connections:
+                cond = conn.conditions
+                saved.append((cond, cond.latency.base_seconds))
+                cond.latency.base_seconds *= factor
+                cond.uplink.scale(1.0 / factor)
+                cond.downlink.scale(1.0 / factor)
+            self._log("slow-begin", connections[0].cloud_id)
+            if end is not None:
+                yield self.sim.timeout(max(0.0, end - self.sim.now))
+                for cond, base_seconds in saved:
+                    cond.latency.base_seconds = base_seconds
+                    cond.uplink.scale(factor)
+                    cond.downlink.scale(factor)
+                self._log("slow-end", connections[0].cloud_id)
+
+        self.sim.process(script())
+
     def pin_stress(self, connections: Sequence, cloud_id: Optional[str],
                    start: float = 0.0, end: Optional[float] = None) -> None:
         """Pin the stress token to ``cloud_id`` on the given connections.

@@ -192,6 +192,19 @@ class BandwidthProcess:
         """Next time the piecewise-constant rate may change."""
         return (int(t // self.epoch) + 1) * self.epoch
 
+    def scale(self, factor: float) -> None:
+        """Multiply the mean rate (and its floor) by ``factor`` from now on.
+
+        The fault injector's slow-cloud windows use this to degrade a
+        link without touching the multiplier stream: rng consumption
+        and epoch boundaries are unchanged, so scaling down and back
+        up restores the exact original rate trajectory.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self.mean_rate *= factor
+        self._floor *= factor
+
 
 class ScalarBandwidthProcess(BandwidthProcess):
     """The retained scalar sampler: one Python-loop epoch at a time.

@@ -47,6 +47,10 @@ DEGRADED = "degraded"
 UNAVAILABLE = "unavailable"
 
 #: Fault kinds that pin a cloud to ``unavailable`` while open.
+#: Slow-cloud windows (``slow-begin``/``slow-end``) are deliberately
+#: absent: a slowed link still answers correctly, so it must stay
+#: score-driven — the degradation control plane handles it with
+#: hedged reads, not by declaring the cloud unavailable.
 _PINNING_BEGINS = ("outage-begin", "loss-begin")
 _PINNING_ENDS = ("outage-end",)
 
@@ -230,6 +234,18 @@ class HealthScoreboard:
     def score(self, cloud: str) -> float:
         entry = self._clouds.get(cloud)
         return 1.0 if entry is None else self._effective_score(entry)
+
+    def pinned(self, cloud: str) -> bool:
+        """Inside an authoritative outage/loss window right now.
+
+        Unlike :meth:`state` this lifts the moment the window closes:
+        the degradation control plane keys hard admission denial on
+        the pin and lets probe traffic rebuild the score afterwards
+        (gating on the sticky ``unavailable`` state instead would
+        starve the scoreboard of the very evidence recovery needs).
+        """
+        entry = self._clouds.get(cloud)
+        return False if entry is None else entry.pinned
 
     def transitions(self, cloud: str) -> List[Dict[str, Any]]:
         entry = self._clouds.get(cloud)

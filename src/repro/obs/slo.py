@@ -102,6 +102,14 @@ def default_slos(latency_target: float = 10.0) -> Tuple[SLO, ...]:
             objective=0.5,
             description="uploaded bytes are fair-share payload, not parity",
         ),
+        SLO(
+            name="redundancy_debt",
+            objective=0.9,
+            description=(
+                "segment commits and scrub passes leave no redundancy "
+                "debt outstanding (brownout writes repaid)"
+            ),
+        ),
     )
 
 
@@ -143,6 +151,12 @@ class SLOEngine:
     def upload_bytes(self, tenant: str, t: float, nbytes: float,
                      redundant: bool) -> None:
         self.record("redundancy", tenant, t, not redundant, weight=nbytes)
+
+    def debt(self, tenant: str, t: float, owed: int) -> None:
+        """One debt observation: a brownout commit recording ``owed``
+        missing indices (bad), or a scrub pass reporting what remains
+        after repayment (good once ``owed`` reaches zero)."""
+        self.record("redundancy_debt", tenant, t, owed == 0)
 
     # -- evaluation -------------------------------------------------------
 

@@ -103,6 +103,14 @@ class Telemetry:
         self.timeseries.inc("window_faults", t, kind=kind, target=target)
         self.health.fault(target, t, kind)
 
+    def debt(self, t: float, segment: str, owed: int) -> None:
+        """Redundancy-debt observation for one segment: a brownout
+        commit recording missing indices, or a scrub pass reporting
+        the remainder after repayment (0 = fully repaid)."""
+        self.last_t = t
+        self.timeseries.gauge("debt_blocks", t, owed, seg=segment[:12])
+        self.slo.debt("-", t, owed)
+
     # -- snapshot ---------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
@@ -163,6 +171,10 @@ class TelemetryHub:
         if self.enabled:
             self.telemetry.fault(target, t, kind)
 
+    def debt(self, t: float, segment: str, owed: int) -> None:
+        if self.enabled:
+            self.telemetry.debt(t, segment, owed)
+
     # -- safe-while-disabled queries --------------------------------------
 
     def health_state(self, cloud: str) -> str:
@@ -174,6 +186,11 @@ class TelemetryHub:
         if not self.enabled:
             return 1.0
         return self.telemetry.health.score(cloud)
+
+    def health_pinned(self, cloud: str) -> bool:
+        if not self.enabled:
+            return False
+        return self.telemetry.health.pinned(cloud)
 
     def alerts(self) -> List[Dict[str, Any]]:
         if not self.enabled:

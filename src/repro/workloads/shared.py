@@ -47,6 +47,7 @@ from ..core import (
     UniDriveConfig,
 )
 from ..core.lock import LockTimeout
+from ..core.scrub import Scrubber
 from ..faults import FaultInjector
 from ..fsmodel import VirtualFileSystem
 from ..obs import METRICS, TELEMETRY, Telemetry
@@ -97,6 +98,23 @@ class SharedScenario:
     crashes: Tuple[Tuple[int, int, float], ...] = ()
     #: Cloud outages: (cloud index, start time, end time).
     outages: Tuple[Tuple[int, float, float], ...] = ()
+    #: Slow-cloud windows: (cloud index, start, end, factor) — the
+    #: cloud's links get latency ×factor and bandwidth ÷factor for the
+    #: window, answering correctly but slowly.  Applied to the initial
+    #: incarnations' connections (crash-resumed incarnations rebuild
+    #: their links and start the window clean).
+    slow: Tuple[Tuple[int, float, float, float], ...] = ()
+    #: Enable the degradation control plane (circuit breakers, hedged
+    #: reads, brownout writes with redundancy debt) on every device.
+    degrade: bool = False
+    #: Per-sync-round deadline budget in sim seconds (0 = unbounded);
+    #: only honoured when ``degrade`` is on.
+    round_deadline: float = 0.0
+    #: Extra blocks above k a brownout commit must still place.
+    brownout_floor: int = 0
+    #: After quiescence, run one scrub round (debt repayment included)
+    #: on the first live device and re-sync the fleet.
+    scrub_after: bool = False
     #: Chance per (device, round) that the device skips it (sporadic
     #: mobile writers rather than lockstep rounds).
     skip_rate: float = 0.0
@@ -114,6 +132,9 @@ class SharedScenario:
             lock_acquire_timeout=900.0,
             conflict_policy=self.policy,
             transactional_rounds=self.transactional,
+            degrade_enabled=self.degrade,
+            round_deadline_seconds=self.round_deadline,
+            brownout_floor=self.brownout_floor,
         )
 
 
@@ -148,6 +169,19 @@ class SharedResult:
     crash_count: int = 0
     quiesce_rounds: int = 0
     duration: float = 0.0
+    #: Redundancy-debt bookkeeping (degradation control plane): owed
+    #: block indices outstanding after the writer rounds + quiescence,
+    #: after the optional scrub phase, and how many the scrub repaid.
+    debt_after_rounds: int = 0
+    debt_after_scrub: int = 0
+    debt_repaid: int = 0
+    #: Hedged-read tallies summed over every live device's client.
+    hedges_fired: int = 0
+    hedged_bytes: int = 0
+    #: Per-cloud breaker transition counts — the *worst* single
+    #: device's breaker per cloud, so the anti-flapping gate (<= 6
+    #: transitions) is independent of fleet size.
+    breaker_transitions: Dict[str, int] = field(default_factory=dict)
     #: Telemetry snapshot (windows + health + SLO burn rates + per-device
     #: throughput-estimator state); None unless the run opted in.
     telemetry: Optional[Dict] = None
@@ -298,6 +332,12 @@ def _run_shared(scenario: SharedScenario) -> SharedResult:
         _Device(sim, clouds, f"dev{d}", d, scenario, resolver)
         for d in range(scenario.writers)
     ]
+    for cloud_index, start, end, factor in scenario.slow:
+        ci = cloud_index % len(clouds)
+        injector.slow_cloud(
+            [d.client.connections[ci] for d in devices],
+            factor, start=start, end=end,
+        )
     crash_plan: Dict[Tuple[int, int], float] = {
         (int(d), int(r)): float(delay)
         for d, r, delay in scenario.crashes
@@ -443,6 +483,28 @@ def _run_shared(scenario: SharedScenario) -> SharedResult:
         ):
             break
 
+    # -- degradation bookkeeping: debt repayment and hedge tallies -------
+    def outstanding_debt() -> int:
+        if not live:
+            return 0
+        return sum(
+            len(rec.debt)
+            for rec in live[0].client.image.segments.values()
+            if rec.refcount > 0
+        )
+
+    debt_after_rounds = outstanding_debt()
+    debt_after_scrub = debt_after_rounds
+    if scenario.scrub_after and live:
+        sim.run_process(
+            Scrubber(live[0].client).scrub_round(deep=False, repair=True)
+        )
+        # The repaid placement commits a new image version; sweep the
+        # fleet once more so everyone converges on it.
+        for device in live:
+            sim.run_process(sync_with_retry(device))
+        debt_after_scrub = outstanding_debt()
+
     fingerprints = {
         d.name: image_fingerprint(d.client.image) for d in live
     }
@@ -456,6 +518,15 @@ def _run_shared(scenario: SharedScenario) -> SharedResult:
     if METRICS.enabled:
         for span in windows.values():
             METRICS.observe("divergence_window", span)
+    breaker_transitions: Dict[str, int] = {}
+    for device in live:
+        if device.client.degrade is None:
+            continue
+        for cloud_id, breaker in device.client.degrade._breakers.items():
+            breaker_transitions[cloud_id] = max(
+                breaker_transitions.get(cloud_id, 0),
+                len(breaker.transitions),
+            )
     telemetry_snapshot = None
     if TELEMETRY.enabled:
         telemetry_snapshot = TELEMETRY.snapshot()
@@ -473,6 +544,12 @@ def _run_shared(scenario: SharedScenario) -> SharedResult:
         crash_count=crash_count,
         quiesce_rounds=quiesce_rounds,
         duration=sim.now,
+        debt_after_rounds=debt_after_rounds,
+        debt_after_scrub=debt_after_scrub,
+        debt_repaid=max(0, debt_after_rounds - debt_after_scrub),
+        hedges_fired=sum(d.client.hedges_fired for d in live),
+        hedged_bytes=sum(d.client.hedged_bytes for d in live),
+        breaker_transitions=breaker_transitions,
         telemetry=telemetry_snapshot,
     )
 

@@ -136,3 +136,46 @@ def test_cloud_recovery_next_batch():
     assert not report.degraded
     assert report.reliable_at is not None
     assert report.blocks_per_cloud["cloud4"] > 0
+
+
+def test_breaker_stops_degraded_cloud_retry_burn():
+    """Regression: dead-cloud state was per batch, so every fresh batch
+    re-burned a full failure budget against a cloud already known to be
+    down.  With the degradation control plane on, the breaker carries
+    that evidence across batches: the second batch dispatches nothing
+    to the dead cloud (only bounded half-open probes after cooldown).
+
+    The plain arm documents the pre-fix burn; the degrade arm asserts
+    the fix.
+    """
+    from repro.core.degrade import DegradeController, OPEN
+
+    def run_two_batches(degrade):
+        sim, clouds, conns, pipeline = make_env([0.0] * 5, seed=11)
+        clouds[3].set_available(False)
+        config = UniDriveConfig(theta=64 * 1024, degrade_enabled=True)
+        controller = (
+            DegradeController(config, health_gate=False) if degrade
+            else None
+        )
+        failed = []
+        for round_index in range(2):
+            scheduler = UploadScheduler(
+                sim, conns, pipeline,
+                config if degrade else CONFIG, degrade=controller,
+            )
+            file, _ = make_file(pipeline, seed=30 + round_index,
+                                path=f"/f{round_index}")
+            batch = sim.run_process(scheduler.run_batch([file]))
+            assert batch.report_for(f"/f{round_index}").available_at \
+                is not None
+            failed.append(batch.failed_requests)
+        return failed, controller
+
+    burned, _ = run_two_batches(degrade=False)
+    assert burned[1] > 0, "pre-fix: every batch re-probes the dead cloud"
+
+    guarded, controller = run_two_batches(degrade=True)
+    assert guarded[0] > 0, "first batch must gather the evidence"
+    assert controller.state("cloud3") == OPEN
+    assert guarded[1] == 0, "breaker must suppress the second-batch burn"

@@ -165,3 +165,42 @@ def test_pinned_stress_is_constant():
     assert pin.stressed_cloud_at(0.0) == "cloudX"
     assert pin.stressed_cloud_at(1e9) == "cloudX"
     assert PinnedStress(None).stressed_cloud_at(5.0) is None
+
+
+def test_slow_cloud_degrades_and_restores_throughput():
+    """A slow window multiplies transfer time by roughly the factor and
+    fully restores the link when it closes — same rng streams, so the
+    post-window transfer matches a never-slowed run."""
+    sim = Simulator()
+    cloud, conn = make_conn(sim, seed=12)
+    injector = FaultInjector(sim)
+    injector.slow_cloud(conn, factor=20.0, start=10.0, end=50.0)
+
+    payload = b"x" * (256 * 1024)
+    durations = []
+
+    def driver():
+        for begin in (0.0, 15.0, 60.0):
+            if begin > sim.now:
+                yield sim.timeout(begin - sim.now)
+            t0 = sim.now
+            yield from conn.upload(f"/at{begin}", payload)
+            durations.append(sim.now - t0)
+
+    sim.run_process(driver())
+    before, during, after = durations
+    assert during > before * 5.0, "inside the window the link crawls"
+    assert after == pytest.approx(before, rel=0.5), \
+        "closing the window restores the healthy link"
+    assert injector.windows("slow", "c0") == [(10.0, 50.0)]
+    assert [e.kind for e in injector.events] == ["slow-begin", "slow-end"]
+
+
+def test_slow_cloud_rejects_degenerate_factor():
+    sim = Simulator()
+    _cloud, conn = make_conn(sim)
+    injector = FaultInjector(sim)
+    with pytest.raises(ValueError):
+        injector.slow_cloud(conn, factor=1.0)
+    with pytest.raises(ValueError):
+        injector.slow_cloud([], factor=4.0)

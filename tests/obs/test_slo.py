@@ -100,7 +100,9 @@ def test_rule_and_objective_validation():
     with pytest.raises(ValueError):
         SLO(name="x", objective=1.0)
     names = sorted(slo.name for slo in default_slos())
-    assert names == ["block_errors", "redundancy", "sync_latency"]
+    assert names == [
+        "block_errors", "redundancy", "redundancy_debt", "sync_latency",
+    ]
 
 
 def test_unknown_sli_is_ignored():

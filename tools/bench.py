@@ -134,6 +134,7 @@ from repro.codec import ReedSolomonCode, gf256  # noqa: E402
 from repro.codec import matrix as gfm  # noqa: E402
 from repro.core import Scrubber, UniDriveClient  # noqa: E402
 from repro.core.config import UniDriveConfig  # noqa: E402
+from repro.core.degrade import DegradeController  # noqa: E402
 from repro.core.pipeline import BlockPipeline  # noqa: E402
 from repro.core.probing import ThroughputEstimator  # noqa: E402
 from repro.core.scheduler import (  # noqa: E402
@@ -172,6 +173,7 @@ SUBSTRATE_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_substrate.json")
 OBS_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
 DURABILITY_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_durability.json")
 TELEMETRY_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_telemetry.json")
+ROBUSTNESS_RESULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_robustness.json")
 
 
 def _best_of(fn, rounds):
@@ -975,6 +977,15 @@ def bench_trial_rss(quick):
     the point: per-user records are folded into fixed-size aggregates
     cohort by cohort, so peak memory tracks the cohort size, not the
     population.
+
+    The child's own peak is read from ``/proc/self/status`` ``VmHWM``
+    (which execve resets), not ``getrusage(RUSAGE_SELF)``: Linux folds
+    the pre-exec mm's high-water mark into ``ru_maxrss``, and under
+    ``posix_spawn``/``vfork`` that mm *is* the launching process's — so
+    after a large in-process benchmark this guard would report the
+    bench harness's multi-GB peak instead of the trial's.  The pool
+    workers are plain forks (no exec), so ``RUSAGE_CHILDREN`` stays
+    trustworthy for them.
     """
     import subprocess
 
@@ -984,6 +995,16 @@ def bench_trial_rss(quick):
         "import json, resource, sys, time\n"
         "sys.path.insert(0, sys.argv[1])\n"
         "from repro.workloads import TrialFleetStats, run_trial\n"
+        "def self_peak_kb():\n"
+        "    try:\n"
+        "        with open('/proc/self/status') as fh:\n"
+        "            for line in fh:\n"
+        "                if line.startswith('VmHWM:'):\n"
+        "                    return float(line.split()[1])\n"
+        "    except OSError:\n"
+        "        pass\n"
+        "    return float(\n"
+        "        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)\n"
         "start = time.perf_counter()\n"
         "summary = run_trial(n_users=int(sys.argv[2]), days=1.0,\n"
         "                    uploads_per_user=1, seed=2026,\n"
@@ -991,7 +1012,7 @@ def bench_trial_rss(quick):
         "                    cohort_size=int(sys.argv[3]),\n"
         "                    payload='synthetic', max_workers=2)\n"
         "wall = time.perf_counter() - start\n"
-        "rss_kb = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,\n"
+        "rss_kb = max(self_peak_kb(),\n"
         "             resource.getrusage(resource.RUSAGE_CHILDREN)"
         ".ru_maxrss)\n"
         "print(json.dumps({'wall_s': wall, 'peak_rss_mb': rss_kb / 1024.0,\n"
@@ -1903,6 +1924,229 @@ def _print_telemetry(results):
           f"(identical={e2e['identical']})")
 
 
+# -- robustness suite: the degradation control plane ------------------------
+
+
+def bench_breaker_guard(quick):
+    """Per-dispatch cost of the degrade admission path.
+
+    The guard runs inside every scheduler peek, so its cost rides on
+    the dispatch hot loop.  Measured: the closed-breaker ``admits``
+    check, the full dispatch/outcome cycle, and the disabled-path cost
+    (the ``is not None`` branch the goldens ride on).
+    """
+    iters = 200_000 if quick else 1_000_000
+    config = UniDriveConfig(theta=64 * 1024, degrade_enabled=True)
+    degrade = DegradeController(config, health_gate=False)
+    for i in range(N_CLOUDS):
+        degrade.breaker(f"cloud{i}")
+
+    start = time.perf_counter()
+    for i in range(iters):
+        degrade.admits("cloud0", float(i))
+    admit_ns = (time.perf_counter() - start) / iters * 1e9
+
+    start = time.perf_counter()
+    for i in range(iters):
+        degrade.note_dispatch("cloud0", float(i))
+        degrade.on_success("cloud0", float(i))
+    cycle_ns = (time.perf_counter() - start) / iters * 1e9
+
+    disabled = None
+    sink = 0
+    start = time.perf_counter()
+    for i in range(iters):
+        if disabled is not None:
+            sink += 1
+    disabled_ns = (time.perf_counter() - start) / iters * 1e9
+    return {
+        "iters": iters,
+        "admit_ns": admit_ns,
+        "outcome_cycle_ns": cycle_ns,
+        "disabled_branch_ns": disabled_ns,
+    }
+
+
+def _hedged_download(count, hedge, slow_factor, seed=23):
+    """Upload a batch on healthy links, brown out one cloud, fetch it
+    all back — with or without hedged reads."""
+    sim, conns, pipeline = _make_env(seed=seed)
+    estimator = ThroughputEstimator()
+    up = UploadScheduler(sim, conns, pipeline, CONFIG, estimator=estimator)
+    files = _make_files(pipeline, count, seed=seed + 1)
+    sim.run_process(up.run_batch(files))
+    requests = [
+        FileDownload(f.path, [record for record, _ in f.segments])
+        for f in files
+    ]
+    # Warm the download-direction estimator on healthy links first: the
+    # hedge threshold is derived from per-cloud throughput history, and
+    # a long-lived client always has some (this batch plays that role
+    # for both arms of the A/B).
+    warm = DownloadScheduler(sim, conns, pipeline, CONFIG,
+                             estimator=estimator)
+    sim.run_process(warm.run_batch(requests))
+    # Brown out cloud1 *after* placement so both sides hold identical
+    # layouts: latency x factor, bandwidth / factor, zero errors.
+    slow = conns[1].conditions
+    slow.latency.base_seconds *= slow_factor
+    slow.uplink.scale(1.0 / slow_factor)
+    slow.downlink.scale(1.0 / slow_factor)
+    if hedge:
+        config = UniDriveConfig(theta=64 * 1024, degrade_enabled=True)
+        degrade = DegradeController(config, health_gate=False)
+    else:
+        config, degrade = CONFIG, None
+    down = DownloadScheduler(sim, conns, pipeline, config,
+                             estimator=estimator, degrade=degrade)
+    t0 = sim.now
+    start = time.perf_counter()
+    batch = sim.run_process(down.run_batch(requests))
+    wall = time.perf_counter() - start
+    assert all(r.content is not None for r in batch.files)
+    payload = sum(len(data) for f in files for _, data in f.segments)
+    lat = sorted(down.fetch_latencies)
+    return {
+        "fetches": len(lat),
+        "p50_s": float(np.percentile(lat, 50)),
+        "p99_s": float(np.percentile(lat, 99)),
+        "batch_sim_s": sim.now - t0,
+        "payload_bytes": payload,
+        "hedges_fired": down.hedges_fired,
+        "hedged_bytes": down.hedged_bytes,
+        "wall_seconds": wall,
+    }
+
+
+def bench_hedged_reads(quick):
+    """A/B of the hedged-read path against one browned-out cloud.
+
+    The acceptance bar: hedging cuts p99 block-fetch latency by at
+    least 30% while issuing at most 10% extra download bytes (the
+    configured ``hedge_bytes_fraction`` cap).
+    """
+    count = 20 if quick else 60
+    slow_factor = 25.0
+    plain = _hedged_download(count, hedge=False, slow_factor=slow_factor)
+    hedged = _hedged_download(count, hedge=True, slow_factor=slow_factor)
+    return {
+        "files": count,
+        "slow_factor": slow_factor,
+        "plain": plain,
+        "hedged": hedged,
+        "p99_win_fraction": (
+            1.0 - hedged["p99_s"] / plain["p99_s"]
+            if plain["p99_s"] > 0 else 0.0
+        ),
+        "extra_bytes_fraction": (
+            hedged["hedged_bytes"] / hedged["payload_bytes"]
+            if hedged["payload_bytes"] else 0.0
+        ),
+    }
+
+
+def bench_debt_repayment(quick):
+    """Brownout commit under a dead cloud, then scrub-to-convergence.
+
+    Reports how many scrub rounds the debt needs to reach zero after
+    the cloud recovers (the acceptance bar is full repayment; the
+    convergence count is the trend metric).
+    """
+    files = 6 if quick else 16
+    sim = Simulator()
+    clouds = [SimulatedCloud(sim, f"c{i}") for i in range(N_CLOUDS)]
+    conns = [
+        make_instant_connection(sim, cloud, seed=31 + i)
+        for i, cloud in enumerate(clouds)
+    ]
+    fs = VirtualFileSystem()
+    rng = np.random.default_rng(37)
+    for i in range(files):
+        content = rng.integers(
+            0, 256, size=96 * 1024, dtype=np.uint8
+        ).tobytes()
+        fs.write_file(f"/f{i}", content, mtime=0.0)
+    config = UniDriveConfig(theta=64 * 1024, degrade_enabled=True)
+    client = UniDriveClient(
+        sim, "bench", fs, conns, config=config,
+        rng=np.random.default_rng(41),
+    )
+    clouds[1].set_available(False)
+    start = time.perf_counter()
+    sim.run_process(client.sync())
+    debt_recorded = sum(
+        len(rec.debt) for rec in client.image.segments.values()
+    )
+    clouds[1].set_available(True)
+
+    # A recovered provider readmits traffic only through the breaker's
+    # half-open probes; let the cooldown elapse as it would in a real
+    # deployment before the scrub runs.
+    def settle():
+        yield sim.timeout(config.breaker_cooldown_seconds + 1.0)
+
+    sim.run_process(settle())
+    scrubber = Scrubber(client)
+    rounds = 0
+    while scrubber.owed_segments() and rounds < 5:
+        rounds += 1
+        sim.run_process(scrubber.repay_debt())
+    wall = time.perf_counter() - start
+    owed_after = sum(
+        len(rec.debt) for rec in client.image.segments.values()
+    )
+    return {
+        "files": files,
+        "debt_recorded": debt_recorded,
+        "debt_outstanding": owed_after,
+        "convergence_rounds": rounds,
+        "wall_seconds": wall,
+    }
+
+
+def run_robustness(quick=False):
+    guard = bench_breaker_guard(quick)
+    hedged = bench_hedged_reads(quick)
+    debt = bench_debt_repayment(quick)
+    results = {
+        "quick": quick,
+        "breaker_guard": guard,
+        "hedged_reads": hedged,
+        "debt_repayment": debt,
+    }
+    results["checks"] = {
+        # The admission guard is a dict lookup + a couple of branches;
+        # anything over 2 us would show up in dispatch-heavy batches.
+        "breaker_admit_under_2us": guard["admit_ns"] <= 2000.0,
+        "hedged_p99_win_ge_30pct": hedged["p99_win_fraction"] >= 0.30,
+        "hedged_extra_bytes_le_10pct":
+            hedged["extra_bytes_fraction"] <= 0.10,
+        "debt_recorded_nonzero": debt["debt_recorded"] > 0,
+        "debt_fully_repaid": debt["debt_outstanding"] == 0,
+        "debt_converges_in_one_round": debt["convergence_rounds"] <= 1,
+    }
+    return results
+
+
+def _print_robustness(results):
+    guard = results["breaker_guard"]
+    hedged = results["hedged_reads"]
+    debt = results["debt_repayment"]
+    print(f"guard:      {guard['admit_ns']:8.1f} ns/admit, "
+          f"{guard['outcome_cycle_ns']:.1f} ns dispatch+outcome, "
+          f"{guard['disabled_branch_ns']:.1f} ns disabled branch")
+    print(f"hedging:    p99 {hedged['plain']['p99_s']:8.2f}s -> "
+          f"{hedged['hedged']['p99_s']:.2f}s "
+          f"({hedged['p99_win_fraction']:.0%} win) at "
+          f"{hedged['extra_bytes_fraction']:.1%} extra bytes, "
+          f"{hedged['hedged']['hedges_fired']} hedges over "
+          f"{hedged['files']} files")
+    print(f"debt:       {debt['debt_recorded']} blocks owed -> "
+          f"{debt['debt_outstanding']} after "
+          f"{debt['convergence_rounds']} scrub round(s) "
+          f"({debt['files']} files, {debt['wall_seconds']:.2f}s wall)")
+
+
 _SUITES = {
     "hotpaths": (run_all, RESULTS_PATH, _print_hotpaths),
     "substrate": (run_substrate, SUBSTRATE_RESULTS_PATH, _print_substrate),
@@ -1910,6 +2154,8 @@ _SUITES = {
     "durability": (run_durability, DURABILITY_RESULTS_PATH,
                    _print_durability),
     "telemetry": (run_telemetry, TELEMETRY_RESULTS_PATH, _print_telemetry),
+    "robustness": (run_robustness, ROBUSTNESS_RESULTS_PATH,
+                   _print_robustness),
 }
 
 
@@ -1955,6 +2201,12 @@ _COMPARE_METRICS = {
         "guards.enabled_transfer_ns": "lower",
         "overhead.telemetry_calls": "lower",
         "end_to_end.telemetry_calls": "lower",
+    },
+    "robustness": {
+        "breaker_guard.admit_ns": "lower",
+        "hedged_reads.p99_win_fraction": "higher",
+        "hedged_reads.extra_bytes_fraction": "lower",
+        "debt_repayment.convergence_rounds": "lower",
     },
 }
 
@@ -2014,7 +2266,8 @@ def main(argv=None):
                         help="small sizes / few rounds, for CI smoke runs")
     parser.add_argument("--suite",
                         choices=["hotpaths", "substrate", "obs",
-                                 "durability", "telemetry", "all"],
+                                 "durability", "telemetry", "robustness",
+                                 "all"],
                         default="all", help="which suite(s) to run")
     parser.add_argument("--out", default=None,
                         help="output JSON path (single-suite runs only)")

@@ -227,12 +227,23 @@ def _run_shared_cli(args) -> int:
         churn_profile(args.writers, args.rounds, args.churners, seed)
         if args.churners else ()
     )
+    # --degrade: the 1-slow + 1-down chaos arc.  Cloud 1 browns out
+    # (slow, no errors) for the first half of the run, cloud 2 goes
+    # fully dark overlapping it; both recover with rounds to spare so
+    # the post-quiescence scrub can repay every brownout commit's debt.
+    slow = ()
+    outages = ()
+    if args.degrade:
+        horizon = args.rounds * 60.0
+        slow = ((1, 0.1 * horizon, 0.6 * horizon, args.slow_factor),)
+        outages = ((2, 0.2 * horizon, 0.7 * horizon),)
     rows = []
     telemetry_runs = []
     violations = 0
+    extra = ("  debt  repaid  hedges  maxtrans" if args.degrade else "")
     print(f"{'policy':<18}{'writers':>8}{'rounds':>7}{'commits':>8}"
           f"{'lost':>5}{'conv':>5}{'stall':>6}{'maxdiv s':>9}"
-          f"{'wall s':>8}")
+          f"{'wall s':>8}{extra}")
     for policy in policies:
         scenario = SharedScenario(
             writers=args.writers,
@@ -242,6 +253,10 @@ def _run_shared_cli(args) -> int:
             crashes=crashes,
             skip_rate=args.skip_rate,
             seed=seed,
+            slow=slow,
+            outages=outages,
+            degrade=bool(args.degrade),
+            scrub_after=bool(args.degrade),
         )
         start = time.perf_counter()
         res = run_shared(scenario, telemetry=bool(args.telemetry))
@@ -256,12 +271,22 @@ def _run_shared_cli(args) -> int:
             })
         ok = (res.converged and not res.lost_updates
               and not res.stalled_devices)
+        if args.degrade:
+            max_transitions = max(
+                res.breaker_transitions.values(), default=0
+            )
+            ok = ok and res.debt_after_scrub == 0 \
+                and max_transitions <= args.max_transitions
         violations += 0 if ok else 1
-        print(f"{policy:<18}{args.writers:>8}{args.rounds:>7}"
-              f"{len(res.committed):>8}{len(res.lost_updates):>5}"
-              f"{'y' if res.converged else 'N':>5}"
-              f"{len(res.stalled_devices):>6}"
-              f"{res.max_divergence:>9.1f}{wall:>8.2f}")
+        line = (f"{policy:<18}{args.writers:>8}{args.rounds:>7}"
+                f"{len(res.committed):>8}{len(res.lost_updates):>5}"
+                f"{'y' if res.converged else 'N':>5}"
+                f"{len(res.stalled_devices):>6}"
+                f"{res.max_divergence:>9.1f}{wall:>8.2f}")
+        if args.degrade:
+            line += (f"{res.debt_after_rounds:>6}{res.debt_repaid:>8}"
+                     f"{res.hedges_fired:>8}{max_transitions:>10}")
+        print(line)
         rows.append({
             "policy": policy,
             "writers": args.writers,
@@ -278,6 +303,13 @@ def _run_shared_cli(args) -> int:
             "max_divergence_s": res.max_divergence,
             "virtual_duration_s": res.duration,
             "wall_seconds": wall,
+            "degrade": bool(args.degrade),
+            "debt_after_rounds": res.debt_after_rounds,
+            "debt_after_scrub": res.debt_after_scrub,
+            "debt_repaid": res.debt_repaid,
+            "hedges_fired": res.hedges_fired,
+            "hedged_bytes": res.hedged_bytes,
+            "breaker_transitions": res.breaker_transitions,
         })
     if args.json:
         with open(args.json, "w") as handle:
@@ -382,6 +414,18 @@ def main(argv=None):
     parser.add_argument("--transactional", action="store_true",
                         help="shared mode: commit each round as a single "
                              "all-or-nothing txn_round record")
+    parser.add_argument("--degrade", action="store_true",
+                        help="shared mode: degradation chaos arc — enable "
+                             "the control plane (breakers, hedged reads, "
+                             "brownout writes), run 1 slow + 1 down of "
+                             "the 5 clouds, and gate on debt repayment "
+                             "and breaker flapping")
+    parser.add_argument("--slow-factor", type=float, default=200.0,
+                        help="degrade mode: latency x / bandwidth / "
+                             "factor for the slow cloud (default 200)")
+    parser.add_argument("--max-transitions", type=int, default=6,
+                        help="degrade mode: max breaker transitions per "
+                             "cloud before flagging flapping (default 6)")
     parser.add_argument("--progress", action="store_true",
                         help="report live cells_done/users_simulated "
                              "progress counters on stderr")

@@ -60,6 +60,10 @@ PERF_REPORTS = frozenset({
     # benchmarks/test_perf_durability.py
     "test_hash_verify_overhead_le_5pct.txt",
     "test_scrub_heals_damaged_folder.txt",
+    # benchmarks/test_perf_robustness.py
+    "test_breaker_guard_nanosecond_scale.txt",
+    "test_hedged_reads_cut_p99.txt",
+    "test_debt_repaid_in_one_scrub_round.txt",
 })
 
 
